@@ -1,0 +1,484 @@
+// Package schedroute's root benchmark harness regenerates every figure
+// of the paper's evaluation (Figs. 5-10), the Section 3 output-
+// inconsistency construction, and the ablations called out in DESIGN.md.
+// Each Benchmark* corresponds to one figure panel; run
+//
+//	go test -bench=. -benchmem
+//
+// and compare the reported shape metrics (feasible load points, OI
+// counts, peak utilizations) against EXPERIMENTS.md.
+package schedroute
+
+import (
+	"testing"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/cpsim"
+	"schedroute/internal/dvb"
+	"schedroute/internal/experiments"
+	"schedroute/internal/metrics"
+	"schedroute/internal/schedule"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+	"schedroute/internal/wormhole"
+)
+
+func benchConfig(b *testing.B, key string) experiments.Config {
+	b.Helper()
+	cfgs, err := experiments.StandardConfigs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, ok := cfgs[key]
+	if !ok {
+		b.Fatalf("unknown config %s", key)
+	}
+	// Short but spike-revealing wormhole runs keep bench iterations fast.
+	cfg.Invocations = 16
+	cfg.Warmup = 8
+	return cfg
+}
+
+// benchUtilization runs one Fig. 5/6 panel and reports the number of
+// load points reaching U <= 1 plus the best peak seen.
+func benchUtilization(b *testing.B, key string) {
+	cfg := benchConfig(b, key)
+	var feasible int
+	var bestPeak float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.UtilizationSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		feasible = 0
+		bestPeak = s.Points[0].Final
+		for _, p := range s.Points {
+			if p.Final <= 1.0000001 {
+				feasible++
+			}
+			if p.Final < bestPeak {
+				bestPeak = p.Final
+			}
+			if p.Final > p.LSD+1e-9 {
+				b.Fatalf("AssignPaths worse than LSD at load %.4f", p.Load)
+			}
+		}
+	}
+	b.ReportMetric(float64(feasible), "loadpts(U<=1)")
+	b.ReportMetric(bestPeak, "bestU")
+}
+
+// benchPerf runs one Fig. 7-10 panel and reports OI and feasibility
+// counts over the twelve load points.
+func benchPerf(b *testing.B, key string) {
+	cfg := benchConfig(b, key)
+	var oi, srOK, both int
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.PerfSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oi, srOK, both = 0, 0, 0
+		for _, p := range s.Points {
+			if p.WROI || p.WRDeadlock {
+				oi++
+			}
+			if p.SRFeasible {
+				srOK++
+				if p.WROI {
+					both++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(oi), "WR-OI-pts")
+	b.ReportMetric(float64(srOK), "SR-ok-pts")
+	b.ReportMetric(float64(both), "SR-fixes-OI-pts")
+}
+
+// Figure 5: peak utilization vs load, AssignPaths against LSD-to-MSD,
+// on the generalized hypercubes at B=64 bytes/µs.
+func BenchmarkFig5SixCubeB64(b *testing.B) { benchUtilization(b, "6cube-b64") }
+func BenchmarkFig5GHC444B64(b *testing.B)  { benchUtilization(b, "ghc444-b64") }
+
+// Figure 6: the same sweeps on the tori at B=64 bytes/µs.
+func BenchmarkFig6Torus88B64(b *testing.B)  { benchUtilization(b, "torus88-b64") }
+func BenchmarkFig6Torus444B64(b *testing.B) { benchUtilization(b, "torus444-b64") }
+
+// Figure 7: DVB on the binary 6-cube — wormhole OI spikes vs scheduled
+// routing, at both bandwidths.
+func BenchmarkFig7SixCubeB64(b *testing.B)  { benchPerf(b, "6cube-b64") }
+func BenchmarkFig7SixCubeB128(b *testing.B) { benchPerf(b, "6cube-b128") }
+
+// Figure 8: DVB on GHC(4,4,4).
+func BenchmarkFig8GHC444B64(b *testing.B)  { benchPerf(b, "ghc444-b64") }
+func BenchmarkFig8GHC444B128(b *testing.B) { benchPerf(b, "ghc444-b128") }
+
+// Figure 9: DVB on the 8x8 torus at B=128 bytes/µs (the panel with the
+// paper's message-interval allocation failures).
+func BenchmarkFig9Torus88B128(b *testing.B) { benchPerf(b, "torus88-b128") }
+
+// Figure 10: DVB on the 4x4x4 torus at B=128 bytes/µs.
+func BenchmarkFig10Torus444B128(b *testing.B) { benchPerf(b, "torus444-b128") }
+
+// BenchmarkOIClaim exercises the Section 3 two-message construction:
+// the shared-channel FCFS interaction that alternates output intervals.
+func BenchmarkOIClaim(b *testing.B) {
+	gb := tfg.NewBuilder("claim")
+	t1s := gb.AddTask("T1s", 100)
+	t1d := gb.AddTask("T1d", 100)
+	t2s := gb.AddTask("T2s", 100)
+	t2d := gb.AddTask("T2d", 100)
+	gb.AddMessage("M1", t1s, t1d, 512)
+	gb.AddMessage("link", t1d, t2s, 128)
+	gb.AddMessage("M2", t2s, t2d, 512)
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := topology.NewTorus(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := tfg.NewUniformTiming(g, 10, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := &alloc.Assignment{NodeOf: []topology.NodeID{0, 3, 1, 4}}
+	oi := false
+	for i := 0; i < b.N; i++ {
+		res, err := wormhole.Simulate(wormhole.Config{
+			Graph: g, Timing: tm, Topology: top, Assignment: as,
+			TauIn: 32, Invocations: 30, Warmup: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		oi = metrics.OutputInconsistent(32, metrics.Intervals(res.OutputCompletions), 1e-6)
+	}
+	if !oi {
+		b.Fatal("claim construction lost its inconsistency")
+	}
+}
+
+// dvbSixCubeProblem is the shared fixture for the ablation benches.
+func dvbSixCubeProblem(b *testing.B, tauIn float64) schedule.Problem {
+	b.Helper()
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return schedule.Problem{Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: tauIn}
+}
+
+// Ablation: full AssignPaths vs frozen LSD-to-MSD paths. Reports the
+// peak utilization each achieves at a moderate load.
+func BenchmarkAblationAssignPaths(b *testing.B) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := schedule.Compute(p, schedule.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.Peak
+	}
+	b.ReportMetric(peak, "peakU")
+}
+
+func BenchmarkAblationLSDOnly(b *testing.B) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := schedule.Compute(p, schedule.Options{Seed: 1, LSDOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.Peak
+	}
+	b.ReportMetric(peak, "peakU")
+}
+
+// Ablation: exact (LP over maximal link-feasible sets) vs greedy
+// interval scheduling.
+func BenchmarkAblationEngineExact(b *testing.B) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Compute(p, schedule.Options{Seed: 1, Engine: schedule.EngineExact}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEngineGreedy(b *testing.B) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Compute(p, schedule.Options{Seed: 1, Engine: schedule.EngineGreedy}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: path-diversity cap — how many equivalent shortest paths
+// AssignPaths may consider per message.
+func BenchmarkAblationMaxPaths4(b *testing.B)  { benchMaxPaths(b, 4) }
+func BenchmarkAblationMaxPaths24(b *testing.B) { benchMaxPaths(b, 24) }
+
+func benchMaxPaths(b *testing.B, maxPaths int) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := schedule.Compute(p, schedule.Options{Seed: 1, MaxPaths: maxPaths})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.Peak
+	}
+	b.ReportMetric(peak, "peakU")
+}
+
+// Ablation: the paper's "stricter model" — each physical channel
+// multiplexed between two virtual channels, halving per-message
+// bandwidth. Reports OI load points with and without it.
+func BenchmarkAblationStrictVC(b *testing.B)   { benchVCModel(b, true) }
+func BenchmarkAblationStandardVC(b *testing.B) { benchVCModel(b, false) }
+
+func benchVCModel(b *testing.B, strict bool) {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var oi int
+	for i := 0; i < b.N; i++ {
+		oi = 0
+		for k := 0; k < 12; k++ {
+			tauIn := tm.TauC() * (1 + 4*float64(k)/11)
+			res, err := wormhole.Simulate(wormhole.Config{
+				Graph: g, Timing: tm, Topology: top, Assignment: as,
+				TauIn: tauIn, Invocations: 16, Warmup: 8, StrictVC: strict,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Deadlocked || metrics.OutputInconsistent(tauIn, metrics.Intervals(res.OutputCompletions), 1e-6) {
+				oi++
+			}
+		}
+	}
+	b.ReportMetric(float64(oi), "OI-pts")
+}
+
+// Ablation: window length. The paper gives every message a window of
+// τc; the alternative of no-slack windows (= transmission time) lowers
+// latency but destroys schedulability. Reports feasible grid points.
+func BenchmarkAblationWindowTauC(b *testing.B)    { benchWindow(b, 0) } // 0 = default τc
+func BenchmarkAblationWindowNoSlack(b *testing.B) { benchWindow(b, 25) }
+
+func benchWindow(b *testing.B, window float64) {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 128) // τm = 25: window 25 means zero slack
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var feasible int
+	var latency float64
+	for i := 0; i < b.N; i++ {
+		feasible = 0
+		for k := 0; k < 12; k++ {
+			tauIn := tm.TauC() * (1 + 4*float64(k)/11)
+			res, err := schedule.Compute(schedule.Problem{
+				Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: tauIn,
+			}, schedule.Options{Seed: 1, Window: window})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Feasible {
+				feasible++
+				latency = res.Latency
+			}
+		}
+	}
+	b.ReportMetric(float64(feasible), "feasible-pts")
+	b.ReportMetric(latency, "latency-µs")
+}
+
+// Ablation: adaptive cut-through path selection vs deterministic
+// LSD-to-MSD under wormhole routing — the paper's Section 3 argues OI
+// persists either way. Reports OI load points.
+func BenchmarkAblationAdaptiveWR(b *testing.B)      { benchRoutingPolicy(b, true) }
+func BenchmarkAblationDeterministicWR(b *testing.B) { benchRoutingPolicy(b, false) }
+
+func benchRoutingPolicy(b *testing.B, adaptive bool) {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var oi int
+	for i := 0; i < b.N; i++ {
+		oi = 0
+		for k := 0; k < 12; k++ {
+			tauIn := tm.TauC() * (1 + 4*float64(k)/11)
+			res, err := wormhole.Simulate(wormhole.Config{
+				Graph: g, Timing: tm, Topology: top, Assignment: as,
+				TauIn: tauIn, Invocations: 16, Warmup: 8, Adaptive: adaptive,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Deadlocked || metrics.OutputInconsistent(tauIn, metrics.Intervals(res.OutputCompletions), 1e-6) {
+				oi++
+			}
+		}
+	}
+	if oi == 0 {
+		b.Fatal("expected OI under wormhole routing (paper Section 3)")
+	}
+	b.ReportMetric(float64(oi), "OI-pts")
+}
+
+// BenchmarkCPSimPacketReplay measures the packet-level Ω verification.
+func BenchmarkCPSimPacketReplay(b *testing.B) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	res, err := schedule.Compute(p, schedule.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Feasible {
+		b.Fatal("fixture infeasible")
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := cpsim.Run(cpsim.Config{
+			Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+			PacketBytes: 64, Bandwidth: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Violations) != 0 {
+			b.Fatal("unexpected violations")
+		}
+	}
+}
+
+// Ablation: allocator quality — the peak utilization AssignPaths
+// reaches from round-robin vs simulated-annealing placements at the
+// paper's feasibility-threshold load.
+func BenchmarkAblationAllocRoundRobin(b *testing.B) { benchAllocator(b, "rr") }
+func BenchmarkAblationAllocAnneal(b *testing.B)     { benchAllocator(b, "anneal") }
+
+func benchAllocator(b *testing.B, which string) {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var as *alloc.Assignment
+	switch which {
+	case "rr":
+		as, err = alloc.RoundRobin(g, top)
+	case "anneal":
+		as, err = alloc.Anneal(g, top, alloc.AnnealOptions{Seed: 1, Steps: 6000})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := schedule.Problem{Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: 50} // maximum load, where placement quality shows
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := schedule.Compute(p, schedule.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.Peak
+	}
+	b.ReportMetric(peak, "peakU")
+}
+
+// Component benchmarks.
+
+func BenchmarkWormholeSimSixCube(b *testing.B) {
+	p := dvbSixCubeProblem(b, 75)
+	for i := 0; i < b.N; i++ {
+		if _, err := wormhole.Simulate(wormhole.Config{
+			Graph: p.Graph, Timing: p.Timing, Topology: p.Topology, Assignment: p.Assignment,
+			TauIn: p.TauIn, Invocations: 20, Warmup: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleComputeSixCube(b *testing.B) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Compute(p, schedule.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestPathEnumeration(b *testing.B) {
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if got := top.ShortestPaths(0, 63, 24); len(got) != 24 {
+			b.Fatalf("got %d paths", len(got))
+		}
+	}
+}

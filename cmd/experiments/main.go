@@ -1,0 +1,106 @@
+// Command experiments regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	experiments -fig 7        # one figure (5..10)
+//	experiments -all          # all six figures
+//	experiments -list         # show the figure → configuration map
+//
+// Figures 5 and 6 print peak-utilization tables (AssignPaths vs
+// LSD-to-MSD); figures 7-10 print wormhole-vs-scheduled-routing
+// throughput/latency tables with output-inconsistency spikes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedroute/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (5..10)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	list := flag.Bool("list", false, "list figures and their configurations")
+	invocations := flag.Int("invocations", 40, "wormhole invocations to simulate per load point")
+	warmup := flag.Int("warmup", 20, "wormhole invocations to discard before measuring")
+	seed := flag.Int64("seed", 1, "AssignPaths random-restart seed")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintln(os.Stderr, "experiments: -format must be table or csv")
+		os.Exit(2)
+	}
+
+	if *list {
+		for id := 5; id <= 10; id++ {
+			keys, _ := experiments.Figure(id)
+			kind := "throughput/latency"
+			if experiments.IsUtilizationFigure(id) {
+				kind = "peak utilization"
+			}
+			fmt.Printf("fig %-2d (%s): %v\n", id, kind, keys)
+		}
+		return
+	}
+
+	var figs []int
+	switch {
+	case *all:
+		figs = []int{5, 6, 7, 8, 9, 10}
+	case *fig >= 5 && *fig <= 10:
+		figs = []int{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: pass -fig 5..10, -all or -list")
+		os.Exit(2)
+	}
+
+	cfgs, err := experiments.StandardConfigs()
+	if err != nil {
+		fatal(err)
+	}
+	for _, id := range figs {
+		keys, _ := experiments.Figure(id)
+		if *format == "table" {
+			fmt.Printf("==== Figure %d ====\n", id)
+		}
+		for _, key := range keys {
+			cfg := cfgs[key]
+			cfg.Seed = *seed
+			cfg.Invocations = *invocations
+			cfg.Warmup = *warmup
+			if experiments.IsUtilizationFigure(id) {
+				s, err := experiments.UtilizationSweep(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				write := experiments.WriteUtilization
+				if *format == "csv" {
+					write = experiments.WriteUtilizationCSV
+				}
+				if err := write(os.Stdout, s); err != nil {
+					fatal(err)
+				}
+			} else {
+				s, err := experiments.PerfSweep(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				write := experiments.WritePerf
+				if *format == "csv" {
+					write = experiments.WritePerfCSV
+				}
+				if err := write(os.Stdout, s); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command srsched computes a scheduled-routing communication schedule Ω
+// for a task-flow graph on a multicomputer topology and reports the
+// result: message time bounds, peak utilization, and per-node switching
+// schedules.
+//
+// Usage:
+//
+//	srsched -tfg dvb:4 -topo cube:6 -bw 64 -tauin 141
+//	srsched -tfg graph.json -topo torus:8,8 -bw 128 -tauin 75 -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedroute/internal/cliutil"
+	"schedroute/internal/cpsim"
+	"schedroute/internal/gantt"
+	"schedroute/internal/schedule"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+func main() {
+	tfgSpec := flag.String("tfg", "dvb:4", "TFG: dvb:N, chain:N, fan:N or a JSON file")
+	topoSpec := flag.String("topo", "cube:6", "topology: cube:D, ghc:..., torus:..., mesh:...")
+	bw := flag.Float64("bw", 64, "link bandwidth in bytes/µs")
+	tauIn := flag.Float64("tauin", 0, "invocation period in µs (0 = τc, maximum load)")
+	speed := flag.Float64("speed", 0, "processor speed in ops/µs (0 = uniform τc=50µs tasks)")
+	allocName := flag.String("alloc", "rr", "task allocator: rr, greedy or random")
+	seed := flag.Int64("seed", 1, "seed for AssignPaths and random allocation")
+	lsdOnly := flag.Bool("lsd", false, "skip AssignPaths, keep LSD-to-MSD paths")
+	dump := flag.Bool("dump", false, "print every node switching schedule")
+	margin := flag.Float64("margin", 0, "CP clock-skew margin in µs (Section 7)")
+	retries := flag.Int("retries", 0, "AssignPaths feedback retries on downstream failure")
+	save := flag.String("save", "", "write the computed Ω as JSON to this file")
+	packets := flag.Int("verify-packets", 0, "re-verify Ω by packet-level CP simulation with this packet size (bytes)")
+	chart := flag.Bool("gantt", false, "render the frame's link occupancy as an ASCII chart")
+	shared := flag.Bool("shared", false, "allow several tasks per node (AP-sharing node schedule)")
+	flag.Parse()
+
+	g, err := cliutil.LoadGraph(*tfgSpec)
+	if err != nil {
+		fatal(err)
+	}
+	top, err := cliutil.ParseTopology(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var tm *tfg.Timing
+	if *speed > 0 {
+		tm, err = tfg.NewTiming(g, *speed, *bw)
+	} else {
+		tm, err = tfg.NewUniformTiming(g, 50, *bw)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	as, err := cliutil.ParseAllocator(*allocName, g, top, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	period := *tauIn
+	if period == 0 {
+		period = tm.TauC()
+	}
+
+	res, err := schedule.Compute(schedule.Problem{
+		Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: period,
+	}, schedule.Options{Seed: *seed, LSDOnly: *lsdOnly, SyncMargin: *margin, Retries: *retries, AllowSharedNodes: *shared})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("TFG %s: %d tasks, %d messages; topology %s (%d links)\n",
+		g.Name(), g.NumTasks(), g.NumMessages(), top, top.Links())
+	fmt.Printf("τc = %g µs, τm = %g µs, τin = %g µs (load %.4f)\n",
+		tm.TauC(), tm.TauM(), period, tm.TauC()/period)
+	fmt.Printf("peak utilization: LSD-to-MSD %.4f, after AssignPaths %.4f\n",
+		res.PeakLSD, res.Peak)
+	if !res.Feasible {
+		fmt.Printf("INFEASIBLE at stage: %s\n", res.FailStage)
+		os.Exit(1)
+	}
+	fmt.Printf("FEASIBLE: %d intervals, %d slices, %d switching commands, latency %g µs (%.4f× critical path)\n",
+		res.Intervals.K(), len(res.Slices), res.Omega.NumCommands(), res.Latency, normLatency(res, g, tm))
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := schedule.EncodeOmega(f, res.Omega); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Ω written to %s\n", *save)
+	}
+	if *packets > 0 {
+		out, err := cpsim.Run(cpsim.Config{
+			Omega: res.Omega, Graph: g, Topology: top,
+			PacketBytes: *packets, Bandwidth: *bw,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("packet-level CP simulation: %d packets/frame, %d violations, skew tolerance ±%.3g µs\n",
+			out.PacketsDelivered, len(out.Violations), out.MaxSkewTolerated)
+		if len(out.Violations) > 0 {
+			os.Exit(1)
+		}
+	}
+	if *chart {
+		if err := gantt.Render(os.Stdout, res.Omega, top, 80); err != nil {
+			fatal(err)
+		}
+		fmt.Println("legend:")
+		if err := gantt.Legend(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+	}
+	if *dump {
+		dumpOmega(res.Omega, top)
+	}
+}
+
+func normLatency(res *schedule.Result, g *tfg.Graph, tm *tfg.Timing) float64 {
+	cp, _ := g.CriticalPath(tm)
+	return res.Latency / cp
+}
+
+func dumpOmega(om *schedule.Omega, top *topology.Topology) {
+	for n := 0; n < top.Nodes(); n++ {
+		cmds := om.CommandsAt(topology.NodeID(n))
+		if len(cmds) == 0 {
+			continue
+		}
+		fmt.Printf("node %d:\n", n)
+		for _, c := range cmds {
+			fmt.Printf("  [%8.3f, %8.3f) msg %-3d %s -> %s\n", c.Start, c.End, c.Msg, c.In, c.Out)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "srsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Capacity: compile-time admission control. One of scheduled routing's
+// selling points (Section 7) is that it "enables prediction of system
+// performance at compile-time by deciding if the network meets the
+// communication requirements". This example asks, for each topology:
+// what is the fastest input rate the DVB pipeline can be guaranteed at?
+// It binary-searches the admissible period over the scheduled-routing
+// pipeline and prints the resulting guaranteed frame rates.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/schedule"
+	"schedroute/internal/topology"
+)
+
+func main() {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type machine struct {
+		name string
+		top  *topology.Topology
+		bw   float64
+	}
+	machines := []machine{
+		{"binary 6-cube @ 64 B/µs", mustCube(6), 64},
+		{"binary 6-cube @ 128 B/µs", mustCube(6), 128},
+		{"GHC(4,4,4) @ 64 B/µs", mustGHC(4, 4, 4), 64},
+		{"8x8 torus @ 128 B/µs", mustTorus(8, 8), 128},
+		{"4x4x4 torus @ 128 B/µs", mustTorus(4, 4, 4), 128},
+	}
+
+	fmt.Println("guaranteed sustainable input periods for the DVB pipeline")
+	fmt.Println("(smallest τin on the paper's 12-point grid with a feasible Ω)")
+	fmt.Println()
+	for _, m := range machines {
+		tm, err := dvb.Timing(g, m.bw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		as, err := alloc.RoundRobin(g, m.top)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := -1.0
+		// Walk the paper's grid from the fastest rate down; take the
+		// first (smallest) period that admits a schedule.
+		for k := 0; k < 12; k++ {
+			tauIn := tm.TauC() * (1 + 4*float64(k)/11)
+			res, err := schedule.Compute(schedule.Problem{
+				Graph: g, Timing: tm, Topology: m.top, Assignment: as, TauIn: tauIn,
+			}, schedule.Options{Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Feasible {
+				best = tauIn
+				break
+			}
+		}
+		if best < 0 {
+			fmt.Printf("  %-28s no guaranteed rate (utilization above 1 at every grid period)\n", m.name)
+			continue
+		}
+		fmt.Printf("  %-28s τin >= %6.1f µs  (%.1f frames/sec at 1 frame per invocation)\n",
+			m.name, best, 1e6/best)
+	}
+	fmt.Println()
+	fmt.Println("Wormhole routing offers no such admission test: the same")
+	fmt.Println("question can only be answered by simulating and observing jitter.")
+}
+
+func mustCube(d int) *topology.Topology {
+	t, err := topology.NewHypercube(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func mustGHC(r ...int) *topology.Topology {
+	t, err := topology.NewGHC(r...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func mustTorus(r ...int) *topology.Topology {
+	t, err := topology.NewTorus(r...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}

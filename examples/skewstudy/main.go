@@ -1,0 +1,84 @@
+// Skewstudy: how tightly must communication processors be synchronized?
+// Scheduled routing's guarantees assume CPs execute their switching
+// schedules in lockstep; the paper's Section 7 proposes waiting out at
+// least twice the maximum clock difference before each transmission.
+// This example computes a DVB schedule, then injects increasing random
+// clock skew into the packet-level CP simulator and reports when the
+// schedule starts to break — and how much tolerance a sync margin buys.
+//
+//	go run ./examples/skewstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/cpsim"
+	"schedroute/internal/dvb"
+	"schedroute/internal/schedule"
+	"schedroute/internal/topology"
+)
+
+func main() {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 128) // slack-rich regime so margins fit
+	if err != nil {
+		log.Fatal(err)
+	}
+	as, err := alloc.Greedy(g, top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := schedule.Problem{
+		Graph: g, Timing: tm, Topology: top, Assignment: as,
+		TauIn: 50 * (1 + 4.0*8/11), // load 0.256
+	}
+
+	for _, guard := range []float64{0, 2} {
+		res, err := schedule.Compute(prob, schedule.Options{Seed: 1, SyncMargin: guard})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Feasible {
+			fmt.Printf("guard %.0f µs: infeasible (%s)\n", guard, res.FailStage)
+			continue
+		}
+		fmt.Printf("schedule with sync margin %.0f µs, CPs applying guard %.0f µs (latency %.0f µs):\n",
+			guard, guard, res.Latency)
+		rng := rand.New(rand.NewSource(7))
+		for _, bound := range []float64{0, 0.5, 1, 2, 4} {
+			skew := make([]float64, top.Nodes())
+			for i := range skew {
+				skew[i] = (rng.Float64()*2 - 1) * bound
+			}
+			out, err := cpsim.Run(cpsim.Config{
+				Omega: res.Omega, Graph: g, Topology: top,
+				PacketBytes: 64, Bandwidth: 128, Skew: skew, Guard: guard,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := "clean"
+			if len(out.Violations) > 0 {
+				status = fmt.Sprintf("%d reservation violations", len(out.Violations))
+			}
+			fmt.Printf("  clock skew ±%-5.1f µs: %s\n", bound, status)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Without a guard, any differential skew breaks the reservations.")
+	fmt.Println("With the source CPs waiting out a guard interval (and schedules")
+	fmt.Println("computed with a matching sync margin), skews up to half the")
+	fmt.Println("guard pass cleanly — the paper's 'at least twice the maximum")
+	fmt.Println("clock difference' rule. Beyond that bound violations reappear,")
+	fmt.Println("so the guard must be sized for the worst clock difference.")
+}

@@ -1,0 +1,92 @@
+// Vision: the paper's motivating scenario end to end. The DARPA Vision
+// Benchmark task-flow graph is pipelined on a binary 6-cube; the example
+// sweeps the input arrival period and reports, per load point, whether
+// wormhole routing sustains the input rate (and with what jitter) and
+// whether scheduled routing finds a contention-free schedule.
+//
+//	go run ./examples/vision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/metrics"
+	"schedroute/internal/schedule"
+	"schedroute/internal/topology"
+	"schedroute/internal/wormhole"
+)
+
+func main() {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 64) // communication-intensive: τm = τc
+	if err != nil {
+		log.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, chain := g.CriticalPath(tm)
+	fmt.Printf("DVB with %d object models: %d tasks, %d messages\n",
+		dvb.DefaultModels, g.NumTasks(), g.NumMessages())
+	fmt.Printf("critical path %.0f µs through %d tasks; τc = %.0f µs, τm = %.0f µs\n\n",
+		cp, len(chain), tm.TauC(), tm.TauM())
+
+	fmt.Printf("%-22s %-30s %-20s\n", "camera frame period", "wormhole routing", "scheduled routing")
+	for _, tauIn := range []float64{50, 75, 100, 141, 200, 250} {
+		wres, err := wormhole.Simulate(wormhole.Config{
+			Graph: g, Timing: tm, Topology: top, Assignment: as,
+			TauIn: tauIn, Invocations: 30, Warmup: 15,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var wr string
+		if wres.Deadlocked {
+			wr = "deadlock"
+		} else {
+			ivs := metrics.Intervals(wres.OutputCompletions)
+			if metrics.OutputInconsistent(tauIn, ivs, 1e-6) {
+				sp := metrics.Summarize(ivs)
+				if sp.Max-sp.Min < 1e-6 {
+					wr = fmt.Sprintf("SATURATED (outputs every %.0f µs)", sp.Mid)
+				} else {
+					wr = fmt.Sprintf("INCONSISTENT (%.0f–%.0f µs)", sp.Min, sp.Max)
+				}
+			} else {
+				wr = "steady"
+			}
+		}
+
+		sres, err := schedule.Compute(schedule.Problem{
+			Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: tauIn,
+		}, schedule.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr := fmt.Sprintf("infeasible (%s)", sres.FailStage)
+		if sres.Feasible {
+			sr = fmt.Sprintf("guaranteed, latency %.0f µs", sres.Latency)
+		}
+		fmt.Printf("%-22s %-30s %-20s\n",
+			fmt.Sprintf("%.0f µs (load %.2f)", tauIn, tm.TauC()/tauIn), wr, sr)
+	}
+
+	fmt.Println("\nThe crossover is the paper's point: as the frame rate rises,")
+	fmt.Println("wormhole routing first jitters (output inconsistency), while")
+	fmt.Println("scheduled routing either guarantees the rate or says at compile")
+	fmt.Println("time that the network cannot support it. Feasibility is not")
+	fmt.Println("monotone in the period: the frame-relative alignment of message")
+	fmt.Println("windows changes with τin, so a slower rate can be harder to")
+	fmt.Println("schedule than a faster one (the paper's Fig. 9 shows the same).")
+}

@@ -1,0 +1,3 @@
+module schedroute
+
+go 1.22

@@ -1,0 +1,165 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// AnnealOptions tunes the simulated-annealing allocator.
+type AnnealOptions struct {
+	// Seed makes the search deterministic.
+	Seed int64
+	// Steps is the number of proposed moves (default 20000).
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule
+	// (defaults 1.0 and 0.001, in units of normalized cost).
+	StartTemp float64
+	EndTemp   float64
+}
+
+// Anneal searches placements by simulated annealing, minimizing a
+// contention proxy for scheduled routing: the sum of squared per-link
+// byte loads under LSD-to-MSD routing. Squaring penalizes hot links —
+// precisely what drives peak utilization, the quantity that decides
+// whether a communication schedule exists. Moves swap two tasks or
+// relocate a task to a free node; placements stay exclusive.
+func Anneal(g *tfg.Graph, top *topology.Topology, opt AnnealOptions) (*Assignment, error) {
+	if g.NumTasks() > top.Nodes() {
+		return nil, fmt.Errorf("alloc: %d tasks exceed %d nodes", g.NumTasks(), top.Nodes())
+	}
+	if opt.Steps == 0 {
+		opt.Steps = 20000
+	}
+	if opt.Steps < 1 {
+		return nil, fmt.Errorf("alloc: non-positive step count %d", opt.Steps)
+	}
+	if opt.StartTemp == 0 {
+		opt.StartTemp = 1.0
+	}
+	if opt.EndTemp == 0 {
+		opt.EndTemp = 0.001
+	}
+	if opt.StartTemp < opt.EndTemp || opt.EndTemp <= 0 {
+		return nil, fmt.Errorf("alloc: bad temperature range [%g, %g]", opt.EndTemp, opt.StartTemp)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	cur, err := Random(g, top, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nodeTask := make([]int, top.Nodes()) // node -> task+1, 0 = free
+	for t, n := range cur.NodeOf {
+		nodeTask[n] = t + 1
+	}
+
+	linkLoad := make([]float64, top.Links())
+	cost := func() float64 {
+		for i := range linkLoad {
+			linkLoad[i] = 0
+		}
+		for _, m := range g.Messages() {
+			src, dst := cur.NodeOf[m.Src], cur.NodeOf[m.Dst]
+			if src == dst {
+				continue
+			}
+			p := top.LSDToMSD(src, dst)
+			links, err := p.Links(top)
+			if err != nil {
+				continue
+			}
+			for _, l := range links {
+				linkLoad[l] += float64(m.Bytes)
+			}
+		}
+		sum := 0.0
+		for _, v := range linkLoad {
+			sum += v * v
+		}
+		return sum
+	}
+
+	curCost := cost()
+	norm := curCost // normalizes temperatures to the initial cost scale
+	if norm == 0 {
+		return cur, nil
+	}
+	best := &Assignment{NodeOf: append([]topology.NodeID(nil), cur.NodeOf...)}
+	bestCost := curCost
+	cooling := math.Pow(opt.EndTemp/opt.StartTemp, 1/float64(opt.Steps))
+	temp := opt.StartTemp
+
+	for step := 0; step < opt.Steps; step++ {
+		t1 := rng.Intn(g.NumTasks())
+		n1 := cur.NodeOf[t1]
+		n2 := topology.NodeID(rng.Intn(top.Nodes()))
+		if n1 == n2 {
+			temp *= cooling
+			continue
+		}
+		occupant := nodeTask[n2] - 1
+		// Apply: move t1 to n2, and the occupant (if any) to n1.
+		cur.NodeOf[t1] = n2
+		nodeTask[n2] = t1 + 1
+		if occupant >= 0 {
+			cur.NodeOf[occupant] = n1
+			nodeTask[n1] = occupant + 1
+		} else {
+			nodeTask[n1] = 0
+		}
+		newCost := cost()
+		accept := newCost <= curCost
+		if !accept {
+			delta := (newCost - curCost) / norm
+			accept = rng.Float64() < math.Exp(-delta/temp)
+		}
+		if accept {
+			curCost = newCost
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(best.NodeOf, cur.NodeOf)
+			}
+		} else {
+			// Revert.
+			cur.NodeOf[t1] = n1
+			nodeTask[n1] = t1 + 1
+			if occupant >= 0 {
+				cur.NodeOf[occupant] = n2
+				nodeTask[n2] = occupant + 1
+			} else {
+				nodeTask[n2] = 0
+			}
+		}
+		temp *= cooling
+	}
+	return best, nil
+}
+
+// LinkLoadCost exposes the annealer's objective for a given placement,
+// so callers can compare allocator quality.
+func LinkLoadCost(g *tfg.Graph, top *topology.Topology, a *Assignment) float64 {
+	load := make([]float64, top.Links())
+	for _, m := range g.Messages() {
+		src, dst := a.NodeOf[m.Src], a.NodeOf[m.Dst]
+		if src == dst {
+			continue
+		}
+		p := top.LSDToMSD(src, dst)
+		links, err := p.Links(top)
+		if err != nil {
+			continue
+		}
+		for _, l := range links {
+			load[l] += float64(m.Bytes)
+		}
+	}
+	sum := 0.0
+	for _, v := range load {
+		sum += v * v
+	}
+	return sum
+}

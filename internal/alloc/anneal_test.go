@@ -1,0 +1,87 @@
+package alloc
+
+import (
+	"testing"
+
+	"schedroute/internal/dvb"
+	"schedroute/internal/topology"
+)
+
+func TestAnnealImprovesOnRandom(t *testing.T) {
+	g, top := fixtures(t)
+	random, err := Random(g, top, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed, err := Anneal(g, top, AnnealOptions{Seed: 5, Steps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := annealed.Validate(g, top, true); err != nil {
+		t.Fatal(err)
+	}
+	rc := LinkLoadCost(g, top, random)
+	ac := LinkLoadCost(g, top, annealed)
+	if ac > rc {
+		t.Errorf("annealing worsened the contention proxy: %g > %g", ac, rc)
+	}
+	if ac == 0 {
+		t.Log("annealing reached a fully local placement")
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	g, top := fixtures(t)
+	a, err := Anneal(g, top, AnnealOptions{Seed: 9, Steps: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(g, top, AnnealOptions{Seed: 9, Steps: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.NodeOf {
+		if a.NodeOf[i] != b.NodeOf[i] {
+			t.Fatal("annealing not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	g, top := fixtures(t)
+	if _, err := Anneal(g, top, AnnealOptions{Steps: -1}); err == nil {
+		t.Error("negative steps should fail")
+	}
+	if _, err := Anneal(g, top, AnnealOptions{StartTemp: 0.001, EndTemp: 1}); err == nil {
+		t.Error("inverted temperatures should fail")
+	}
+	small, err := topology.NewHypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anneal(g, small, AnnealOptions{}); err == nil {
+		t.Error("oversubscription should fail")
+	}
+}
+
+func TestAnnealBeatsRoundRobinOnDVB(t *testing.T) {
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RoundRobin(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Anneal(g, top, AnnealOptions{Seed: 1, Steps: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac, rc := LinkLoadCost(g, top, an), LinkLoadCost(g, top, rr); ac >= rc {
+		t.Errorf("annealing (%g) should beat round-robin (%g) on the contention proxy", ac, rc)
+	}
+}

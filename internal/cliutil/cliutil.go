@@ -1,0 +1,103 @@
+// Package cliutil holds the small parsing helpers shared by the
+// command-line tools: topology specifications like "ghc:4,4,4" or
+// "torus:8,8", allocator names, and TFG loading.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// ParseTopology builds a topology from a spec string:
+//
+//	cube:D        binary hypercube of dimension D
+//	ghc:M1,M2,..  generalized hypercube
+//	torus:K1,K2,… k-ary n-cube torus
+//	mesh:K1,K2,…  mesh
+func ParseTopology(spec string) (*topology.Topology, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology spec %q: want kind:radices", spec)
+	}
+	var radices []int
+	for _, part := range strings.Split(rest, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("topology spec %q: %w", spec, err)
+		}
+		radices = append(radices, v)
+	}
+	switch kind {
+	case "cube":
+		if len(radices) != 1 {
+			return nil, fmt.Errorf("cube spec wants a single dimension, got %q", spec)
+		}
+		return topology.NewHypercube(radices[0])
+	case "ghc":
+		return topology.NewGHC(radices...)
+	case "torus":
+		return topology.NewTorus(radices...)
+	case "mesh":
+		return topology.NewMesh(radices...)
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", kind)
+	}
+}
+
+// ParseAllocator places g on top using the named strategy: "rr"
+// (round-robin, the experiments' default), "greedy", "random" (with
+// the given seed), or "anneal" (simulated annealing on the link-load
+// proxy).
+func ParseAllocator(name string, g *tfg.Graph, top *topology.Topology, seed int64) (*alloc.Assignment, error) {
+	switch name {
+	case "rr", "roundrobin":
+		return alloc.RoundRobin(g, top)
+	case "greedy":
+		return alloc.Greedy(g, top)
+	case "random":
+		return alloc.Random(g, top, seed)
+	case "anneal":
+		return alloc.Anneal(g, top, alloc.AnnealOptions{Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown allocator %q (want rr, greedy, random or anneal)", name)
+	}
+}
+
+// LoadGraph reads a TFG: either a built-in spec ("dvb:4", "chain:8",
+// "fan:6", "fft:3", "stencil:4") or a path to a JSON file produced by
+// tfggen.
+func LoadGraph(spec string) (*tfg.Graph, error) {
+	if kind, rest, ok := strings.Cut(spec, ":"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("graph spec %q: %w", spec, err)
+		}
+		switch kind {
+		case "dvb":
+			return dvb.New(n)
+		case "chain":
+			return tfg.Chain(n, 1925, 1536)
+		case "fan":
+			return tfg.FanOutIn(n, 1925, 1536)
+		case "fft":
+			return tfg.FFT(n, 1925, 1536)
+		case "stencil":
+			return tfg.Stencil(n, 1925, 1536, 384)
+		default:
+			return nil, fmt.Errorf("unknown graph kind %q", kind)
+		}
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tfg.Decode(f)
+}

@@ -1,0 +1,117 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int
+		kind  topology.Kind
+	}{
+		{"cube:6", 64, topology.KindGHC},
+		{"ghc:4,4,4", 64, topology.KindGHC},
+		{"torus:8,8", 64, topology.KindTorus},
+		{"mesh:4,4", 16, topology.KindMesh},
+	}
+	for _, c := range cases {
+		top, err := ParseTopology(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if top.Nodes() != c.nodes || top.Kind() != c.kind {
+			t.Errorf("%s: got %d nodes kind %v", c.spec, top.Nodes(), top.Kind())
+		}
+	}
+}
+
+func TestParseTopologyRejects(t *testing.T) {
+	for _, spec := range []string{"", "cube", "cube:", "cube:x", "cube:2,2", "blob:4", "torus:4,oops"} {
+		if _, err := ParseTopology(spec); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestParseAllocator(t *testing.T) {
+	g, err := tfg.Chain(4, 100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rr", "roundrobin", "greedy", "random", "anneal"} {
+		a, err := ParseAllocator(name, g, top, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := a.Validate(g, top, true); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ParseAllocator("nope", g, top, 0); err == nil {
+		t.Error("unknown allocator should fail")
+	}
+}
+
+func TestLoadGraphBuiltins(t *testing.T) {
+	cases := []struct {
+		spec  string
+		tasks int
+	}{
+		{"dvb:4", 15},
+		{"chain:5", 5},
+		{"fan:3", 5},
+	}
+	for _, c := range cases {
+		g, err := LoadGraph(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.NumTasks() != c.tasks {
+			t.Errorf("%s: %d tasks, want %d", c.spec, g.NumTasks(), c.tasks)
+		}
+	}
+	if _, err := LoadGraph("dvb:zero"); err == nil {
+		t.Error("bad size should fail")
+	}
+	if _, err := LoadGraph("mystery:3"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	g, err := tfg.Diamond(100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tfg.Encode(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != 4 || got.NumMessages() != 4 {
+		t.Errorf("round trip wrong: %d tasks %d messages", got.NumTasks(), got.NumMessages())
+	}
+	if _, err := LoadGraph(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

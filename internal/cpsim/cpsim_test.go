@@ -1,0 +1,183 @@
+package cpsim
+
+import (
+	"math"
+	"testing"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/schedule"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// feasibleOmega computes a feasible DVB schedule on the 6-cube.
+func feasibleOmega(t *testing.T) (*schedule.Result, schedule.Problem) {
+	t.Helper()
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := schedule.Problem{Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: 50 * (1 + 4.0*5/11)}
+	res, err := schedule.Compute(p, schedule.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("setup: infeasible at %v", res.FailStage)
+	}
+	return res, p
+}
+
+func TestZeroSkewNoViolations(t *testing.T) {
+	res, p := feasibleOmega(t)
+	out, err := Run(Config{
+		Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+		PacketBytes: 64, Bandwidth: 64, Invocations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) != 0 {
+		t.Fatalf("synchronized CPs must be violation-free, got %d (first: %+v)", len(out.Violations), out.Violations[0])
+	}
+	want := 3 * ExpectedPackets(res.Omega, 64, 64)
+	if out.PacketsDelivered != want {
+		t.Errorf("delivered %d packets, want %d", out.PacketsDelivered, want)
+	}
+}
+
+func TestDeliveriesMatchAnalyticExecutor(t *testing.T) {
+	res, p := feasibleOmega(t)
+	out, err := Run(Config{
+		Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+		PacketBytes: 64, Bandwidth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := schedule.Execute(res.Omega, p.Graph, p.Timing, p.Timing.TauC(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range p.Graph.Messages() {
+		if res.Windows[m.ID].Local {
+			continue
+		}
+		if math.IsNaN(out.Deliveries[m.ID]) {
+			t.Fatalf("message %d never delivered", m.ID)
+		}
+		// Packet-level delivery tracks the analytic delivery to within
+		// one packet time (slices split at fractional interval
+		// boundaries leave sub-packet remainders).
+		pktTime := 1.0 // 64 bytes at 64 bytes/µs
+		if diff := exec.Deliveries[m.ID] - out.Deliveries[m.ID]; diff < -1e-6 || diff > pktTime+1e-6 {
+			t.Errorf("message %d: packet delivery %g vs analytic %g", m.ID, out.Deliveries[m.ID], exec.Deliveries[m.ID])
+		}
+	}
+}
+
+func TestLargeSkewViolates(t *testing.T) {
+	res, p := feasibleOmega(t)
+	skew := make([]float64, p.Topology.Nodes())
+	for i := range skew {
+		if i%2 == 0 {
+			skew[i] = 10 // half the nodes drift far ahead
+		}
+	}
+	out, err := Run(Config{
+		Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+		PacketBytes: 64, Bandwidth: 64, Skew: skew,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) == 0 {
+		t.Error("10 µs skew across multi-hop paths should break reservations")
+	}
+}
+
+func TestUniformSkewHarmless(t *testing.T) {
+	// Shifting every CP identically preserves all intersections.
+	res, p := feasibleOmega(t)
+	skew := make([]float64, p.Topology.Nodes())
+	for i := range skew {
+		skew[i] = 3.5
+	}
+	out, err := Run(Config{
+		Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+		PacketBytes: 64, Bandwidth: 64, Skew: skew,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) != 0 {
+		t.Errorf("uniform skew must be harmless, got %d violations", len(out.Violations))
+	}
+}
+
+func TestSkewToleranceReported(t *testing.T) {
+	res, p := feasibleOmega(t)
+	out, err := Run(Config{
+		Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+		PacketBytes: 64, Bandwidth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxSkewTolerated < 0 {
+		t.Errorf("negative skew tolerance %g", out.MaxSkewTolerated)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	res, p := feasibleOmega(t)
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := Run(Config{Omega: res.Omega, Graph: p.Graph, Topology: p.Topology, Bandwidth: 0}); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if _, err := Run(Config{Omega: res.Omega, Graph: p.Graph, Topology: p.Topology, Bandwidth: 64, PacketBytes: -1}); err == nil {
+		t.Error("negative packet size should fail")
+	}
+	if _, err := Run(Config{Omega: res.Omega, Graph: p.Graph, Topology: p.Topology, Bandwidth: 64, Skew: []float64{1}}); err == nil {
+		t.Error("short skew vector should fail")
+	}
+}
+
+func TestLocalMessagesSkipNetwork(t *testing.T) {
+	// A two-task chain placed on one node: no slices, no packets, no
+	// violations.
+	g, err := tfg.Chain(2, 100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := &schedule.Omega{TauIn: 100, Windows: []schedule.Window{{Local: true, Xmit: 10}}}
+	out, err := Run(Config{Omega: om, Graph: g, Topology: top, Bandwidth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PacketsDelivered != 0 || len(out.Violations) != 0 {
+		t.Errorf("local-only schedule: %+v", out)
+	}
+	if !math.IsNaN(out.Deliveries[0]) {
+		t.Error("local message should have NaN network delivery")
+	}
+}

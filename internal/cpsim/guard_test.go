@@ -1,0 +1,111 @@
+package cpsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/schedule"
+	"schedroute/internal/topology"
+)
+
+// guardFixture computes a slack-rich DVB schedule with the given sync
+// margin, using greedy placement (single-hop paths leave room for
+// guard holds).
+func guardFixture(t *testing.T, margin float64) (*schedule.Result, schedule.Problem) {
+	t.Helper()
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := alloc.Greedy(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := schedule.Problem{
+		Graph: g, Timing: tm, Topology: top, Assignment: as,
+		TauIn: 50 * (1 + 4.0*8/11),
+	}
+	res, err := schedule.Compute(p, schedule.Options{Seed: 1, SyncMargin: margin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("setup infeasible at %v", res.FailStage)
+	}
+	return res, p
+}
+
+func randomSkew(nodes int, bound float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	skew := make([]float64, nodes)
+	for i := range skew {
+		skew[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return skew
+}
+
+// TestGuardToleratesHalfItsWidth is the Section 7 rule end to end: a
+// schedule computed with sync margin m, executed by CPs applying guard
+// m, survives any clock skew bounded by m/2.
+func TestGuardToleratesHalfItsWidth(t *testing.T) {
+	const margin = 2.0
+	res, p := guardFixture(t, margin)
+	for seed := int64(1); seed <= 5; seed++ {
+		skew := randomSkew(p.Topology.Nodes(), margin/2, seed)
+		out, err := Run(Config{
+			Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+			PacketBytes: 64, Bandwidth: 128, Skew: skew, Guard: margin,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Violations) != 0 {
+			t.Fatalf("seed %d: %d violations at skew within margin/2", seed, len(out.Violations))
+		}
+	}
+}
+
+// TestNoGuardBreaksUnderSkew: without the guard the same skew breaks
+// reservations, which is what motivates the rule.
+func TestNoGuardBreaksUnderSkew(t *testing.T) {
+	res, p := guardFixture(t, 0)
+	skew := randomSkew(p.Topology.Nodes(), 1.0, 1)
+	out, err := Run(Config{
+		Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+		PacketBytes: 64, Bandwidth: 128, Skew: skew,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) == 0 {
+		t.Error("unguarded schedule should break under ±1 µs skew")
+	}
+}
+
+// TestGuardBeyondToleranceBreaks: skew beyond margin/2 reintroduces
+// violations even with the guard.
+func TestGuardBeyondToleranceBreaks(t *testing.T) {
+	const margin = 2.0
+	res, p := guardFixture(t, margin)
+	skew := randomSkew(p.Topology.Nodes(), 4.0, 1)
+	out, err := Run(Config{
+		Omega: res.Omega, Graph: p.Graph, Topology: p.Topology,
+		PacketBytes: 64, Bandwidth: 128, Skew: skew, Guard: margin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) == 0 {
+		t.Error("skew far beyond the guard should violate reservations")
+	}
+}

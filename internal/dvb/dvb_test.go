@@ -1,0 +1,149 @@
+package dvb
+
+import (
+	"math"
+	"testing"
+
+	"schedroute/internal/tfg"
+)
+
+func TestNewShape(t *testing.T) {
+	for _, n := range []int{1, 4, 8, 16} {
+		g, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		if got, want := g.NumTasks(), 2*n+7; got != want {
+			t.Errorf("New(%d) tasks = %d, want %d", n, got, want)
+		}
+		if got, want := g.NumMessages(), 3*n+5; got != want {
+			t.Errorf("New(%d) messages = %d, want %d", n, got, want)
+		}
+		if len(g.InputTasks()) != 1 {
+			t.Errorf("New(%d) inputs = %v", n, g.InputTasks())
+		}
+		if len(g.OutputTasks()) != 1 {
+			t.Errorf("New(%d) outputs = %v", n, g.OutputTasks())
+		}
+	}
+}
+
+func TestNewRejectsZeroModels(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+}
+
+func TestMessageSizesMatchFigure1(t *testing.T) {
+	g, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int64{}
+	for _, m := range g.Messages() {
+		sizes[m.Name] = m.Bytes
+	}
+	want := map[string]int64{
+		"a0": 192, "b0": 1536, "c0": 3200,
+		"d": 1536, "f": 1536, "g": 1728, "h": 768, "i": 384,
+	}
+	for name, bytes := range want {
+		if sizes[name] != bytes {
+			t.Errorf("message %s = %d bytes, want %d", name, sizes[name], bytes)
+		}
+	}
+}
+
+func TestLongestMessageIsC(t *testing.T) {
+	g, err := New(DefaultModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBytes := int64(0)
+	for _, m := range g.Messages() {
+		if m.Bytes > maxBytes {
+			maxBytes = m.Bytes
+		}
+	}
+	if maxBytes != BytesC {
+		t.Errorf("longest message = %d bytes, want %d", maxBytes, BytesC)
+	}
+}
+
+func TestTimingCalibration(t *testing.T) {
+	g, err := New(DefaultModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At B=64 bytes/µs, τm/τc must be exactly 1 (communication intensive).
+	tm64, err := Timing(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tm64.TauM() / tm64.TauC(); math.Abs(r-1.0) > 1e-12 {
+		t.Errorf("B=64: tauM/tauC = %g, want 1", r)
+	}
+	if tm64.TauC() != 50 {
+		t.Errorf("tauC = %g, want 50", tm64.TauC())
+	}
+	// At B=128, the ratio halves.
+	tm128, err := Timing(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tm128.TauM() / tm128.TauC(); math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("B=128: tauM/tauC = %g, want 0.5", r)
+	}
+}
+
+func TestPrecedenceChain(t *testing.T) {
+	g, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]tfg.TaskID{}
+	for _, task := range g.Tasks() {
+		byName[task.Name] = task.ID
+	}
+	// input precedes everything; output follows everything.
+	for _, task := range g.Tasks() {
+		if task.Name == "input" {
+			continue
+		}
+		if !g.Precedes(byName["input"], task.ID) {
+			t.Errorf("input does not precede %s", task.Name)
+		}
+	}
+	for _, task := range g.Tasks() {
+		if task.Name == "output" {
+			continue
+		}
+		if !g.Precedes(task.ID, byName["output"]) {
+			t.Errorf("%s does not precede output", task.Name)
+		}
+	}
+	// Branches are independent of each other.
+	if g.Precedes(byName["match0"], byName["match1"]) {
+		t.Error("branches should be mutually unordered")
+	}
+}
+
+func TestCriticalPathGoesThroughBranch(t *testing.T) {
+	g, err := New(DefaultModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := Timing(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	length, chain := g.CriticalPath(tm)
+	// 8 tasks on the longest chain (input,match,verify,merge,hough,probe,
+	// refine,decide,output = 9 tasks, 8 messages).
+	if len(chain) != 9 {
+		t.Errorf("critical chain has %d tasks, want 9", len(chain))
+	}
+	if length <= 9*50.0 {
+		t.Errorf("critical path %g should exceed pure compute time", length)
+	}
+}

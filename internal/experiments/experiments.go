@@ -1,0 +1,366 @@
+// Package experiments regenerates every figure of the paper's Section 6
+// evaluation: peak-utilization sweeps for the AssignPaths heuristic
+// against LSD-to-MSD routing (Figs. 5 and 6) and wormhole-vs-scheduled
+// routing throughput/latency sweeps with output-inconsistency spikes
+// (Figs. 7-10). All experiments run the reconstructed DARPA Vision
+// Benchmark TFG over the paper's twelve input periods between τc and
+// 5τc on 64-node networks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/metrics"
+	"schedroute/internal/schedule"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+	"schedroute/internal/wormhole"
+)
+
+// NumLoadPoints is the paper's twelve input periods per sweep.
+const NumLoadPoints = 12
+
+// LoadPoint is one x-axis position: input period τin and normalized
+// load τc/τin.
+type LoadPoint struct {
+	Index int
+	TauIn float64
+	Load  float64
+}
+
+// Grid returns the twelve input periods between τc and 5τc used by
+// every sweep in the paper.
+func Grid(tauC float64) []LoadPoint {
+	pts := make([]LoadPoint, NumLoadPoints)
+	for k := 0; k < NumLoadPoints; k++ {
+		tauIn := tauC * (1 + 4*float64(k)/float64(NumLoadPoints-1))
+		pts[k] = LoadPoint{Index: k, TauIn: tauIn, Load: tauC / tauIn}
+	}
+	return pts
+}
+
+// Config describes one experiment configuration (a topology at a link
+// bandwidth).
+type Config struct {
+	Name      string
+	Topology  *topology.Topology
+	Bandwidth float64 // bytes/µs
+	// Models is the DVB object-model count (0 = dvb.DefaultModels).
+	Models int
+	// Seed drives AssignPaths restarts.
+	Seed int64
+	// Invocations/Warmup control the wormhole simulation length
+	// (defaults 40/20).
+	Invocations int
+	Warmup      int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Models == 0 {
+		out.Models = dvb.DefaultModels
+	}
+	if out.Invocations == 0 {
+		out.Invocations = 40
+	}
+	if out.Warmup == 0 {
+		out.Warmup = 20
+	}
+	return out
+}
+
+// workload instantiates the DVB problem for a config.
+func workload(cfg Config) (*tfg.Graph, *tfg.Timing, *alloc.Assignment, error) {
+	g, err := dvb.New(cfg.Models)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tm, err := dvb.Timing(g, cfg.Bandwidth)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	as, err := alloc.RoundRobin(g, cfg.Topology)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, tm, as, nil
+}
+
+// UtilizationPoint is one Fig. 5/6 sample: peak utilization under
+// LSD-to-MSD routing and after AssignPaths.
+type UtilizationPoint struct {
+	Load  float64
+	LSD   float64
+	Final float64
+}
+
+// UtilizationSeries is one curve pair of Fig. 5 or 6.
+type UtilizationSeries struct {
+	Config string
+	Points []UtilizationPoint
+}
+
+// UtilizationSweep reproduces one panel of Fig. 5/6: the minimum peak
+// utilization reached by AssignPaths versus the LSD-to-MSD baseline
+// across the twelve load points.
+func UtilizationSweep(c Config) (*UtilizationSeries, error) {
+	cfg := c.withDefaults()
+	g, tm, as, err := workload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	series := &UtilizationSeries{Config: cfg.Name}
+	for _, lp := range Grid(tm.TauC()) {
+		res, err := schedule.Compute(schedule.Problem{
+			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: lp.TauIn,
+		}, schedule.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
+		}
+		series.Points = append(series.Points, UtilizationPoint{
+			Load: lp.Load, LSD: res.PeakLSD, Final: res.Peak,
+		})
+	}
+	return series, nil
+}
+
+// PerfPoint is one Fig. 7-10 sample comparing wormhole routing and
+// scheduled routing at a load point.
+type PerfPoint struct {
+	Load  float64
+	TauIn float64
+
+	// Wormhole routing measurements.
+	WRThroughput metrics.Spike
+	WRLatency    metrics.Spike
+	WROI         bool
+	WRDeadlock   bool
+
+	// Scheduled routing outcome.
+	SRFeasible   bool
+	SRStage      schedule.Stage
+	SRPeak       float64
+	SRThroughput metrics.Spike
+	SRLatency    metrics.Spike
+}
+
+// PerfSeries is one panel of Figs. 7-10.
+type PerfSeries struct {
+	Config       string
+	CriticalPath float64
+	Points       []PerfPoint
+}
+
+// PerfSweep reproduces one panel of Figs. 7-10: wormhole routing is
+// simulated over many invocations (spikes mark output inconsistency)
+// and scheduled routing is computed and executed at each of the twelve
+// load points.
+func PerfSweep(c Config) (*PerfSeries, error) {
+	cfg := c.withDefaults()
+	g, tm, as, err := workload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cp, _ := g.CriticalPath(tm)
+	series := &PerfSeries{Config: cfg.Name, CriticalPath: cp}
+	for _, lp := range Grid(tm.TauC()) {
+		pt := PerfPoint{Load: lp.Load, TauIn: lp.TauIn}
+
+		wres, err := wormhole.Simulate(wormhole.Config{
+			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
+			TauIn: lp.TauIn, Invocations: cfg.Invocations, Warmup: cfg.Warmup,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
+		}
+		if wres.Deadlocked {
+			pt.WRDeadlock = true
+		} else {
+			ivs := metrics.Intervals(wres.OutputCompletions)
+			pt.WRThroughput = metrics.NormalizedThroughput(lp.TauIn, ivs)
+			pt.WRLatency = metrics.NormalizedLatency(cp, wres.Latencies)
+			pt.WROI = metrics.OutputInconsistent(lp.TauIn, ivs, 1e-6)
+		}
+
+		sres, err := schedule.Compute(schedule.Problem{
+			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: lp.TauIn,
+		}, schedule.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
+		}
+		pt.SRFeasible = sres.Feasible
+		pt.SRStage = sres.FailStage
+		pt.SRPeak = sres.Peak
+		if sres.Feasible {
+			exec, err := schedule.Execute(sres.Omega, g, tm, tm.TauC(), cfg.Invocations)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s load %.4f: SR execution: %w", cfg.Name, lp.Load, err)
+			}
+			ivs := metrics.Intervals(exec.OutputCompletions)
+			pt.SRThroughput = metrics.NormalizedThroughput(lp.TauIn, ivs)
+			pt.SRLatency = metrics.NormalizedLatency(cp, exec.Latencies)
+		}
+		series.Points = append(series.Points, pt)
+	}
+	return series, nil
+}
+
+// StandardConfigs returns the named configuration for each 64-node
+// network the paper evaluates.
+func StandardConfigs() (map[string]Config, error) {
+	cube, err := topology.NewHypercube(6)
+	if err != nil {
+		return nil, err
+	}
+	ghc, err := topology.NewGHC(4, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	t88, err := topology.NewTorus(8, 8)
+	if err != nil {
+		return nil, err
+	}
+	t444, err := topology.NewTorus(4, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(name string, top *topology.Topology, bw float64) Config {
+		return Config{Name: name, Topology: top, Bandwidth: bw, Seed: 1}
+	}
+	return map[string]Config{
+		"6cube-b64":     mk("binary 6-cube, B=64 bytes/µs", cube, 64),
+		"6cube-b128":    mk("binary 6-cube, B=128 bytes/µs", cube, 128),
+		"ghc444-b64":    mk("GHC(4,4,4), B=64 bytes/µs", ghc, 64),
+		"ghc444-b128":   mk("GHC(4,4,4), B=128 bytes/µs", ghc, 128),
+		"torus88-b64":   mk("8x8 torus, B=64 bytes/µs", t88, 64),
+		"torus88-b128":  mk("8x8 torus, B=128 bytes/µs", t88, 128),
+		"torus444-b64":  mk("4x4x4 torus, B=64 bytes/µs", t444, 64),
+		"torus444-b128": mk("4x4x4 torus, B=128 bytes/µs", t444, 128),
+	}, nil
+}
+
+// Figure identifies the configurations behind each paper figure.
+func Figure(id int) ([]string, bool) {
+	figs := map[int][]string{
+		5:  {"6cube-b64", "ghc444-b64"},
+		6:  {"torus88-b64", "torus444-b64"},
+		7:  {"6cube-b64", "6cube-b128"},
+		8:  {"ghc444-b64", "ghc444-b128"},
+		9:  {"torus88-b128"},
+		10: {"torus444-b128"},
+	}
+	keys, ok := figs[id]
+	return keys, ok
+}
+
+// IsUtilizationFigure reports whether the figure plots utilization
+// (Figs. 5/6) rather than throughput/latency (Figs. 7-10).
+func IsUtilizationFigure(id int) bool { return id == 5 || id == 6 }
+
+// WriteUtilization renders a Fig. 5/6 panel as the text table the paper
+// plots.
+func WriteUtilization(w io.Writer, s *UtilizationSeries) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", s.Config); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %-12s %-12s\n", "load", "U(LSD-MSD)", "U(final)"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%-10.4f %-12.4f %-12.4f\n", p.Load, p.LSD, p.Final); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePerf renders a Fig. 7-10 panel: one row per load point with the
+// wormhole spike triples (min/mid/max) and the scheduled-routing
+// outcome.
+func WritePerf(w io.Writer, s *PerfSeries) error {
+	if _, err := fmt.Fprintf(w, "# %s (critical path %.1f µs)\n", s.Config, s.CriticalPath); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-8s %-24s %-24s %-4s | %-10s %-8s %-8s",
+		"load", "WR thr min/mid/max", "WR lat min/mid/max", "OI", "SR", "SR thr", "SR lat")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		var wrThr, wrLat, oi string
+		if p.WRDeadlock {
+			wrThr, wrLat, oi = "deadlock", "deadlock", "-"
+		} else {
+			wrThr = p.WRThroughput.String()
+			wrLat = p.WRLatency.String()
+			oi = map[bool]string{true: "yes", false: "no"}[p.WROI]
+		}
+		sr := "feasible"
+		srThr, srLat := "-", "-"
+		if !p.SRFeasible {
+			sr = failTag(p.SRStage)
+		} else {
+			srThr = fmt.Sprintf("%.4g", p.SRThroughput.Mid)
+			srLat = fmt.Sprintf("%.4g", p.SRLatency.Mid)
+		}
+		if _, err := fmt.Fprintf(w, "%-8.4f %-24s %-24s %-4s | %-10s %-8s %-8s\n",
+			p.Load, wrThr, wrLat, oi, sr, srThr, srLat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteUtilizationCSV renders a Fig. 5/6 panel as CSV for external
+// plotting.
+func WriteUtilizationCSV(w io.Writer, s *UtilizationSeries) error {
+	if _, err := fmt.Fprintf(w, "config,load,u_lsd,u_final\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%q,%.6f,%.6f,%.6f\n", s.Config, p.Load, p.LSD, p.Final); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePerfCSV renders a Fig. 7-10 panel as CSV: one row per load point
+// with the wormhole spikes and the scheduled-routing outcome.
+func WritePerfCSV(w io.Writer, s *PerfSeries) error {
+	if _, err := fmt.Fprintf(w, "config,load,wr_thr_min,wr_thr_mid,wr_thr_max,wr_lat_min,wr_lat_mid,wr_lat_max,wr_oi,wr_deadlock,sr_stage,sr_peak,sr_thr,sr_lat\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		srThr, srLat := math.NaN(), math.NaN()
+		if p.SRFeasible {
+			srThr, srLat = p.SRThroughput.Mid, p.SRLatency.Mid
+		}
+		if _, err := fmt.Fprintf(w, "%q,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%t,%t,%q,%.6f,%.6f,%.6f\n",
+			s.Config, p.Load,
+			p.WRThroughput.Min, p.WRThroughput.Mid, p.WRThroughput.Max,
+			p.WRLatency.Min, p.WRLatency.Mid, p.WRLatency.Max,
+			p.WROI, p.WRDeadlock, p.SRStage.String(), p.SRPeak, srThr, srLat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func failTag(s schedule.Stage) string {
+	switch s {
+	case schedule.StageUtilization:
+		return "U>1"
+	case schedule.StageAllocation:
+		return "alloc-fail"
+	case schedule.StageIntervalSchedule:
+		return "sched-fail"
+	default:
+		return strings.ReplaceAll(s.String(), " ", "-")
+	}
+}

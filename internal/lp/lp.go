@@ -1,0 +1,339 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x (<=|=|>=) b_i   for each constraint i
+//	            x >= 0
+//
+// It is the optimization substrate behind the paper's Section 5.2
+// message-interval allocation (a pure feasibility system) and the
+// Section 5.3 interval-scheduling program (minimize the summed durations
+// of link-feasible sets). Bland's rule is used throughout, so the solver
+// cannot cycle; problems in this repository are small (at most a few
+// hundred variables), so a dense tableau is appropriate.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	// LE is a_i·x <= b_i.
+	LE Op = iota
+	// EQ is a_i·x == b_i.
+	EQ
+	// GE is a_i·x >= b_i.
+	GE
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system has no solution with x >= 0.
+	Infeasible
+	// Unbounded means the objective can decrease without bound.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+const eps = 1e-9
+
+// Problem is a linear program under construction. The zero objective
+// turns Solve into a pure feasibility check.
+type Problem struct {
+	nvars int
+	c     []float64
+	rows  []row
+}
+
+type row struct {
+	a  []float64
+	op Op
+	b  float64
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// NewProblem creates a problem with nvars decision variables, all
+// implicitly bounded below by zero, with a zero objective.
+func NewProblem(nvars int) *Problem {
+	return &Problem{nvars: nvars, c: make([]float64, nvars)}
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// SetCost sets the objective coefficient of variable j.
+func (p *Problem) SetCost(j int, v float64) {
+	p.c[j] = v
+}
+
+// AddDense adds a constraint from a dense coefficient slice of length
+// NumVars.
+func (p *Problem) AddDense(a []float64, op Op, b float64) error {
+	if len(a) != p.nvars {
+		return fmt.Errorf("lp: constraint has %d coefficients, want %d", len(a), p.nvars)
+	}
+	p.rows = append(p.rows, row{a: append([]float64(nil), a...), op: op, b: b})
+	return nil
+}
+
+// AddSparse adds a constraint from a variable→coefficient map.
+func (p *Problem) AddSparse(coeffs map[int]float64, op Op, b float64) error {
+	a := make([]float64, p.nvars)
+	for j, v := range coeffs {
+		if j < 0 || j >= p.nvars {
+			return fmt.Errorf("lp: coefficient index %d out of range", j)
+		}
+		a[j] = v
+	}
+	p.rows = append(p.rows, row{a: a, op: op, b: b})
+	return nil
+}
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// Solve runs two-phase simplex and returns the solution. When the
+// problem is Infeasible or Unbounded, X is nil.
+func (p *Problem) Solve() Solution {
+	m := len(p.rows)
+	if m == 0 {
+		// Trivially feasible at the origin.
+		return Solution{Status: Optimal, X: make([]float64, p.nvars)}
+	}
+
+	// Count auxiliary columns: one slack/surplus per inequality, one
+	// artificial per >= or = row.
+	nSlack, nArt := 0, 0
+	for _, r := range p.rows {
+		rr := r
+		if rr.b < 0 {
+			// Normalizing flips the operator.
+			switch rr.op {
+			case LE:
+				rr.op = GE
+			case GE:
+				rr.op = LE
+			}
+		}
+		if rr.op != EQ {
+			nSlack++
+		}
+		if rr.op != LE {
+			nArt++
+		}
+	}
+
+	total := p.nvars + nSlack + nArt
+	artStart := p.nvars + nSlack
+	// Tableau: m rows of total coefficients, plus rhs column.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx, artIdx := p.nvars, artStart
+	for i, r := range p.rows {
+		a := append([]float64(nil), r.a...)
+		b, op := r.b, r.op
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rowv := make([]float64, total+1)
+		copy(rowv, a)
+		rowv[total] = b
+		switch op {
+		case LE:
+			rowv[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			rowv[slackIdx] = -1
+			slackIdx++
+			rowv[artIdx] = 1
+			basis[i] = artIdx
+			artIdx++
+		case EQ:
+			rowv[artIdx] = 1
+			basis[i] = artIdx
+			artIdx++
+		}
+		tab[i] = rowv
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for j := artStart; j < total; j++ {
+			obj[j] = 1
+		}
+		// Price out the artificial basis.
+		for i, bj := range basis {
+			if bj >= artStart {
+				for j := 0; j <= total; j++ {
+					obj[j] -= tab[i][j]
+				}
+			}
+		}
+		if !simplexIterate(tab, basis, obj, total) {
+			// Phase 1 objective is bounded below by zero, so
+			// unboundedness cannot occur; treat defensively.
+			return Solution{Status: Infeasible}
+		}
+		if -obj[total] > 1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive any artificial still in the basis out (degenerate zero
+		// rows); if impossible the row is redundant.
+		for i, bj := range basis {
+			if bj < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, obj, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant constraint: zero the row to neutralize it.
+				for j := 0; j <= total; j++ {
+					tab[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns;
+	// artificial columns are frozen out by pricing them prohibitively.
+	obj := make([]float64, total+1)
+	copy(obj, p.c)
+	for i, bj := range basis {
+		if bj <= total && obj[bj] != 0 {
+			cb := obj[bj]
+			for j := 0; j <= total; j++ {
+				obj[j] -= cb * tab[i][j]
+			}
+		}
+	}
+	// Forbid artificials from re-entering.
+	barred := artStart
+
+	if !simplexIterateBarred(tab, basis, obj, total, barred) {
+		return Solution{Status: Unbounded}
+	}
+
+	x := make([]float64, p.nvars)
+	for i, bj := range basis {
+		if bj < p.nvars {
+			x[bj] = tab[i][total]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < p.nvars; j++ {
+		objVal += p.c[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objVal}
+}
+
+// simplexIterate runs primal simplex with Bland's rule until optimal;
+// returns false on unboundedness.
+func simplexIterate(tab [][]float64, basis []int, obj []float64, total int) bool {
+	return simplexIterateBarred(tab, basis, obj, total, total)
+}
+
+func simplexIterateBarred(tab [][]float64, basis []int, obj []float64, total, barred int) bool {
+	for iter := 0; ; iter++ {
+		// Entering: smallest index with negative reduced cost (Bland).
+		enter := -1
+		for j := 0; j < barred; j++ {
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return true
+		}
+		// Leaving: min ratio, ties by smallest basis index (Bland).
+		leave, best := -1, math.Inf(1)
+		for i := range tab {
+			if tab[i][enter] > eps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return false
+		}
+		pivot(tab, basis, obj, leave, enter, total)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(tab [][]float64, basis []int, obj []float64, leave, enter, total int) {
+	pv := tab[leave][enter]
+	inv := 1.0 / pv
+	for j := 0; j <= total; j++ {
+		tab[leave][j] *= inv
+	}
+	tab[leave][enter] = 1 // exactness
+	for i := range tab {
+		if i == leave {
+			continue
+		}
+		f := tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[leave][j]
+		}
+		tab[i][enter] = 0
+	}
+	f := obj[enter]
+	if f != 0 {
+		for j := 0; j <= total; j++ {
+			obj[j] -= f * tab[leave][j]
+		}
+		obj[enter] = 0
+	}
+	basis[leave] = enter
+}

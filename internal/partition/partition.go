@@ -1,0 +1,288 @@
+// Package partition implements the first step of the paper's mapping
+// chain ("partitioning, task allocation, node scheduling, and message
+// routing"): coarsening a fine-grained operation graph into the
+// large-grain tasks a TFG needs. Following the large-grain design rule
+// the paper inherits from Agrawal & Jagadish (1988), the partitioner
+// minimizes inter-task communication while keeping task sizes balanced
+// enough that the longest task — which bounds the pipeline rate 1/τc —
+// does not blow up.
+//
+// The algorithm is greedy edge contraction: repeatedly merge the pair
+// of adjacent clusters joined by the heaviest communication volume,
+// provided the merge keeps the cluster's operation count within the
+// balance budget and preserves acyclicity of the quotient graph (a
+// cyclic quotient cannot be a TFG).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"schedroute/internal/tfg"
+)
+
+// Options tunes the partitioner.
+type Options struct {
+	// MaxTasks is the number of clusters to aim for; coarsening stops
+	// once the cluster count reaches it (it may stop earlier when no
+	// legal merge remains).
+	MaxTasks int
+	// BalanceFactor bounds every cluster's operation count to
+	// BalanceFactor * ceil(totalOps/MaxTasks). Values below 1 are
+	// rejected; 0 selects the default of 1.5.
+	BalanceFactor float64
+}
+
+// Result describes a computed partition.
+type Result struct {
+	// Coarse is the quotient TFG: one task per cluster, one message per
+	// aggregated inter-cluster edge bundle.
+	Coarse *tfg.Graph
+	// ClusterOf maps every fine-grained task to its cluster index.
+	ClusterOf []int
+	// CutBytes is the total inter-cluster communication volume.
+	CutBytes int64
+	// InternalBytes is the communication volume absorbed inside
+	// clusters (zero-cost after partitioning).
+	InternalBytes int64
+}
+
+// Partition coarsens g into at most opt.MaxTasks clusters.
+func Partition(g *tfg.Graph, opt Options) (*Result, error) {
+	if opt.MaxTasks < 1 {
+		return nil, fmt.Errorf("partition: MaxTasks %d < 1", opt.MaxTasks)
+	}
+	if opt.BalanceFactor == 0 {
+		opt.BalanceFactor = 1.5
+	}
+	if opt.BalanceFactor < 1 {
+		return nil, fmt.Errorf("partition: balance factor %g < 1", opt.BalanceFactor)
+	}
+	n := g.NumTasks()
+	totalOps := int64(0)
+	for _, t := range g.Tasks() {
+		totalOps += t.Ops
+	}
+	budget := int64(float64((totalOps+int64(opt.MaxTasks)-1)/int64(opt.MaxTasks)) * opt.BalanceFactor)
+	if budget < 1 {
+		budget = 1
+	}
+
+	// Union-find over fine tasks.
+	parent := make([]int, n)
+	ops := make([]int64, n)
+	for i := range parent {
+		parent[i] = i
+		ops[i] = g.Task(tfg.TaskID(i)).Ops
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	clusters := n
+
+	// Candidate merges: inter-cluster byte volume, recomputed lazily.
+	type edge struct {
+		a, b  int
+		bytes int64
+	}
+	volume := func() []edge {
+		agg := map[[2]int]int64{}
+		for _, m := range g.Messages() {
+			ra, rb := find(int(m.Src)), find(int(m.Dst))
+			if ra == rb {
+				continue
+			}
+			key := [2]int{ra, rb}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			agg[key] += m.Bytes
+		}
+		out := make([]edge, 0, len(agg))
+		for k, v := range agg {
+			out = append(out, edge{a: k[0], b: k[1], bytes: v})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].bytes != out[j].bytes {
+				return out[i].bytes > out[j].bytes
+			}
+			if out[i].a != out[j].a {
+				return out[i].a < out[j].a
+			}
+			return out[i].b < out[j].b
+		})
+		return out
+	}
+
+	for clusters > opt.MaxTasks {
+		merged := false
+		for _, e := range volume() {
+			ra, rb := find(e.a), find(e.b)
+			if ra == rb {
+				continue
+			}
+			if ops[ra]+ops[rb] > budget {
+				continue
+			}
+			if createsCycle(g, find, ra, rb) {
+				continue
+			}
+			parent[rb] = ra
+			ops[ra] += ops[rb]
+			clusters--
+			merged = true
+			break
+		}
+		if !merged {
+			break
+		}
+	}
+
+	// Densify cluster ids in topological order of the quotient.
+	rep := map[int]int{}
+	clusterOf := make([]int, n)
+	order := quotientTopoOrder(g, find)
+	for _, r := range order {
+		if _, ok := rep[r]; !ok {
+			rep[r] = len(rep)
+		}
+	}
+	for i := 0; i < n; i++ {
+		clusterOf[i] = rep[find(i)]
+	}
+
+	// Build the coarse TFG.
+	b := tfg.NewBuilder(g.Name() + "-coarse")
+	clusterOps := make([]int64, len(rep))
+	for i := 0; i < n; i++ {
+		clusterOps[clusterOf[i]] += g.Task(tfg.TaskID(i)).Ops
+	}
+	for c := 0; c < len(rep); c++ {
+		b.AddTask(fmt.Sprintf("c%d", c), clusterOps[c])
+	}
+	agg := map[[2]int]int64{}
+	res := &Result{ClusterOf: clusterOf}
+	for _, m := range g.Messages() {
+		ca, cb := clusterOf[int(m.Src)], clusterOf[int(m.Dst)]
+		if ca == cb {
+			res.InternalBytes += m.Bytes
+			continue
+		}
+		res.CutBytes += m.Bytes
+		agg[[2]int{ca, cb}] += m.Bytes
+	}
+	keys := make([][2]int, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		b.AddMessage(fmt.Sprintf("m%d-%d", k[0], k[1]), tfg.TaskID(k[0]), tfg.TaskID(k[1]), agg[k])
+	}
+	coarse, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("partition: quotient graph invalid: %w", err)
+	}
+	res.Coarse = coarse
+	return res, nil
+}
+
+// createsCycle reports whether merging clusters ra and rb would close a
+// directed cycle in the quotient graph: true iff a path of length >= 2
+// (through at least one other cluster) connects them in either
+// direction.
+func createsCycle(g *tfg.Graph, find func(int) int, ra, rb int) bool {
+	return quotientPathAvoiding(g, find, ra, rb) || quotientPathAvoiding(g, find, rb, ra)
+}
+
+// quotientPathAvoiding reports whether some cluster path from src
+// reaches dst passing through at least one intermediate cluster.
+func quotientPathAvoiding(g *tfg.Graph, find func(int) int, src, dst int) bool {
+	// BFS over quotient edges, skipping direct src->dst hops.
+	seen := map[int]bool{}
+	var stack []int
+	for _, m := range g.Messages() {
+		ra, rb := find(int(m.Src)), find(int(m.Dst))
+		if ra == src && rb != dst && rb != src && !seen[rb] {
+			seen[rb] = true
+			stack = append(stack, rb)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.Messages() {
+			ra, rb := find(int(m.Src)), find(int(m.Dst))
+			if ra != u || rb == src {
+				continue
+			}
+			if rb == dst {
+				return true
+			}
+			if !seen[rb] {
+				seen[rb] = true
+				stack = append(stack, rb)
+			}
+		}
+	}
+	return false
+}
+
+// quotientTopoOrder returns cluster representatives in a topological
+// order of the quotient graph (which is acyclic by construction).
+func quotientTopoOrder(g *tfg.Graph, find func(int) int) []int {
+	indeg := map[int]int{}
+	succs := map[int]map[int]bool{}
+	for i := 0; i < g.NumTasks(); i++ {
+		r := find(i)
+		if _, ok := indeg[r]; !ok {
+			indeg[r] = 0
+		}
+	}
+	for _, m := range g.Messages() {
+		ra, rb := find(int(m.Src)), find(int(m.Dst))
+		if ra == rb {
+			continue
+		}
+		if succs[ra] == nil {
+			succs[ra] = map[int]bool{}
+		}
+		if !succs[ra][rb] {
+			succs[ra][rb] = true
+			indeg[rb]++
+		}
+	}
+	var ready []int
+	for r, d := range indeg {
+		if d == 0 {
+			ready = append(ready, r)
+		}
+	}
+	sort.Ints(ready)
+	var order []int
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		var next []int
+		for v := range succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				next = append(next, v)
+			}
+		}
+		sort.Ints(next)
+		ready = append(ready, next...)
+	}
+	return order
+}

@@ -1,0 +1,188 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"schedroute/internal/tfg"
+)
+
+func TestPartitionChainHalves(t *testing.T) {
+	g, err := tfg.Chain(8, 100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{MaxTasks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Coarse.NumTasks(); got > 4 {
+		t.Errorf("coarse tasks = %d, want <= 4", got)
+	}
+	// All communication volume is accounted for.
+	total := int64(7 * 640)
+	if res.CutBytes+res.InternalBytes != total {
+		t.Errorf("cut %d + internal %d != total %d", res.CutBytes, res.InternalBytes, total)
+	}
+	if res.InternalBytes == 0 {
+		t.Error("merging a chain must absorb some communication")
+	}
+}
+
+func TestPartitionPreservesAcyclicity(t *testing.T) {
+	// Diamond: merging {a,d} would close a cycle through b or c; the
+	// partitioner must avoid it. Asking for 3 clusters forces one merge.
+	g, err := tfg.Diamond(100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{MaxTasks: 3, BalanceFactor: 10})
+	if err != nil {
+		t.Fatal(err) // Build() inside would fail on a cyclic quotient
+	}
+	if res.Coarse.NumTasks() > 3 {
+		t.Errorf("got %d clusters", res.Coarse.NumTasks())
+	}
+	if res.ClusterOf[0] == res.ClusterOf[3] && res.Coarse.NumTasks() == 3 {
+		t.Error("merged source with sink across a parallel branch (cycle)")
+	}
+}
+
+func TestPartitionBalanceBudget(t *testing.T) {
+	// Ten unit tasks in a chain, budget 1.0: each cluster may hold at
+	// most ceil(10/5)*1 = 2 ops → pairs only.
+	g, err := tfg.Chain(10, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{MaxTasks: 5, BalanceFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range res.Coarse.Tasks() {
+		if task.Ops > 2 {
+			t.Errorf("cluster %s has %d ops, budget 2", task.Name, task.Ops)
+		}
+	}
+}
+
+func TestPartitionSingleCluster(t *testing.T) {
+	g, err := tfg.Chain(5, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{MaxTasks: 1, BalanceFactor: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coarse.NumTasks() != 1 {
+		t.Errorf("got %d clusters, want 1", res.Coarse.NumTasks())
+	}
+	if res.CutBytes != 0 {
+		t.Errorf("single cluster has cut %d", res.CutBytes)
+	}
+	if res.Coarse.NumMessages() != 0 {
+		t.Error("single cluster should have no messages")
+	}
+}
+
+func TestPartitionNoOpWhenEnoughTasks(t *testing.T) {
+	g, err := tfg.Diamond(100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{MaxTasks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coarse.NumTasks() != 4 {
+		t.Errorf("partitioner merged although the budget allowed all tasks: %d", res.Coarse.NumTasks())
+	}
+	if res.CutBytes != 4*640 {
+		t.Errorf("cut = %d", res.CutBytes)
+	}
+}
+
+func TestPartitionRejectsBadOptions(t *testing.T) {
+	g, err := tfg.Chain(3, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(g, Options{MaxTasks: 0}); err == nil {
+		t.Error("MaxTasks 0 should fail")
+	}
+	if _, err := Partition(g, Options{MaxTasks: 2, BalanceFactor: 0.5}); err == nil {
+		t.Error("balance < 1 should fail")
+	}
+}
+
+func TestPartitionMergesHeaviestEdgesFirst(t *testing.T) {
+	// Star: hub sends 10 bytes to w1, 1000 bytes to w2. With room for
+	// one merge, the hub must absorb w2.
+	b := tfg.NewBuilder("star")
+	hub := b.AddTask("hub", 10)
+	w1 := b.AddTask("w1", 10)
+	w2 := b.AddTask("w2", 10)
+	b.AddMessage("cheap", hub, w1, 10)
+	b.AddMessage("heavy", hub, w2, 1000)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{MaxTasks: 2, BalanceFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClusterOf[int(hub)] != res.ClusterOf[int(w2)] {
+		t.Error("heaviest edge should be contracted first")
+	}
+	if res.CutBytes != 10 {
+		t.Errorf("cut = %d, want 10", res.CutBytes)
+	}
+}
+
+// Property: for random layered graphs the partitioner always yields an
+// acyclic quotient (Build succeeds), conserves communication volume,
+// and never exceeds MaxTasks unless blocked by balance/cycle
+// constraints in a way that still reduces the task count monotonically.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed int64, maxRaw uint8) bool {
+		g, err := tfg.RandomLayered(seed%300, []int{3, 4, 4, 3}, 10, 100, 64, 2048, 0.4)
+		if err != nil {
+			return false
+		}
+		maxTasks := int(maxRaw%10) + 1
+		res, err := Partition(g, Options{MaxTasks: maxTasks, BalanceFactor: 3})
+		if err != nil {
+			return false
+		}
+		if res.Coarse.NumTasks() > g.NumTasks() {
+			return false
+		}
+		var totalBytes int64
+		for _, m := range g.Messages() {
+			totalBytes += m.Bytes
+		}
+		if res.CutBytes+res.InternalBytes != totalBytes {
+			return false
+		}
+		// Cluster ids are dense and in range.
+		for _, c := range res.ClusterOf {
+			if c < 0 || c >= res.Coarse.NumTasks() {
+				return false
+			}
+		}
+		// Ops are conserved.
+		var fineOps, coarseOps int64
+		for _, task := range g.Tasks() {
+			fineOps += task.Ops
+		}
+		for _, task := range res.Coarse.Tasks() {
+			coarseOps += task.Ops
+		}
+		return fineOps == coarseOps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package schedule
+
+import (
+	"fmt"
+
+	"schedroute/internal/lp"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// Allocation is the message-interval allocation matrix P = [p_ik] of
+// Section 5.2: P[i][k] is the time for which message i transmits within
+// interval k. Rows of local messages are nil.
+type Allocation struct {
+	P [][]float64
+}
+
+// ErrAllocationInfeasible is returned when the Section 5.2 linear
+// system (constraints 3 and 4) has no solution for some maximal subset —
+// one of the failure modes the paper reports for the 8x8 torus (Fig. 9).
+type ErrAllocationInfeasible struct {
+	Subset []tfg.MessageID
+}
+
+func (e *ErrAllocationInfeasible) Error() string {
+	return fmt.Sprintf("schedule: message-interval allocation infeasible for subset of %d messages", len(e.Subset))
+}
+
+// AllocateIntervals solves the allocation problem independently per
+// maximal subset: variables X_ik >= 0 for each active (message,
+// interval) cell, with
+//
+//	(3) sum_k X_ik = Xmit_i                       for every message i
+//	(4) sum_{i on link j} X_ik <= |A_k|           for every (link, interval)
+//
+// solved as a linear feasibility program (see DESIGN.md §3.5 on why the
+// LP relaxation of the paper's integer program is exact here).
+func AllocateIntervals(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity) (*Allocation, error) {
+	K := act.Intervals.K()
+	out := &Allocation{P: make([][]float64, len(ws))}
+	for _, subset := range subsets {
+		if err := allocateSubset(subset, pa, ws, act, K, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func allocateSubset(subset []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
+	// Variable index per active (message, interval) cell.
+	type cellKey struct {
+		mi tfg.MessageID
+		k  int
+	}
+	varOf := map[cellKey]int{}
+	var cells []cellKey
+	for _, mi := range subset {
+		for k := 0; k < K; k++ {
+			if act.Active[mi][k] {
+				key := cellKey{mi, k}
+				varOf[key] = len(cells)
+				cells = append(cells, key)
+			}
+		}
+	}
+	prob := lp.NewProblem(len(cells))
+
+	// (3) Demand equality per message.
+	for _, mi := range subset {
+		row := map[int]float64{}
+		for k := 0; k < K; k++ {
+			if act.Active[mi][k] {
+				row[varOf[cellKey{mi, k}]] = 1
+			}
+		}
+		if len(row) == 0 {
+			return &ErrAllocationInfeasible{Subset: subset}
+		}
+		if err := prob.AddSparse(row, lp.EQ, ws[mi].Xmit); err != nil {
+			return err
+		}
+	}
+
+	// Per-cell capacity: no cell may exceed its interval length (implied
+	// by (4) when the message uses a link, and required for exactness).
+	for vi, c := range cells {
+		row := map[int]float64{vi: 1}
+		if err := prob.AddSparse(row, lp.LE, act.Intervals.Length(c.k)); err != nil {
+			return err
+		}
+	}
+
+	// (4) Link capacity per (link, interval) touched by the subset.
+	usesLink := map[topology.LinkID][]tfg.MessageID{}
+	for _, mi := range subset {
+		for _, l := range pa.Links[mi] {
+			usesLink[l] = append(usesLink[l], mi)
+		}
+	}
+	for l, msgs := range usesLink {
+		_ = l
+		for k := 0; k < K; k++ {
+			row := map[int]float64{}
+			for _, mi := range msgs {
+				if act.Active[mi][k] {
+					row[varOf[cellKey{mi, k}]] = 1
+				}
+			}
+			if len(row) < 2 {
+				continue // a lone message is covered by the cell cap
+			}
+			if err := prob.AddSparse(row, lp.LE, act.Intervals.Length(k)); err != nil {
+				return err
+			}
+		}
+	}
+
+	sol := prob.Solve()
+	if sol.Status != lp.Optimal {
+		return &ErrAllocationInfeasible{Subset: subset}
+	}
+	for vi, c := range cells {
+		if out.P[c.mi] == nil {
+			out.P[c.mi] = make([]float64, K)
+		}
+		v := sol.X[vi]
+		if v < 0 {
+			v = 0
+		}
+		out.P[c.mi][c.k] = v
+	}
+	return nil
+}

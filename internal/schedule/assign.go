@@ -1,0 +1,147 @@
+package schedule
+
+import (
+	"math/rand"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// assignPosition identifies where the peak utilization sits, used by the
+// heuristic's "reposition the peak" move and its termination test.
+type assignPosition struct {
+	link     topology.LinkID
+	interval int
+}
+
+// AssignPathsResult reports the heuristic's outcome.
+type AssignPathsResult struct {
+	Assignment *PathAssignment
+	Util       *Utilization
+	// Iterations counts utilization evaluations performed.
+	Iterations int
+}
+
+// AssignPaths is the Fig. 4 iterative-improvement heuristic: starting
+// from the given assignment, repeatedly locate the peak link or
+// hot-spot, evaluate rerouting each multi-path message crossing it onto
+// each of its equivalent shortest paths, apply the reroute with the
+// largest peak reduction (or, failing that, one that repositions the
+// same peak elsewhere), and on convergence restart from a random
+// assignment to escape local minima. The best assignment ever seen is
+// returned. The computation is deterministic for a fixed seed.
+func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topology, ws []Window, act *Activity, seed int64, maxOuter, maxInner int) *AssignPathsResult {
+	if maxOuter < 1 {
+		maxOuter = 1
+	}
+	if maxInner < 1 {
+		maxInner = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	evals := 0
+	util := func(pa *PathAssignment) *Utilization {
+		evals++
+		return ComputeUtilization(top, pa, ws, act)
+	}
+
+	current := initial.Clone()
+	best := current.Clone()
+	bestU := util(best)
+
+	for outer := 0; outer < maxOuter; outer++ {
+		curU := util(current)
+		visited := map[assignPosition]bool{}
+		for inner := 0; inner < maxInner; inner++ {
+			pos := assignPosition{curU.PeakLink, curU.PeakInterval}
+			visited[pos] = true
+			msgs := reroutable(current, cands, act, pos)
+			// Evaluate every alternative path of every peak message.
+			type move struct {
+				msg  tfg.MessageID
+				cand int
+				u    *Utilization
+			}
+			var bestReduce, bestRepos *move
+			for _, mi := range msgs {
+				cur := current.Paths[mi]
+				for ci, c := range cands.PathsOf[mi] {
+					if c.path.Equal(cur) {
+						continue
+					}
+					trial := current.Clone()
+					trial.SetPath(mi, c.path, c.links)
+					tu := util(trial)
+					m := &move{msg: mi, cand: ci, u: tu}
+					if tu.Peak < curU.Peak-timeEps {
+						if bestReduce == nil || tu.Peak < bestReduce.u.Peak {
+							bestReduce = m
+						}
+					} else if tu.Peak <= curU.Peak+timeEps {
+						np := assignPosition{tu.PeakLink, tu.PeakInterval}
+						if np != pos && !visited[np] && bestRepos == nil {
+							bestRepos = m
+						}
+					}
+				}
+			}
+			chosen := bestReduce
+			if chosen == nil {
+				chosen = bestRepos
+			}
+			if chosen == nil {
+				break // inner convergence: no reduction, no fresh reposition
+			}
+			c := cands.PathsOf[chosen.msg][chosen.cand]
+			current.SetPath(chosen.msg, c.path, c.links)
+			curU = chosen.u
+		}
+		if curU.Peak < bestU.Peak-timeEps {
+			best = current.Clone()
+			bestU = curU
+		}
+		if bestU.Peak <= timeEps {
+			break // cannot improve on zero
+		}
+		// Random restart (Fig. 4's escape from local minima).
+		randomize(current, cands, rng)
+	}
+	return &AssignPathsResult{Assignment: best, Util: bestU, Iterations: evals}
+}
+
+// reroutable lists the multi-path messages that cross the peak link
+// (and, for a hot-spot peak, are active in the peak interval).
+func reroutable(pa *PathAssignment, cands *Candidates, act *Activity, pos assignPosition) []tfg.MessageID {
+	var out []tfg.MessageID
+	for i := range pa.Links {
+		if len(cands.PathsOf[i]) < 2 {
+			continue
+		}
+		uses := false
+		for _, l := range pa.Links[i] {
+			if l == pos.link {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		if pos.interval >= 0 && !act.Active[i][pos.interval] {
+			continue
+		}
+		out = append(out, tfg.MessageID(i))
+	}
+	return out
+}
+
+// randomize assigns every multi-path message a uniformly random
+// candidate path.
+func randomize(pa *PathAssignment, cands *Candidates, rng *rand.Rand) {
+	for i, list := range cands.PathsOf {
+		if len(list) < 2 {
+			continue
+		}
+		c := list[rng.Intn(len(list))]
+		pa.SetPath(tfg.MessageID(i), c.path, c.links)
+	}
+}

@@ -1,0 +1,293 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// Problem bundles the inputs fixed before scheduled routing runs:
+// the application (TFG + timing), the machine (topology), the placement
+// (allocation) and the invocation period.
+type Problem struct {
+	Graph      *tfg.Graph
+	Timing     *tfg.Timing
+	Topology   *topology.Topology
+	Assignment *alloc.Assignment
+	// TauIn is the invocation period τin >= τc.
+	TauIn float64
+}
+
+// Options tunes the Compute pipeline; the zero value selects the
+// defaults used throughout the reproduction.
+type Options struct {
+	// Seed drives AssignPaths' random restarts (deterministic per seed).
+	Seed int64
+	// MaxPaths caps the equivalent shortest paths enumerated per message
+	// (default 24).
+	MaxPaths int
+	// MaxOuter is the number of AssignPaths random restarts (default 6).
+	MaxOuter int
+	// MaxInner caps iterative-improvement steps per restart (default 60).
+	MaxInner int
+	// Engine selects the interval-scheduling algorithm.
+	Engine Engine
+	// Window overrides the message window length (default τc, the
+	// paper's choice).
+	Window float64
+	// LSDOnly skips AssignPaths and keeps the deterministic LSD-to-MSD
+	// paths; used as the Fig. 5/6 baseline.
+	LSDOnly bool
+	// SyncMargin implements the paper's Section 7 clock-skew guard:
+	// every CP lets at least this interval (at least twice the maximum
+	// clock difference) elapse after a message's nominal release before
+	// transmission may start, shrinking each window accordingly. The
+	// allocation and interval-scheduling formulations see the reduced
+	// windows, exactly as the paper prescribes.
+	SyncMargin float64
+	// Retries implements the feedback arrows of the paper's Fig. 3:
+	// when message-interval allocation or interval scheduling rejects a
+	// path assignment, AssignPaths is re-run with a fresh seed and the
+	// later stages are retried, up to this many times.
+	Retries int
+	// AllowSharedNodes admits placements with several tasks per node:
+	// the mapping chain's "node scheduling" step then packs each
+	// application processor's tasks into disjoint sub-intervals of the
+	// frame (tfg.PipelinedStartShared), usually at the cost of extra
+	// latency. Without it, placements must be exclusive.
+	AllowSharedNodes bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxPaths == 0 {
+		out.MaxPaths = 24
+	}
+	if out.MaxOuter == 0 {
+		out.MaxOuter = 6
+	}
+	if out.MaxInner == 0 {
+		out.MaxInner = 60
+	}
+	return out
+}
+
+// Stage identifies where the pipeline stopped.
+type Stage int
+
+const (
+	// StageOK means a full schedule was computed and validated.
+	StageOK Stage = iota
+	// StageUtilization means no path assignment reached peak
+	// utilization <= 1, so the communication requirements exceed the
+	// link capacity (the paper's Fig. 5/6 high-load regime).
+	StageUtilization
+	// StageAllocation means message-interval allocation was infeasible
+	// (the failure marked by arrows in the paper's Fig. 9).
+	StageAllocation
+	// StageIntervalSchedule means some interval could not be decomposed
+	// into link-feasible sets within its length.
+	StageIntervalSchedule
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageOK:
+		return "ok"
+	case StageUtilization:
+		return "utilization"
+	case StageAllocation:
+		return "message-interval allocation"
+	case StageIntervalSchedule:
+		return "interval scheduling"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Result is the outcome of the full Fig. 3 pipeline. When Feasible is
+// false, FailStage says which step rejected the problem; the structural
+// fields up to that step remain populated for diagnosis.
+type Result struct {
+	Feasible  bool
+	FailStage Stage
+
+	Windows   []Window
+	Intervals *IntervalSet
+	Activity  *Activity
+
+	// PeakLSD is the peak utilization under LSD-to-MSD routing;
+	// Peak is the peak after AssignPaths (equal when LSDOnly).
+	PeakLSD float64
+	Peak    float64
+
+	Assignment *PathAssignment
+	Allocation *Allocation
+	Slices     []Slice
+	Omega      *Omega
+
+	// Latency is the windowed pipeline latency Λ_w of every invocation.
+	Latency float64
+}
+
+// Compute runs the scheduled-routing pipeline of the paper's Fig. 3:
+// time bounds → path assignment → message-interval allocation →
+// interval scheduling → node switching schedules. Infeasibility at any
+// stage is reported in the Result; an error return signals invalid
+// input or an internal inconsistency.
+func Compute(p Problem, o Options) (*Result, error) {
+	opt := o.withDefaults()
+	if p.Graph == nil || p.Timing == nil || p.Topology == nil || p.Assignment == nil {
+		return nil, fmt.Errorf("schedule: incomplete problem")
+	}
+	// Without AP sharing, SR's static task starts assume one task per
+	// application processor.
+	if err := p.Assignment.Validate(p.Graph, p.Topology, !opt.AllowSharedNodes); err != nil {
+		return nil, err
+	}
+	window := opt.Window
+	if window == 0 {
+		window = p.Timing.TauC()
+	}
+	sameNode := func(m tfg.Message) bool {
+		return p.Assignment.Node(m.Src) == p.Assignment.Node(m.Dst)
+	}
+	var starts []float64
+	if opt.AllowSharedNodes {
+		nodeOf := make([]int, p.Graph.NumTasks())
+		for t := range nodeOf {
+			nodeOf[t] = int(p.Assignment.Node(tfg.TaskID(t)))
+		}
+		var err error
+		starts, err = p.Graph.PipelinedStartShared(p.Timing, window, nodeOf, p.TauIn)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		starts = p.Graph.PipelinedStart(p.Timing, window)
+	}
+	ws, err := ComputeWindowsFromStarts(p.Graph, p.Timing, p.TauIn, window, starts, sameNode)
+	if err != nil {
+		return nil, err
+	}
+	if opt.SyncMargin > 0 {
+		if err := applySyncMargin(ws, opt.SyncMargin, p.TauIn); err != nil {
+			return nil, err
+		}
+	}
+	set := BuildIntervals(ws, p.TauIn)
+	act := BuildActivity(ws, set)
+
+	res := &Result{
+		Windows:   ws,
+		Intervals: set,
+		Activity:  act,
+		Latency:   p.Graph.LatencyOf(p.Timing, starts),
+	}
+
+	lsd, err := LSDAssignment(p.Graph, p.Topology, p.Assignment, ws)
+	if err != nil {
+		return nil, err
+	}
+	lsdU := ComputeUtilization(p.Topology, lsd, ws, act)
+	res.PeakLSD = lsdU.Peak
+
+	var cands *Candidates
+	if !opt.LSDOnly {
+		cands, err = BuildCandidates(p.Graph, p.Topology, p.Assignment, ws, opt.MaxPaths)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The Fig. 3 pipeline, with feedback: on a downstream rejection the
+	// path assignment is recomputed from a fresh seed and the later
+	// stages retried.
+	for attempt := 0; ; attempt++ {
+		pa, peak := lsd, lsdU.Peak
+		if !opt.LSDOnly {
+			ar := AssignPaths(lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner)
+			pa, peak = ar.Assignment, ar.Util.Peak
+			if peak > lsdU.Peak {
+				// AssignPaths starts from LSD, so it can never be worse.
+				pa, peak = lsd, lsdU.Peak
+			}
+		}
+		if attempt == 0 || peak < res.Peak {
+			res.Assignment = pa
+			res.Peak = peak
+		}
+
+		stage := StageOK
+		var allocation *Allocation
+		var slices []Slice
+		if peak > 1+timeEps {
+			stage = StageUtilization
+		} else {
+			subsets := MaximalSubsets(pa, ws, act)
+			allocation, err = AllocateIntervals(subsets, pa, ws, act)
+			var allocFail *ErrAllocationInfeasible
+			if errors.As(err, &allocFail) {
+				stage = StageAllocation
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		if stage == StageOK {
+			slices, err = ScheduleIntervals(allocation, pa, act, opt.Engine, 2*opt.SyncMargin)
+			var schedFail *ErrIntervalInfeasible
+			if errors.As(err, &schedFail) {
+				stage = StageIntervalSchedule
+			} else if err != nil {
+				return nil, err
+			}
+		}
+
+		if stage != StageOK {
+			res.FailStage = stage
+			if attempt < opt.Retries && !opt.LSDOnly {
+				continue
+			}
+			return res, nil
+		}
+
+		res.Assignment = pa
+		res.Peak = peak
+		res.Allocation = allocation
+		res.Slices = slices
+		om := BuildOmega(slices, pa, ws, p.Topology.Nodes(), p.TauIn, res.Latency)
+		om.Starts = starts
+		if err := om.Validate(p.Topology); err != nil {
+			return nil, fmt.Errorf("schedule: internal: emitted schedule failed validation: %w", err)
+		}
+		res.Omega = om
+		res.Feasible = true
+		res.FailStage = StageOK
+		return res, nil
+	}
+}
+
+// applySyncMargin shrinks every non-local window by the Section 7
+// clock-skew margin at the deadline side: transmissions are scheduled
+// to finish at least margin before the nominal deadline, leaving room
+// for the per-slice guard waits (source CPs delaying up to margin after
+// each scheduled start, see internal/cpsim) without missing the real
+// deadline.
+func applySyncMargin(ws []Window, margin, tauIn float64) error {
+	_ = tauIn
+	for i := range ws {
+		if ws[i].Local {
+			continue
+		}
+		newLen := ws[i].Length - margin
+		if newLen < ws[i].Xmit-timeEps {
+			return fmt.Errorf("schedule: sync margin %g leaves message %d a window of %g below its transmission time %g", margin, i, newLen, ws[i].Xmit)
+		}
+		ws[i].Length = newLen
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"schedroute/internal/lp"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// Slice is one link-feasible set scheduled for a sub-range of an
+// interval: every message in Msgs transmits simultaneously during
+// [Start, End) of the frame, each on its full path. Per-message
+// transmission may end earlier than End (a trimmed tail keeps the links
+// reserved but idle); Until[i] records message Msgs[i]'s actual
+// transmission end.
+type Slice struct {
+	Interval int
+	Start    float64
+	End      float64
+	Msgs     []tfg.MessageID
+	Until    []float64
+}
+
+// Engine selects the interval-scheduling algorithm.
+type Engine int
+
+const (
+	// EngineAuto uses the exact LP for small conflict sets and the
+	// greedy decomposition otherwise.
+	EngineAuto Engine = iota
+	// EngineGreedy always uses the greedy decomposition.
+	EngineGreedy
+	// EngineExact always uses the LP over maximal link-feasible sets.
+	EngineExact
+)
+
+// exactLimit is the conflict-set size above which EngineAuto switches
+// from the exact LP to the greedy decomposition.
+const exactLimit = 16
+
+// ErrIntervalInfeasible is returned when the messages allocated to an
+// interval need more simultaneous-link time than the interval provides —
+// the paper's interval-scheduling failure mode.
+type ErrIntervalInfeasible struct {
+	Interval int
+	Need     float64
+	Have     float64
+}
+
+func (e *ErrIntervalInfeasible) Error() string {
+	return fmt.Sprintf("schedule: interval %d needs %g but only has %g", e.Interval, e.Need, e.Have)
+}
+
+// ScheduleIntervals performs Section 5.3 interval scheduling for every
+// interval: the messages with nonzero allocation are partitioned into
+// link-feasible sets (Definition 5.5 — no two members share a link)
+// whose total duration fits the interval. Slices are returned in frame
+// order. A non-zero gap reserves idle time after every slice so that
+// guard-holding CPs (see internal/cpsim) never collide with the link's
+// next reservation; it should be twice the synchronization margin.
+func ScheduleIntervals(allocation *Allocation, pa *PathAssignment, act *Activity, engine Engine, gap float64) ([]Slice, error) {
+	var out []Slice
+	K := act.Intervals.K()
+	for k := 0; k < K; k++ {
+		var msgs []tfg.MessageID
+		demands := map[tfg.MessageID]float64{}
+		for i, row := range allocation.P {
+			if row == nil {
+				continue
+			}
+			if row[k] > timeEps {
+				msgs = append(msgs, tfg.MessageID(i))
+				demands[tfg.MessageID(i)] = row[k]
+			}
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		sort.Slice(msgs, func(a, b int) bool { return msgs[a] < msgs[b] })
+		slices, err := scheduleOne(k, msgs, demands, pa, act, engine, gap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, slices...)
+	}
+	return out, nil
+}
+
+// conflictMatrix[i][j] is true when msgs[i] and msgs[j] share a link.
+func conflictMatrix(msgs []tfg.MessageID, pa *PathAssignment) [][]bool {
+	n := len(msgs)
+	linkSets := make([]map[topology.LinkID]bool, n)
+	for i, mi := range msgs {
+		linkSets[i] = map[topology.LinkID]bool{}
+		for _, l := range pa.Links[mi] {
+			linkSets[i][l] = true
+		}
+	}
+	c := make([][]bool, n)
+	for i := range c {
+		c[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for l := range linkSets[i] {
+				if linkSets[j][l] {
+					c[i][j], c[j][i] = true, true
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+func scheduleOne(k int, msgs []tfg.MessageID, demands map[tfg.MessageID]float64, pa *PathAssignment, act *Activity, engine Engine, gap float64) ([]Slice, error) {
+	length := act.Intervals.Length(k)
+	start, _ := act.Intervals.Bounds(k)
+	conf := conflictMatrix(msgs, pa)
+
+	useExact := engine == EngineExact || (engine == EngineAuto && len(msgs) <= exactLimit)
+	var sets [][]int // index sets into msgs
+	var durations []float64
+	var err error
+	if useExact {
+		sets, durations, err = exactDecompose(msgs, demands, conf)
+		if err != nil && engine == EngineAuto {
+			useExact = false
+		} else if err != nil {
+			return nil, fmt.Errorf("schedule: interval %d: %w", k, err)
+		}
+	}
+	if !useExact {
+		sets, durations = greedyDecompose(msgs, demands, conf)
+	}
+
+	total := 0.0
+	nonzero := 0
+	for _, d := range durations {
+		total += d
+		if d > timeEps {
+			nonzero++
+		}
+	}
+	if total > length+1e-6 {
+		return nil, &ErrIntervalInfeasible{Interval: k, Need: total, Have: length}
+	}
+	// Distribute the interval's spare capacity as guard gaps after each
+	// slice (up to the requested gap), so guard-holding CPs have room
+	// before the link's next reservation. Best-effort: spacing never
+	// makes a feasible interval infeasible.
+	gapActual := 0.0
+	if gap > 0 && nonzero > 0 {
+		gapActual = (length - total) / float64(nonzero)
+		if gapActual > gap {
+			gapActual = gap
+		}
+	}
+
+	// Realize slices sequentially from the interval start, trimming each
+	// message's participation to its exact remaining demand.
+	remaining := map[tfg.MessageID]float64{}
+	for m, d := range demands {
+		remaining[m] = d
+	}
+	var out []Slice
+	cursor := start
+	for si, set := range sets {
+		d := durations[si]
+		if d <= timeEps {
+			continue
+		}
+		sl := Slice{Interval: k, Start: cursor, End: cursor + d}
+		for _, idx := range set {
+			m := msgs[idx]
+			r := remaining[m]
+			if r <= timeEps {
+				continue
+			}
+			take := d
+			if r < take {
+				take = r
+			}
+			remaining[m] = r - take
+			sl.Msgs = append(sl.Msgs, m)
+			sl.Until = append(sl.Until, cursor+take)
+		}
+		if len(sl.Msgs) > 0 {
+			out = append(out, sl)
+		}
+		cursor += d + gapActual
+	}
+	for m, r := range remaining {
+		if r > 1e-6 {
+			return nil, fmt.Errorf("schedule: interval %d: message %d left with %g undelivered", k, m, r)
+		}
+	}
+	return out, nil
+}
+
+// greedyDecompose repeatedly schedules a maximal independent set chosen
+// by largest remaining demand; each round fully drains at least one
+// message, so it terminates within len(msgs) rounds.
+func greedyDecompose(msgs []tfg.MessageID, demands map[tfg.MessageID]float64, conf [][]bool) ([][]int, []float64) {
+	n := len(msgs)
+	remaining := make([]float64, n)
+	for i, m := range msgs {
+		remaining[i] = demands[m]
+	}
+	var sets [][]int
+	var durations []float64
+	for {
+		order := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if remaining[i] > timeEps {
+				order = append(order, i)
+			}
+		}
+		if len(order) == 0 {
+			return sets, durations
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if remaining[order[a]] != remaining[order[b]] {
+				return remaining[order[a]] > remaining[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		var set []int
+		for _, i := range order {
+			ok := true
+			for _, j := range set {
+				if conf[i][j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				set = append(set, i)
+			}
+		}
+		d := remaining[set[0]]
+		for _, i := range set {
+			if remaining[i] < d {
+				d = remaining[i]
+			}
+		}
+		for _, i := range set {
+			remaining[i] -= d
+		}
+		sets = append(sets, set)
+		durations = append(durations, d)
+	}
+}
+
+// exactDecompose solves the Section 5.3 program: over all maximal
+// link-feasible sets S, minimize sum y_S subject to every message
+// receiving at least its demand from the sets containing it. Maximal
+// sets suffice because over-coverage is trimmed during realization.
+func exactDecompose(msgs []tfg.MessageID, demands map[tfg.MessageID]float64, conf [][]bool) ([][]int, []float64, error) {
+	n := len(msgs)
+	mis := maximalIndependentSets(conf, 4096)
+	if mis == nil {
+		return nil, nil, fmt.Errorf("maximal independent set enumeration exceeded cap")
+	}
+	prob := lp.NewProblem(len(mis))
+	for s := range mis {
+		prob.SetCost(s, 1)
+	}
+	for i := 0; i < n; i++ {
+		row := map[int]float64{}
+		for s, set := range mis {
+			for _, j := range set {
+				if j == i {
+					row[s] = 1
+					break
+				}
+			}
+		}
+		if err := prob.AddSparse(row, lp.GE, demands[msgs[i]]); err != nil {
+			return nil, nil, err
+		}
+	}
+	sol := prob.Solve()
+	if sol.Status != lp.Optimal {
+		return nil, nil, fmt.Errorf("interval LP %v", sol.Status)
+	}
+	var sets [][]int
+	var durations []float64
+	for s, y := range sol.X {
+		if y > timeEps {
+			sets = append(sets, mis[s])
+			durations = append(durations, y)
+		}
+	}
+	return sets, durations, nil
+}
+
+// maximalIndependentSets enumerates maximal independent sets of the
+// conflict graph via Bron–Kerbosch on the complement, returning nil when
+// the count exceeds maxSets.
+func maximalIndependentSets(conf [][]bool, maxSets int) [][]int {
+	n := len(conf)
+	adj := make([][]bool, n) // complement adjacency
+	for i := range adj {
+		adj[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			adj[i][j] = i != j && !conf[i][j]
+		}
+	}
+	var out [][]int
+	var bk func(r, p, x []int) bool
+	bk = func(r, p, x []int) bool {
+		if len(p) == 0 && len(x) == 0 {
+			out = append(out, append([]int(nil), r...))
+			return len(out) <= maxSets
+		}
+		// Pivot on the vertex of p∪x with most neighbors in p.
+		pivot, best := -1, -1
+		for _, u := range append(append([]int(nil), p...), x...) {
+			cnt := 0
+			for _, v := range p {
+				if adj[u][v] {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best, pivot = cnt, u
+			}
+		}
+		cands := make([]int, 0, len(p))
+		for _, v := range p {
+			if pivot == -1 || !adj[pivot][v] {
+				cands = append(cands, v)
+			}
+		}
+		for _, v := range cands {
+			var np, nx []int
+			for _, w := range p {
+				if adj[v][w] {
+					np = append(np, w)
+				}
+			}
+			for _, w := range x {
+				if adj[v][w] {
+					nx = append(nx, w)
+				}
+			}
+			nr := append(append([]int(nil), r...), v)
+			if !bk(nr, np, nx) {
+				return false
+			}
+			// Move v from p to x.
+			for i, w := range p {
+				if w == v {
+					p = append(p[:i:i], p[i+1:]...)
+					break
+				}
+			}
+			x = append(x, v)
+		}
+		return true
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if !bk(nil, all, nil) {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package schedule
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// fakeAssignment builds a PathAssignment where message i uses exactly
+// the given links (no real topology needed for the decomposition
+// tests).
+func fakeAssignment(linkSets [][]topology.LinkID) *PathAssignment {
+	pa := &PathAssignment{
+		Paths: make([]topology.Path, len(linkSets)),
+		Links: linkSets,
+	}
+	return pa
+}
+
+func TestConflictMatrix(t *testing.T) {
+	pa := fakeAssignment([][]topology.LinkID{
+		{0, 1},
+		{1, 2},
+		{3},
+	})
+	msgs := []tfg.MessageID{0, 1, 2}
+	c := conflictMatrix(msgs, pa)
+	if !c[0][1] || !c[1][0] {
+		t.Error("messages sharing link 1 must conflict")
+	}
+	if c[0][2] || c[1][2] {
+		t.Error("disjoint messages must not conflict")
+	}
+	if c[0][0] || c[1][1] {
+		t.Error("no self conflicts")
+	}
+}
+
+func TestGreedyDecomposeDisjointRunsTogether(t *testing.T) {
+	pa := fakeAssignment([][]topology.LinkID{{0}, {1}, {2}})
+	msgs := []tfg.MessageID{0, 1, 2}
+	demands := map[tfg.MessageID]float64{0: 5, 1: 5, 2: 5}
+	conf := conflictMatrix(msgs, pa)
+	sets, durations := greedyDecompose(msgs, demands, conf)
+	total := 0.0
+	for _, d := range durations {
+		total += d
+	}
+	if math.Abs(total-5) > 1e-9 {
+		t.Errorf("disjoint messages should run fully parallel: total %g, want 5", total)
+	}
+	if len(sets) != 1 || len(sets[0]) != 3 {
+		t.Errorf("sets = %v", sets)
+	}
+}
+
+func TestGreedyDecomposeConflictSerializes(t *testing.T) {
+	pa := fakeAssignment([][]topology.LinkID{{0}, {0}})
+	msgs := []tfg.MessageID{0, 1}
+	demands := map[tfg.MessageID]float64{0: 4, 1: 6}
+	conf := conflictMatrix(msgs, pa)
+	_, durations := greedyDecompose(msgs, demands, conf)
+	total := 0.0
+	for _, d := range durations {
+		total += d
+	}
+	if math.Abs(total-10) > 1e-9 {
+		t.Errorf("conflicting messages serialize: total %g, want 10", total)
+	}
+}
+
+func TestExactDecomposeBeatsNaive(t *testing.T) {
+	// Triangle-free case where exact packs perfectly: messages A{0},
+	// B{1}, C{0,1}. A and B run together; C alone. Total = max(a,b)+c.
+	pa := fakeAssignment([][]topology.LinkID{{0}, {1}, {0, 1}})
+	msgs := []tfg.MessageID{0, 1, 2}
+	demands := map[tfg.MessageID]float64{0: 3, 1: 5, 2: 2}
+	conf := conflictMatrix(msgs, pa)
+	sets, durations, err := exactDecompose(msgs, demands, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, d := range durations {
+		total += d
+	}
+	if total > 7+1e-6 {
+		t.Errorf("exact total %g, want <= 7", total)
+	}
+	// Every returned set must be independent.
+	for _, set := range sets {
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				if conf[set[i]][set[j]] {
+					t.Fatalf("set %v not link-feasible", set)
+				}
+			}
+		}
+	}
+}
+
+func TestMaximalIndependentSets(t *testing.T) {
+	// Path graph 0-1-2 (conflicts 0~1, 1~2): MIS = {0,2}, {1}.
+	conf := [][]bool{
+		{false, true, false},
+		{true, false, true},
+		{false, true, false},
+	}
+	mis := maximalIndependentSets(conf, 100)
+	if len(mis) != 2 {
+		t.Fatalf("got %d sets: %v", len(mis), mis)
+	}
+	var keys []string
+	for _, s := range mis {
+		sort.Ints(s)
+		key := ""
+		for _, v := range s {
+			key += string(rune('0' + v))
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	if keys[0] != "02" || keys[1] != "1" {
+		t.Errorf("sets = %v", keys)
+	}
+}
+
+func TestMaximalIndependentSetsCap(t *testing.T) {
+	// 2n vertices with no conflicts between pairs... use an empty
+	// conflict graph on 5 vertices: exactly one MIS (everything).
+	n := 5
+	conf := make([][]bool, n)
+	for i := range conf {
+		conf[i] = make([]bool, n)
+	}
+	mis := maximalIndependentSets(conf, 100)
+	if len(mis) != 1 || len(mis[0]) != n {
+		t.Errorf("empty conflict graph should have one maximal set, got %v", mis)
+	}
+	// A perfect matching's complement graph has 2^n MIS; cap must trip.
+	m := 20
+	conf = make([][]bool, m)
+	for i := range conf {
+		conf[i] = make([]bool, m)
+	}
+	for i := 0; i < m; i += 2 {
+		conf[i][i+1] = true
+		conf[i+1][i] = true
+	}
+	if got := maximalIndependentSets(conf, 64); got != nil {
+		t.Errorf("cap should have tripped, got %d sets", len(got))
+	}
+}
+
+func TestScheduleOneRejectsOverflow(t *testing.T) {
+	// Two conflicting no-slack messages in one interval cannot fit.
+	ws := []Window{
+		{Release: 0, Length: 10, Xmit: 8},
+		{Release: 0, Length: 10, Xmit: 8},
+	}
+	set := &IntervalSet{TauIn: 10, Endpoints: []float64{0, 10}}
+	act := BuildActivity(ws, set)
+	pa := fakeAssignment([][]topology.LinkID{{0}, {0}})
+	al := &Allocation{P: [][]float64{{8}, {8}}}
+	_, err := ScheduleIntervals(al, pa, act, EngineAuto, 0)
+	if err == nil {
+		t.Fatal("16 µs of conflicting traffic cannot fit a 10 µs interval")
+	}
+	if _, ok := err.(*ErrIntervalInfeasible); !ok {
+		t.Errorf("error type %T, want ErrIntervalInfeasible", err)
+	}
+}
+
+func TestScheduleIntervalsTrimsExactly(t *testing.T) {
+	ws := []Window{
+		{Release: 0, Length: 10, Xmit: 3},
+		{Release: 0, Length: 10, Xmit: 7},
+	}
+	set := &IntervalSet{TauIn: 10, Endpoints: []float64{0, 10}}
+	act := BuildActivity(ws, set)
+	pa := fakeAssignment([][]topology.LinkID{{0}, {0}})
+	al := &Allocation{P: [][]float64{{3}, {7}}}
+	slices, err := ScheduleIntervals(al, pa, act, EngineAuto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[tfg.MessageID]float64{}
+	for _, sl := range slices {
+		for i, m := range sl.Msgs {
+			got[m] += sl.Until[i] - sl.Start
+		}
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-7) > 1e-9 {
+		t.Errorf("transmitted %v, want 3 and 7", got)
+	}
+}
+
+// Property: greedy decomposition always meets demands exactly and every
+// emitted set is independent.
+func TestQuickGreedyDecompose(t *testing.T) {
+	f := func(seedLinks []uint8, seedDemands []uint8) bool {
+		n := len(seedLinks)
+		if n == 0 || n > 8 {
+			return true
+		}
+		linkSets := make([][]topology.LinkID, n)
+		msgs := make([]tfg.MessageID, n)
+		demands := map[tfg.MessageID]float64{}
+		for i := 0; i < n; i++ {
+			linkSets[i] = []topology.LinkID{topology.LinkID(seedLinks[i] % 4)}
+			msgs[i] = tfg.MessageID(i)
+			d := 1.0
+			if i < len(seedDemands) {
+				d = float64(seedDemands[i]%10) + 1
+			}
+			demands[msgs[i]] = d
+		}
+		pa := fakeAssignment(linkSets)
+		conf := conflictMatrix(msgs, pa)
+		sets, durations := greedyDecompose(msgs, demands, conf)
+		served := make([]float64, n)
+		for si, set := range sets {
+			for i := 0; i < len(set); i++ {
+				for j := i + 1; j < len(set); j++ {
+					if conf[set[i]][set[j]] {
+						return false
+					}
+				}
+				served[set[i]] += durations[si]
+			}
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(served[i]-demands[msgs[i]]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

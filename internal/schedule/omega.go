@@ -1,0 +1,227 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// Port is a crossbar endpoint at a communication processor: one of the
+// node's link channels, or the application-processor buffer.
+type Port struct {
+	// AP is true for the application-processor buffer port.
+	AP bool
+	// Link is the link channel when AP is false.
+	Link topology.LinkID
+}
+
+// String renders the port.
+func (p Port) String() string {
+	if p.AP {
+		return "AP"
+	}
+	return fmt.Sprintf("L%d", p.Link)
+}
+
+// Command is one entry of a node switching schedule ω_i: during
+// [Start, End) of every frame, connect In to Out to carry Msg.
+type Command struct {
+	Start float64
+	End   float64
+	Msg   tfg.MessageID
+	In    Port
+	Out   Port
+}
+
+// NodeSchedule is ω_i: the commands one CP executes each frame,
+// sorted by start time.
+type NodeSchedule struct {
+	Node     topology.NodeID
+	Commands []Command
+}
+
+// Omega is the complete communication schedule Ω = {ω_i} plus the data
+// needed to validate and execute it.
+type Omega struct {
+	TauIn   float64
+	Nodes   []NodeSchedule
+	Slices  []Slice
+	Windows []Window
+	// Latency is the windowed pipeline latency Λ_w: every invocation
+	// completes exactly this long after it starts.
+	Latency float64
+	// Starts are the static task start times the windows were derived
+	// from (invocation 0, absolute); nil means the default exclusive
+	// PipelinedStart layout.
+	Starts []float64
+}
+
+// BuildOmega turns interval-schedule slices into per-node switching
+// schedules: for each slice and each message, the source CP connects its
+// AP output buffer to the first link, intermediate CPs connect incoming
+// to outgoing links, and the destination CP connects the last link to
+// its AP input buffer.
+func BuildOmega(slices []Slice, pa *PathAssignment, ws []Window, nodes int, tauIn, latency float64) *Omega {
+	om := &Omega{
+		TauIn:   tauIn,
+		Nodes:   make([]NodeSchedule, nodes),
+		Slices:  slices,
+		Windows: ws,
+		Latency: latency,
+	}
+	for n := range om.Nodes {
+		om.Nodes[n].Node = topology.NodeID(n)
+	}
+	add := func(n topology.NodeID, c Command) {
+		om.Nodes[n].Commands = append(om.Nodes[n].Commands, c)
+	}
+	for _, sl := range slices {
+		for mi, msg := range sl.Msgs {
+			end := sl.Until[mi]
+			path := pa.Paths[msg]
+			links := pa.Links[msg]
+			if len(links) == 0 {
+				continue
+			}
+			for h, node := range path.Nodes {
+				var in, out Port
+				switch {
+				case h == 0:
+					in = Port{AP: true}
+					out = Port{Link: links[0]}
+				case h == len(path.Nodes)-1:
+					in = Port{Link: links[h-1]}
+					out = Port{AP: true}
+				default:
+					in = Port{Link: links[h-1]}
+					out = Port{Link: links[h]}
+				}
+				add(node, Command{Start: sl.Start, End: end, Msg: msg, In: in, Out: out})
+			}
+		}
+	}
+	for n := range om.Nodes {
+		cs := om.Nodes[n].Commands
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].Start != cs[b].Start {
+				return cs[a].Start < cs[b].Start
+			}
+			return cs[a].Msg < cs[b].Msg
+		})
+	}
+	return om
+}
+
+// Validate checks the three safety properties scheduled routing promises:
+// every link carries at most one message at a time (contention-free and
+// half-duplex safe), every transmission happens inside its message's
+// window, and every message receives exactly its transmission time each
+// frame.
+func (om *Omega) Validate(top *topology.Topology) error {
+	type span struct {
+		start, end float64
+		msg        tfg.MessageID
+	}
+	perLink := make([][]span, top.Links())
+	got := make([]float64, len(om.Windows))
+	linksets := make([][]topology.LinkID, len(om.Windows))
+	for i := range linksets {
+		linksets[i] = nil
+	}
+	for _, ns := range om.Nodes {
+		for _, c := range ns.Commands {
+			for _, p := range []Port{c.In, c.Out} {
+				if p.AP {
+					continue
+				}
+				dup := false
+				for _, l := range linksets[c.Msg] {
+					if l == p.Link {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					linksets[c.Msg] = append(linksets[c.Msg], p.Link)
+				}
+			}
+		}
+	}
+	for _, sl := range om.Slices {
+		for mi, msg := range sl.Msgs {
+			w := om.Windows[msg]
+			start, end := sl.Start, sl.Until[mi]
+			if end < start-timeEps {
+				return fmt.Errorf("schedule: slice for message %d ends before it starts", msg)
+			}
+			if !w.Contains(start, om.TauIn) {
+				return fmt.Errorf("schedule: message %d transmits at frame %g outside window", msg, start)
+			}
+			off := fmod(start-w.Release, om.TauIn) + (end - start)
+			if w.Length < om.TauIn-timeEps && off > w.Length+1e-6 {
+				return fmt.Errorf("schedule: message %d transmission runs %g past its window", msg, off-w.Length)
+			}
+			got[msg] += end - start
+			// Spans never wrap: slices live inside single intervals.
+			for _, l := range linksets[msg] {
+				perLink[l] = append(perLink[l], span{start, end, msg})
+			}
+		}
+	}
+	for i, w := range om.Windows {
+		if w.Local {
+			continue
+		}
+		if diff := got[i] - w.Xmit; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("schedule: message %d transmitted %g, needs %g", i, got[i], w.Xmit)
+		}
+	}
+	for l, spans := range perLink {
+		sort.Slice(spans, func(a, b int) bool { return spans[a].start < spans[b].start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end-1e-6 {
+				return fmt.Errorf("schedule: link %d carries messages %d and %d simultaneously", l, spans[i-1].msg, spans[i].msg)
+			}
+		}
+	}
+	return nil
+}
+
+// linksets are derived from the node schedules so validation checks the
+// emitted Ω, not the intermediate structures.
+func (om *Omega) Linkset(msg tfg.MessageID) []topology.LinkID {
+	seen := map[topology.LinkID]bool{}
+	var out []topology.LinkID
+	for _, ns := range om.Nodes {
+		for _, c := range ns.Commands {
+			if c.Msg != msg {
+				continue
+			}
+			for _, p := range []Port{c.In, c.Out} {
+				if !p.AP && !seen[p.Link] {
+					seen[p.Link] = true
+					out = append(out, p.Link)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// CommandsAt returns node n's switching schedule.
+func (om *Omega) CommandsAt(n topology.NodeID) []Command {
+	return om.Nodes[n].Commands
+}
+
+// NumCommands returns the total command count across all CPs, a proxy
+// for the schedule's hardware footprint.
+func (om *Omega) NumCommands() int {
+	total := 0
+	for _, ns := range om.Nodes {
+		total += len(ns.Commands)
+	}
+	return total
+}

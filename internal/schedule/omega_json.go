@@ -1,0 +1,150 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// The JSON encoding of Ω is the deployable artifact of scheduled
+// routing: a real multicomputer would compile it on the host and ship
+// each node's command list to that node's communication processor.
+
+type omegaJSON struct {
+	TauIn   float64           `json:"tau_in"`
+	Latency float64           `json:"latency"`
+	Starts  []float64         `json:"starts,omitempty"`
+	Windows []windowJSON      `json:"windows"`
+	Slices  []sliceJSON       `json:"slices"`
+	Nodes   []nodeSchedule256 `json:"nodes"`
+}
+
+type windowJSON struct {
+	Release    float64 `json:"release"`
+	Length     float64 `json:"length"`
+	AbsRelease float64 `json:"abs_release"`
+	Xmit       float64 `json:"xmit"`
+	Local      bool    `json:"local,omitempty"`
+}
+
+type sliceJSON struct {
+	Interval int       `json:"interval"`
+	Start    float64   `json:"start"`
+	End      float64   `json:"end"`
+	Msgs     []int     `json:"msgs"`
+	Until    []float64 `json:"until"`
+}
+
+type nodeSchedule256 struct {
+	Node     int           `json:"node"`
+	Commands []commandJSON `json:"commands,omitempty"`
+}
+
+type commandJSON struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Msg   int     `json:"msg"`
+	In    string  `json:"in"`
+	Out   string  `json:"out"`
+}
+
+func portToJSON(p Port) string {
+	if p.AP {
+		return "AP"
+	}
+	return fmt.Sprintf("L%d", p.Link)
+}
+
+func portFromJSON(s string) (Port, error) {
+	if s == "AP" {
+		return Port{AP: true}, nil
+	}
+	var l int
+	if _, err := fmt.Sscanf(s, "L%d", &l); err != nil {
+		return Port{}, fmt.Errorf("schedule: bad port %q", s)
+	}
+	return Port{Link: topology.LinkID(l)}, nil
+}
+
+// EncodeOmega writes Ω as JSON.
+func EncodeOmega(w io.Writer, om *Omega) error {
+	oj := omegaJSON{TauIn: om.TauIn, Latency: om.Latency, Starts: om.Starts}
+	for _, win := range om.Windows {
+		oj.Windows = append(oj.Windows, windowJSON{
+			Release: win.Release, Length: win.Length,
+			AbsRelease: win.AbsRelease, Xmit: win.Xmit, Local: win.Local,
+		})
+	}
+	for _, sl := range om.Slices {
+		sj := sliceJSON{Interval: sl.Interval, Start: sl.Start, End: sl.End, Until: sl.Until}
+		for _, m := range sl.Msgs {
+			sj.Msgs = append(sj.Msgs, int(m))
+		}
+		oj.Slices = append(oj.Slices, sj)
+	}
+	for _, ns := range om.Nodes {
+		nj := nodeSchedule256{Node: int(ns.Node)}
+		for _, c := range ns.Commands {
+			nj.Commands = append(nj.Commands, commandJSON{
+				Start: c.Start, End: c.End, Msg: int(c.Msg),
+				In: portToJSON(c.In), Out: portToJSON(c.Out),
+			})
+		}
+		oj.Nodes = append(oj.Nodes, nj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(oj)
+}
+
+// DecodeOmega reads Ω back from JSON.
+func DecodeOmega(r io.Reader) (*Omega, error) {
+	var oj omegaJSON
+	if err := json.NewDecoder(r).Decode(&oj); err != nil {
+		return nil, fmt.Errorf("schedule: decode omega: %w", err)
+	}
+	if oj.TauIn <= 0 {
+		return nil, fmt.Errorf("schedule: decode omega: non-positive period %g", oj.TauIn)
+	}
+	om := &Omega{TauIn: oj.TauIn, Latency: oj.Latency, Starts: oj.Starts}
+	for _, wj := range oj.Windows {
+		om.Windows = append(om.Windows, Window{
+			Release: wj.Release, Length: wj.Length,
+			AbsRelease: wj.AbsRelease, Xmit: wj.Xmit, Local: wj.Local,
+		})
+	}
+	for _, sj := range oj.Slices {
+		if len(sj.Msgs) != len(sj.Until) {
+			return nil, fmt.Errorf("schedule: decode omega: slice msgs/until mismatch")
+		}
+		sl := Slice{Interval: sj.Interval, Start: sj.Start, End: sj.End, Until: sj.Until}
+		for _, m := range sj.Msgs {
+			if m < 0 || m >= len(om.Windows) {
+				return nil, fmt.Errorf("schedule: decode omega: message %d out of range", m)
+			}
+			sl.Msgs = append(sl.Msgs, tfg.MessageID(m))
+		}
+		om.Slices = append(om.Slices, sl)
+	}
+	for _, nj := range oj.Nodes {
+		ns := NodeSchedule{Node: topology.NodeID(nj.Node)}
+		for _, cj := range nj.Commands {
+			in, err := portFromJSON(cj.In)
+			if err != nil {
+				return nil, err
+			}
+			out, err := portFromJSON(cj.Out)
+			if err != nil {
+				return nil, err
+			}
+			ns.Commands = append(ns.Commands, Command{
+				Start: cj.Start, End: cj.End, Msg: tfg.MessageID(cj.Msg), In: in, Out: out,
+			})
+		}
+		om.Nodes = append(om.Nodes, ns)
+	}
+	return om, nil
+}

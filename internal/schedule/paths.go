@@ -1,0 +1,164 @@
+package schedule
+
+import (
+	"fmt"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// PathAssignment fixes one path per non-local message (the matrix B of
+// Section 5.1, stored as per-message link sets).
+type PathAssignment struct {
+	// Paths[i] is the node path of message i; empty for local messages.
+	Paths []topology.Path
+	// Links[i] is the resolved link sequence of message i.
+	Links [][]topology.LinkID
+}
+
+// Clone deep-copies the assignment (the heuristic mutates candidates).
+func (pa *PathAssignment) Clone() *PathAssignment {
+	cp := &PathAssignment{
+		Paths: append([]topology.Path(nil), pa.Paths...),
+		Links: make([][]topology.LinkID, len(pa.Links)),
+	}
+	copy(cp.Links, pa.Links)
+	return cp
+}
+
+// SetPath replaces message i's path.
+func (pa *PathAssignment) SetPath(i tfg.MessageID, p topology.Path, links []topology.LinkID) {
+	pa.Paths[i] = p
+	pa.Links[i] = links
+}
+
+// LSDAssignment routes every non-local message along its deterministic
+// LSD-to-MSD path — the paper's baseline path selection.
+func LSDAssignment(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment, ws []Window) (*PathAssignment, error) {
+	pa := &PathAssignment{
+		Paths: make([]topology.Path, g.NumMessages()),
+		Links: make([][]topology.LinkID, g.NumMessages()),
+	}
+	for _, m := range g.Messages() {
+		if ws[m.ID].Local {
+			continue
+		}
+		p := top.LSDToMSD(as.Node(m.Src), as.Node(m.Dst))
+		links, err := p.Links(top)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: message %d: %w", m.ID, err)
+		}
+		pa.Paths[m.ID] = p
+		pa.Links[m.ID] = links
+	}
+	return pa, nil
+}
+
+// Candidates holds, per message, the equivalent shortest paths the
+// AssignPaths heuristic may choose among.
+type Candidates struct {
+	// PathsOf[i] lists message i's alternative paths with resolved links.
+	PathsOf [][]candidate
+}
+
+type candidate struct {
+	path  topology.Path
+	links []topology.LinkID
+}
+
+// BuildCandidates enumerates up to maxPaths equivalent shortest paths
+// per non-local message.
+func BuildCandidates(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment, ws []Window, maxPaths int) (*Candidates, error) {
+	if maxPaths < 1 {
+		return nil, fmt.Errorf("schedule: maxPaths %d < 1", maxPaths)
+	}
+	c := &Candidates{PathsOf: make([][]candidate, g.NumMessages())}
+	for _, m := range g.Messages() {
+		if ws[m.ID].Local {
+			continue
+		}
+		paths := top.ShortestPaths(as.Node(m.Src), as.Node(m.Dst), maxPaths)
+		list := make([]candidate, 0, len(paths))
+		for _, p := range paths {
+			links, err := p.Links(top)
+			if err != nil {
+				return nil, fmt.Errorf("schedule: message %d: %w", m.ID, err)
+			}
+			list = append(list, candidate{path: p, links: links})
+		}
+		c.PathsOf[m.ID] = list
+	}
+	return c, nil
+}
+
+// Utilization aggregates the Section 5.1 measures for one assignment:
+// per-link utilization U_j, per-spot no-slack counts U_jk, and the peak
+// U that AssignPaths minimizes.
+type Utilization struct {
+	// LinkU[j] is U_j (0 for unused links).
+	LinkU []float64
+	// Peak is max(max_j U_j, max_{j,k} U_jk).
+	Peak float64
+	// PeakLink is the link attaining the peak.
+	PeakLink topology.LinkID
+	// PeakInterval is the interval of the peak spot, or -1 when the peak
+	// comes from a link utilization rather than a hot-spot.
+	PeakInterval int
+}
+
+// ComputeUtilization evaluates an assignment against the activity
+// structure and message windows.
+func ComputeUtilization(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *Utilization {
+	nl := top.Links()
+	K := act.Intervals.K()
+	xmitOnLink := make([]float64, nl)
+	activeLen := make([]float64, nl)
+	linkInterval := make([][]bool, nl) // any message active on (j,k)
+	spot := make([][]int, nl)          // no-slack count on (j,k)
+	for j := 0; j < nl; j++ {
+		linkInterval[j] = make([]bool, K)
+		spot[j] = make([]int, K)
+	}
+	for i := range ws {
+		if ws[i].Local || len(pa.Links[i]) == 0 {
+			continue
+		}
+		noSlack := ws[i].NoSlack()
+		for _, l := range pa.Links[i] {
+			xmitOnLink[l] += ws[i].Xmit
+			for k := 0; k < K; k++ {
+				if act.Active[i][k] {
+					linkInterval[l][k] = true
+					if noSlack {
+						spot[l][k]++
+					}
+				}
+			}
+		}
+	}
+	u := &Utilization{LinkU: make([]float64, nl), PeakInterval: -1}
+	for j := 0; j < nl; j++ {
+		for k := 0; k < K; k++ {
+			if linkInterval[j][k] {
+				activeLen[j] += act.Intervals.Length(k)
+			}
+		}
+		if activeLen[j] > 0 {
+			u.LinkU[j] = xmitOnLink[j] / activeLen[j]
+		}
+		if u.LinkU[j] > u.Peak {
+			u.Peak = u.LinkU[j]
+			u.PeakLink = topology.LinkID(j)
+			u.PeakInterval = -1
+		}
+		for k := 0; k < K; k++ {
+			if s := float64(spot[j][k]); s > u.Peak {
+				u.Peak = s
+				u.PeakLink = topology.LinkID(j)
+				u.PeakInterval = k
+			}
+		}
+	}
+	return u
+}

@@ -1,0 +1,76 @@
+package schedule
+
+import (
+	"fmt"
+
+	"schedroute/internal/alloc"
+)
+
+// SearchResult reports which allocation candidate won the coupled
+// search and with what outcome.
+type SearchResult struct {
+	// Result is the best schedule found.
+	Result *Result
+	// Chosen is the index of the winning candidate allocation.
+	Chosen int
+}
+
+// ComputeBestAllocation implements the coupling of task allocation with
+// path assignment that the paper's Section 7 calls out as future work
+// ("coupling it with path assignment so as to set up less stringent
+// constraints for SR computation should be explored"): the full
+// pipeline is run for each candidate placement and the best outcome is
+// kept — a feasible schedule with the lowest peak utilization if any
+// candidate succeeds, otherwise the failure with the lowest peak.
+func ComputeBestAllocation(p Problem, opt Options, candidates []*alloc.Assignment) (*SearchResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("schedule: no candidate allocations")
+	}
+	var best *SearchResult
+	for i, as := range candidates {
+		prob := p
+		prob.Assignment = as
+		res, err := Compute(prob, opt)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: candidate %d: %w", i, err)
+		}
+		if best == nil || better(res, best.Result) {
+			best = &SearchResult{Result: res, Chosen: i}
+		}
+	}
+	return best, nil
+}
+
+// better orders results: feasible beats infeasible; among equals, the
+// lower peak utilization wins.
+func better(a, b *Result) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.Peak < b.Peak
+}
+
+// DefaultCandidates builds the standard candidate set for
+// ComputeBestAllocation: round-robin, greedy, and seeds of random
+// placements.
+func DefaultCandidates(p Problem, randomSeeds ...int64) ([]*alloc.Assignment, error) {
+	var out []*alloc.Assignment
+	rr, err := alloc.RoundRobin(p.Graph, p.Topology)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rr)
+	gr, err := alloc.Greedy(p.Graph, p.Topology)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, gr)
+	for _, seed := range randomSeeds {
+		ra, err := alloc.Random(p.Graph, p.Topology, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ra)
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package schedule
+
+import (
+	"sort"
+
+	"schedroute/internal/tfg"
+)
+
+// MaximalSubsets partitions the non-local messages into the maximal
+// related subsets of Definitions 5.3/5.4: two messages are related when
+// they are simultaneously active on a shared link in a shared interval,
+// closed transitively. Message-interval allocation and interval
+// scheduling decompose over these subsets.
+func MaximalSubsets(pa *PathAssignment, ws []Window, act *Activity) [][]tfg.MessageID {
+	n := len(ws)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Group messages by (link, interval) cell and union each group.
+	K := act.Intervals.K()
+	type cell struct {
+		link int
+		k    int
+	}
+	firstIn := map[cell]int{}
+	for i := 0; i < n; i++ {
+		if ws[i].Local {
+			continue
+		}
+		for _, l := range pa.Links[i] {
+			for k := 0; k < K; k++ {
+				if !act.Active[i][k] {
+					continue
+				}
+				c := cell{int(l), k}
+				if j, ok := firstIn[c]; ok {
+					union(j, i)
+				} else {
+					firstIn[c] = i
+				}
+			}
+		}
+	}
+
+	groups := map[int][]tfg.MessageID{}
+	for i := 0; i < n; i++ {
+		if ws[i].Local {
+			continue
+		}
+		r := find(i)
+		groups[r] = append(groups[r], tfg.MessageID(i))
+	}
+	out := make([][]tfg.MessageID, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(a, b int) bool { return g[a] < g[b] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

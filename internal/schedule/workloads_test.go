@@ -1,0 +1,96 @@
+package schedule
+
+import (
+	"testing"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/metrics"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// runWorkload pushes a TFG through the full pipeline on the given
+// topology and, when feasible, executes it and checks consistency.
+func runWorkload(t *testing.T, g *tfg.Graph, top *topology.Topology, tauIn float64) *Result {
+	t.Helper()
+	tm, err := tfg.NewUniformTiming(g, 50, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := alloc.Anneal(g, top, alloc.AnnealOptions{Seed: 2, Steps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(Problem{Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: tauIn}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		if err := res.Omega.Validate(top); err != nil {
+			t.Fatalf("omega invalid: %v", err)
+		}
+		exec, err := Execute(res.Omega, g, tm, tm.TauC(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivs := metrics.Intervals(exec.OutputCompletions)
+		if metrics.OutputInconsistent(tauIn, ivs, 1e-9) {
+			t.Error("feasible schedule executed inconsistently")
+		}
+	}
+	return res
+}
+
+func TestFFTWorkloadOnSixCube(t *testing.T) {
+	// 8-point FFT: 32 tasks, 48 messages — denser than the DVB, with
+	// butterfly strides exercising multi-hop path diversity.
+	g, err := tfg.FFT(3, 1925, 1536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWorkload(t, g, top, 200)
+	if !res.Feasible {
+		t.Logf("FFT at load 0.25 infeasible at %v (U=%g) — dense workload, acceptable", res.FailStage, res.Peak)
+	}
+	// At a very low load the FFT must schedule.
+	res = runWorkload(t, g, top, 250)
+	if !res.Feasible && res.FailStage == StageUtilization {
+		t.Errorf("FFT at load 0.2 should pass the utilization test, peak %g", res.Peak)
+	}
+}
+
+func TestStencilWorkloadOnTorus(t *testing.T) {
+	// Ring-neighbor halos map naturally onto a torus.
+	g, err := tfg.Stencil(8, 1925, 1536, 384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWorkload(t, g, top, 250)
+	if !res.Feasible {
+		t.Errorf("stencil at load 0.2 should schedule on the torus, failed at %v (U=%g)", res.FailStage, res.Peak)
+	}
+}
+
+func TestChainWorkloadMaxLoad(t *testing.T) {
+	// A pure pipeline with short messages schedules even at load 1.0.
+	g, err := tfg.Chain(10, 1925, 640) // xmit 10 << τc 50
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWorkload(t, g, top, 50)
+	if !res.Feasible {
+		t.Errorf("chain at load 1.0 should schedule, failed at %v (U=%g)", res.FailStage, res.Peak)
+	}
+}

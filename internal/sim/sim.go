@@ -1,0 +1,125 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel: a time-ordered event queue with FIFO tie-breaking by schedule
+// order. The wormhole-routing baseline and the scheduled-routing
+// executor are both built on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled at a point in simulated time.
+type Event func(now float64)
+
+type item struct {
+	at  float64
+	seq uint64
+	fn  Event
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)   { *q = append(*q, x.(*item)) }
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine executes events in nondecreasing time order. Events scheduled
+// at identical times run in the order they were scheduled, which keeps
+// every simulation in this repository fully deterministic.
+type Engine struct {
+	now   float64
+	seq   uint64
+	q     queue
+	count uint64
+}
+
+// NewEngine creates an engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.q)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.count }
+
+// Pending returns the number of events not yet executed.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// At schedules fn at absolute time at; scheduling in the past panics,
+// since that is always a simulation bug.
+func (e *Engine) At(at float64, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, e.now))
+	}
+	if math.IsNaN(at) {
+		panic("sim: scheduling event at NaN")
+	}
+	e.seq++
+	heap.Push(&e.q, &item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay time units from now.
+func (e *Engine) After(delay float64, fn Event) {
+	e.At(e.now+delay, fn)
+}
+
+// Step executes the single earliest pending event; it reports false when
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.q).(*item)
+	e.now = it.at
+	e.count++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains or maxEvents have run
+// (maxEvents <= 0 means no bound). It returns an error when the event
+// bound is hit, which usually signals a livelocked model.
+func (e *Engine) Run(maxEvents uint64) error {
+	executed := uint64(0)
+	for e.Step() {
+		executed++
+		if maxEvents > 0 && executed >= maxEvents {
+			if len(e.q) > 0 {
+				return fmt.Errorf("sim: stopped after %d events with %d still pending", executed, len(e.q))
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with time at or before deadline; events
+// beyond it stay queued and the clock advances to exactly deadline.
+func (e *Engine) RunUntil(deadline float64) {
+	for len(e.q) > 0 && e.q[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,106 @@
+package tfg
+
+import (
+	"testing"
+)
+
+func TestFFTShape(t *testing.T) {
+	g, err := FFT(3, 100, 512) // 8-point FFT
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 layers of 8 tasks; 3 stages of 16 messages.
+	if g.NumTasks() != 32 {
+		t.Errorf("tasks = %d, want 32", g.NumTasks())
+	}
+	if g.NumMessages() != 48 {
+		t.Errorf("messages = %d, want 48", g.NumMessages())
+	}
+	if got := len(g.InputTasks()); got != 8 {
+		t.Errorf("inputs = %d, want 8", got)
+	}
+	if got := len(g.OutputTasks()); got != 8 {
+		t.Errorf("outputs = %d, want 8", got)
+	}
+	// Each non-input task has exactly two incoming messages (self +
+	// butterfly partner).
+	lvl := g.Levels()
+	for _, task := range g.Tasks() {
+		if lvl[task.ID] == 0 {
+			continue
+		}
+		if got := len(g.Incoming(task.ID)); got != 2 {
+			t.Fatalf("task %s has %d inputs, want 2", task.Name, got)
+		}
+	}
+}
+
+func TestFFTButterflyPartners(t *testing.T) {
+	g, err := FFT(2, 10, 64) // 4-point
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1, task index 0 must receive from stage-0 indices 0 and 1;
+	// stage 2, index 0 from stage-1 indices 0 and 2.
+	byName := map[string]TaskID{}
+	for _, task := range g.Tasks() {
+		byName[task.Name] = task.ID
+	}
+	wantPreds := map[string][]string{
+		"s1t0": {"s0t0", "s0t1"},
+		"s2t0": {"s1t0", "s1t2"},
+		"s2t3": {"s1t3", "s1t1"},
+	}
+	for dst, preds := range wantPreds {
+		got := map[TaskID]bool{}
+		for _, mid := range g.Incoming(byName[dst]) {
+			got[g.Message(mid).Src] = true
+		}
+		for _, p := range preds {
+			if !got[byName[p]] {
+				t.Errorf("%s should receive from %s", dst, p)
+			}
+		}
+	}
+}
+
+func TestFFTRejectsBadSize(t *testing.T) {
+	if _, err := FFT(0, 10, 64); err == nil {
+		t.Error("logN 0 should fail")
+	}
+	if _, err := FFT(7, 10, 64); err == nil {
+		t.Error("logN 7 should fail")
+	}
+}
+
+func TestStencilShape(t *testing.T) {
+	g, err := Stencil(4, 100, 1024, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scatter + gather + 4 loads + 4 computes = 10 tasks.
+	if g.NumTasks() != 10 {
+		t.Errorf("tasks = %d, want 10", g.NumTasks())
+	}
+	// 4 in + 4*(own+2 halos+out) = 20 messages.
+	if g.NumMessages() != 20 {
+		t.Errorf("messages = %d, want 20", g.NumMessages())
+	}
+	if len(g.InputTasks()) != 1 || len(g.OutputTasks()) != 1 {
+		t.Error("stencil should have one input and one output task")
+	}
+	// Every compute task has 3 inputs: own block plus two halos.
+	for _, task := range g.Tasks() {
+		if len(task.Name) > 4 && task.Name[:4] == "comp" {
+			if got := len(g.Incoming(task.ID)); got != 3 {
+				t.Errorf("%s has %d inputs, want 3", task.Name, got)
+			}
+		}
+	}
+}
+
+func TestStencilRejectsNarrow(t *testing.T) {
+	if _, err := Stencil(2, 10, 64, 8); err == nil {
+		t.Error("width 2 should fail")
+	}
+}

@@ -1,0 +1,57 @@
+package tfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk representation consumed by cmd/tfggen and
+// cmd/srsched.
+type graphJSON struct {
+	Name     string        `json:"name"`
+	Tasks    []taskJSON    `json:"tasks"`
+	Messages []messageJSON `json:"messages"`
+}
+
+type taskJSON struct {
+	Name string `json:"name"`
+	Ops  int64  `json:"ops"`
+}
+
+type messageJSON struct {
+	Name  string `json:"name"`
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Encode writes the graph as JSON.
+func Encode(w io.Writer, g *Graph) error {
+	gj := graphJSON{Name: g.Name()}
+	for _, t := range g.tasks {
+		gj.Tasks = append(gj.Tasks, taskJSON{Name: t.Name, Ops: t.Ops})
+	}
+	for _, m := range g.messages {
+		gj.Messages = append(gj.Messages, messageJSON{Name: m.Name, Src: int(m.Src), Dst: int(m.Dst), Bytes: m.Bytes})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(gj)
+}
+
+// Decode reads a JSON graph and validates it.
+func Decode(r io.Reader) (*Graph, error) {
+	var gj graphJSON
+	if err := json.NewDecoder(r).Decode(&gj); err != nil {
+		return nil, fmt.Errorf("tfg: decode: %w", err)
+	}
+	b := NewBuilder(gj.Name)
+	for _, t := range gj.Tasks {
+		b.AddTask(t.Name, t.Ops)
+	}
+	for _, m := range gj.Messages {
+		b.AddMessage(m.Name, TaskID(m.Src), TaskID(m.Dst), m.Bytes)
+	}
+	return b.Build()
+}

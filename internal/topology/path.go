@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a node sequence from source to destination along adjacent
+// nodes. A path visiting a single node (source == destination) carries
+// no links.
+type Path struct {
+	Nodes []NodeID
+}
+
+// Source returns the first node of the path.
+func (p Path) Source() NodeID { return p.Nodes[0] }
+
+// Dest returns the last node of the path.
+func (p Path) Dest() NodeID { return p.Nodes[len(p.Nodes)-1] }
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int { return len(p.Nodes) - 1 }
+
+// Links resolves the path's node sequence to link IDs on t.
+func (p Path) Links(t *Topology) ([]LinkID, error) {
+	out := make([]LinkID, 0, p.Hops())
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		id, ok := t.LinkBetween(p.Nodes[i], p.Nodes[i+1])
+		if !ok {
+			return nil, fmt.Errorf("topology: path step %d: nodes %d and %d are not adjacent", i, p.Nodes[i], p.Nodes[i+1])
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Equal reports whether both paths visit the same node sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path as "0->5->7".
+func (p Path) String() string {
+	parts := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return strings.Join(parts, "->")
+}
+
+// Validate checks that the path's consecutive nodes are adjacent on t
+// and that no node repeats.
+func (p Path) Validate(t *Topology) error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("topology: empty path")
+	}
+	seen := make(map[NodeID]bool, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n < 0 || int(n) >= t.Nodes() {
+			return fmt.Errorf("topology: path node %d out of range", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("topology: path revisits node %d", n)
+		}
+		seen[n] = true
+		if i > 0 {
+			if _, ok := t.LinkBetween(p.Nodes[i-1], n); !ok {
+				return fmt.Errorf("topology: path nodes %d and %d not adjacent", p.Nodes[i-1], n)
+			}
+		}
+	}
+	return nil
+}
+
+// LSDToMSD returns the deterministic dimension-order path from src to
+// dst: the source address is corrected one dimension at a time starting
+// from the least significant digit, exactly the deadlock-free route the
+// paper attributes to wormhole routing. In a GHC each correction is a
+// single hop; in a torus or mesh the digit walks along the ring (shortest
+// direction, positive on ties).
+func (t *Topology) LSDToMSD(src, dst NodeID) Path {
+	cur := t.Digits(src)
+	dstd := t.Digits(dst)
+	nodes := []NodeID{src}
+	for dim := 0; dim < len(t.radices); dim++ {
+		for cur[dim] != dstd[dim] {
+			cur[dim] = t.dimStep(dim, cur[dim], dstd[dim])
+			nodes = append(nodes, t.FromDigits(cur))
+		}
+	}
+	return Path{Nodes: nodes}
+}
+
+// dimStep returns the next digit value moving from a toward b along
+// dimension dim by one hop.
+func (t *Topology) dimStep(dim, a, b int) int {
+	m := t.radices[dim]
+	switch t.kind {
+	case KindGHC:
+		return b
+	case KindTorus:
+		fwd := (b - a + m) % m
+		bwd := (a - b + m) % m
+		if fwd <= bwd {
+			return (a + 1) % m
+		}
+		return (a - 1 + m) % m
+	default: // mesh
+		if b > a {
+			return a + 1
+		}
+		return a - 1
+	}
+}
+
+// ShortestPaths enumerates equivalent shortest paths from src to dst in
+// lexicographic node order, stopping after max paths (max <= 0 means no
+// bound). The enumeration walks the shortest-path DAG implied by the
+// address structure, so every returned path has exactly Distance(src,
+// dst) hops.
+func (t *Topology) ShortestPaths(src, dst NodeID, max int) []Path {
+	if src == dst {
+		return []Path{{Nodes: []NodeID{src}}}
+	}
+	var out []Path
+	prefix := []NodeID{src}
+	var rec func(u NodeID)
+	rec = func(u NodeID) {
+		if max > 0 && len(out) >= max {
+			return
+		}
+		if u == dst {
+			out = append(out, Path{Nodes: append([]NodeID(nil), prefix...)})
+			return
+		}
+		remain := t.Distance(u, dst)
+		for _, v := range t.adj[u] {
+			if t.Distance(v, dst) == remain-1 {
+				prefix = append(prefix, v)
+				rec(v)
+				prefix = prefix[:len(prefix)-1]
+				if max > 0 && len(out) >= max {
+					return
+				}
+			}
+		}
+	}
+	rec(src)
+	return out
+}
+
+// CountShortestPaths returns the number of distinct shortest paths from
+// src to dst without materializing them.
+func (t *Topology) CountShortestPaths(src, dst NodeID) int {
+	memo := make(map[NodeID]int)
+	var count func(u NodeID) int
+	count = func(u NodeID) int {
+		if u == dst {
+			return 1
+		}
+		if c, ok := memo[u]; ok {
+			return c
+		}
+		remain := t.Distance(u, dst)
+		total := 0
+		for _, v := range t.adj[u] {
+			if t.Distance(v, dst) == remain-1 {
+				total += count(v)
+			}
+		}
+		memo[u] = total
+		return total
+	}
+	return count(src)
+}

@@ -1,0 +1,331 @@
+// Package topology models the interconnection networks evaluated in the
+// paper: generalized hypercubes (GHCs), k-ary n-cube tori, meshes, and
+// binary hypercubes. Nodes carry mixed-radix addresses; links are
+// bidirectional and half-duplex, matching the paper's hardware model.
+//
+// The package also provides the two path selectors the paper compares:
+// the deterministic LSD-to-MSD (dimension-order) route used by wormhole
+// routing, and enumeration of all equivalent shortest paths, which
+// scheduled routing's AssignPaths heuristic draws from.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node; valid IDs are 0..Nodes()-1 and correspond to
+// the mixed-radix encoding of the node's address, least-significant digit
+// first.
+type NodeID int
+
+// LinkID identifies an undirected, half-duplex link; valid IDs are
+// 0..Links()-1.
+type LinkID int
+
+// Kind names the topology family.
+type Kind int
+
+const (
+	// KindGHC is a generalized hypercube: along every dimension the
+	// nodes sharing the remaining digits form a complete graph.
+	KindGHC Kind = iota
+	// KindTorus is a k-ary n-cube: along every dimension the nodes
+	// sharing the remaining digits form a ring.
+	KindTorus
+	// KindMesh is a torus without the wraparound edges.
+	KindMesh
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case KindGHC:
+		return "ghc"
+	case KindTorus:
+		return "torus"
+	case KindMesh:
+		return "mesh"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Link is an undirected half-duplex channel between two adjacent nodes.
+// A < B always holds.
+type Link struct {
+	ID LinkID
+	A  NodeID
+	B  NodeID
+}
+
+// Topology is an immutable interconnection network.
+type Topology struct {
+	kind    Kind
+	radices []int
+	nodes   int
+	adj     [][]NodeID
+	links   []Link
+	linkOf  map[[2]NodeID]LinkID
+}
+
+// NewGHC builds a generalized hypercube GHC(m_1, ..., m_r) with
+// m_1*...*m_r nodes. Every radix must be at least 2. A binary hypercube
+// of dimension d is NewGHC with d radices of 2.
+func NewGHC(radices ...int) (*Topology, error) {
+	return build(KindGHC, radices)
+}
+
+// NewTorus builds a k-ary n-cube torus with the given per-dimension
+// radices (each at least 2). Radix-2 dimensions collapse the ring's
+// double edge into a single link.
+func NewTorus(radices ...int) (*Topology, error) {
+	return build(KindTorus, radices)
+}
+
+// NewMesh builds a mesh (torus without wraparound) with the given
+// per-dimension radices.
+func NewMesh(radices ...int) (*Topology, error) {
+	return build(KindMesh, radices)
+}
+
+// NewHypercube builds a binary d-cube.
+func NewHypercube(d int) (*Topology, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d < 1", d)
+	}
+	r := make([]int, d)
+	for i := range r {
+		r[i] = 2
+	}
+	return build(KindGHC, r)
+}
+
+func build(kind Kind, radices []int) (*Topology, error) {
+	if len(radices) == 0 {
+		return nil, fmt.Errorf("topology: no radices given")
+	}
+	n := 1
+	for i, m := range radices {
+		if m < 2 {
+			return nil, fmt.Errorf("topology: radix %d of dimension %d is below 2", m, i)
+		}
+		if n > 1<<20/m {
+			return nil, fmt.Errorf("topology: too many nodes")
+		}
+		n *= m
+	}
+	t := &Topology{
+		kind:    kind,
+		radices: append([]int(nil), radices...),
+		nodes:   n,
+		adj:     make([][]NodeID, n),
+		linkOf:  make(map[[2]NodeID]LinkID),
+	}
+	for u := 0; u < n; u++ {
+		du := t.Digits(NodeID(u))
+		for dim, m := range radices {
+			switch kind {
+			case KindGHC:
+				// Complete graph per dimension.
+				for v := 0; v < m; v++ {
+					if v == du[dim] {
+						continue
+					}
+					t.addEdge(NodeID(u), t.withDigit(du, dim, v))
+				}
+			case KindTorus:
+				t.addEdge(NodeID(u), t.withDigit(du, dim, (du[dim]+1)%m))
+				t.addEdge(NodeID(u), t.withDigit(du, dim, (du[dim]+m-1)%m))
+			case KindMesh:
+				if du[dim]+1 < m {
+					t.addEdge(NodeID(u), t.withDigit(du, dim, du[dim]+1))
+				}
+				if du[dim]-1 >= 0 {
+					t.addEdge(NodeID(u), t.withDigit(du, dim, du[dim]-1))
+				}
+			}
+		}
+	}
+	for u := range t.adj {
+		sort.Slice(t.adj[u], func(i, j int) bool { return t.adj[u][i] < t.adj[u][j] })
+	}
+	return t, nil
+}
+
+func (t *Topology) addEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]NodeID{a, b}
+	if _, ok := t.linkOf[key]; ok {
+		return
+	}
+	id := LinkID(len(t.links))
+	t.linkOf[key] = id
+	t.links = append(t.links, Link{ID: id, A: a, B: b})
+	t.adj[u] = append(t.adj[u], v)
+	t.adj[v] = append(t.adj[v], u)
+}
+
+// Kind returns the topology family.
+func (t *Topology) Kind() Kind { return t.kind }
+
+// Radices returns a copy of the per-dimension radices.
+func (t *Topology) Radices() []int { return append([]int(nil), t.radices...) }
+
+// Dimensions returns the number of dimensions.
+func (t *Topology) Dimensions() int { return len(t.radices) }
+
+// Nodes returns the node count.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// Links returns the link count.
+func (t *Topology) Links() int { return len(t.links) }
+
+// Link returns the link with the given ID.
+func (t *Topology) Link(id LinkID) Link { return t.links[id] }
+
+// Neighbors returns the nodes adjacent to u (shared slice; do not mutate).
+func (t *Topology) Neighbors(u NodeID) []NodeID { return t.adj[u] }
+
+// Degree returns the number of links incident on u.
+func (t *Topology) Degree(u NodeID) int { return len(t.adj[u]) }
+
+// LinkBetween returns the link joining u and v, or false when they are
+// not adjacent.
+func (t *Topology) LinkBetween(u, v NodeID) (LinkID, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	id, ok := t.linkOf[[2]NodeID{u, v}]
+	return id, ok
+}
+
+// Digits decodes a node ID into its mixed-radix address, least
+// significant digit first.
+func (t *Topology) Digits(u NodeID) []int {
+	d := make([]int, len(t.radices))
+	x := int(u)
+	for i, m := range t.radices {
+		d[i] = x % m
+		x /= m
+	}
+	return d
+}
+
+// FromDigits encodes a mixed-radix address (LSD first) into a node ID.
+func (t *Topology) FromDigits(d []int) NodeID {
+	id, mul := 0, 1
+	for i, m := range t.radices {
+		id += d[i] * mul
+		mul *= m
+	}
+	return NodeID(id)
+}
+
+func (t *Topology) withDigit(d []int, dim, v int) NodeID {
+	old := d[dim]
+	d[dim] = v
+	id := t.FromDigits(d)
+	d[dim] = old
+	return id
+}
+
+// Distance returns the hop count of a shortest path from u to v.
+func (t *Topology) Distance(u, v NodeID) int {
+	du, dv := t.Digits(u), t.Digits(v)
+	dist := 0
+	for i := range du {
+		dist += t.dimDistance(i, du[i], dv[i])
+	}
+	return dist
+}
+
+// dimDistance is the per-dimension hop count between digit values a and b.
+func (t *Topology) dimDistance(dim, a, b int) int {
+	if a == b {
+		return 0
+	}
+	m := t.radices[dim]
+	switch t.kind {
+	case KindGHC:
+		return 1
+	case KindTorus:
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if m-d < d {
+			return m - d
+		}
+		return d
+	default: // mesh
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+}
+
+// Diameter returns the maximum shortest-path distance over all node
+// pairs, computed from the address structure in O(dims * max radix).
+func (t *Topology) Diameter() int {
+	diam := 0
+	for dim, m := range t.radices {
+		worst := 0
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				if d := t.dimDistance(dim, a, b); d > worst {
+					worst = d
+				}
+			}
+		}
+		diam += worst
+	}
+	return diam
+}
+
+// String describes the topology, e.g. "ghc(4,4,4)" or "torus(8,8)".
+func (t *Topology) String() string {
+	parts := make([]string, len(t.radices))
+	for i, m := range t.radices {
+		parts[i] = fmt.Sprintf("%d", m)
+	}
+	return fmt.Sprintf("%s(%s)", t.kind, strings.Join(parts, ","))
+}
+
+// Validate checks internal consistency; it is used by tests and by
+// loaders of externally supplied topologies.
+func (t *Topology) Validate() error {
+	if t.nodes != len(t.adj) {
+		return fmt.Errorf("topology: adjacency size %d != nodes %d", len(t.adj), t.nodes)
+	}
+	for u, ns := range t.adj {
+		seen := make(map[NodeID]bool, len(ns))
+		for _, v := range ns {
+			if v == NodeID(u) {
+				return fmt.Errorf("topology: self-loop at node %d", u)
+			}
+			if seen[v] {
+				return fmt.Errorf("topology: duplicate edge %d-%d", u, v)
+			}
+			seen[v] = true
+			if _, ok := t.LinkBetween(NodeID(u), v); !ok {
+				return fmt.Errorf("topology: edge %d-%d has no link record", u, v)
+			}
+		}
+	}
+	for _, l := range t.links {
+		if l.A >= l.B {
+			return fmt.Errorf("topology: link %d endpoints out of order", l.ID)
+		}
+	}
+	return nil
+}

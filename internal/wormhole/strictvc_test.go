@@ -1,0 +1,92 @@
+package wormhole
+
+import (
+	"testing"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/metrics"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// countOI sweeps the paper's grid and counts load points with output
+// inconsistency (or deadlock) under the given VC model.
+func countOI(t *testing.T, strict bool) int {
+	t.Helper()
+	g, err := dvb.New(dvb.DefaultModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := dvb.Timing(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for k := 0; k < 12; k++ {
+		tauIn := tm.TauC() * (1 + 4*float64(k)/11)
+		res, err := Simulate(Config{
+			Graph: g, Timing: tm, Topology: top, Assignment: as,
+			TauIn: tauIn, Invocations: 16, Warmup: 8, StrictVC: strict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked || metrics.OutputInconsistent(tauIn, metrics.Intervals(res.OutputCompletions), 1e-6) {
+			count++
+		}
+	}
+	return count
+}
+
+// TestStrictVCIncreasesOI verifies the paper's Section 6 closing
+// prediction: halving per-message bandwidth via channel multiplexing
+// makes output inconsistency at least as frequent.
+func TestStrictVCIncreasesOI(t *testing.T) {
+	base := countOI(t, false)
+	strict := countOI(t, true)
+	if strict < base {
+		t.Errorf("strict VC model reduced OI points: %d < %d", strict, base)
+	}
+	if strict == 0 {
+		t.Error("strict model shows no OI anywhere; expected contention")
+	}
+}
+
+func TestStrictVCDoublesUncontendedTransmission(t *testing.T) {
+	g, err := tfg.Chain(3, 100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topology.NewTorus(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := uniform(t, g, 10, 64) // xmit 10
+	for _, strict := range []bool{false, true} {
+		res, err := Simulate(Config{
+			Graph: g, Timing: tm, Topology: top,
+			Assignment:  lineAssignment(0, 1, 2),
+			TauIn:       100,
+			Invocations: 3, Warmup: 1, StrictVC: strict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 50.0 // 3 tasks * 10 + 2 messages * 10
+		if strict {
+			want = 70.0 // messages take 20 each
+		}
+		if res.Latencies[0] != want {
+			t.Errorf("strict=%v: latency %g, want %g", strict, res.Latencies[0], want)
+		}
+	}
+}

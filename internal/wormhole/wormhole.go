@@ -1,0 +1,430 @@
+// Package wormhole simulates the paper's wormhole-routing baseline
+// (Section 3 and the model stated in Section 6): each message follows
+// the deterministic LSD-to-MSD path between its tasks' nodes, captures
+// links one at a time in path order while holding those already
+// acquired (blocking in place), contends under first-come-first-served
+// arbitration at every link, and occupies the entire path from the
+// instant the path is complete until delivery one transmission time
+// later. Propagation and switching delays are ignored — the large-grain
+// assumption makes transmission time dominant — and each link carries
+// one channel per direction, as in the second-generation multicomputers
+// (iPSC/2, Symult 2010) the paper names.
+//
+// A task-flow graph is invoked periodically; messages of different
+// invocations therefore coexist and contend, which is precisely the
+// mechanism behind output inconsistency.
+package wormhole
+
+import (
+	"fmt"
+	"math"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/sim"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Graph      *tfg.Graph
+	Timing     *tfg.Timing
+	Topology   *topology.Topology
+	Assignment *alloc.Assignment
+	// TauIn is the invocation period τin.
+	TauIn float64
+	// Invocations is the number of TFG invocations to inject.
+	Invocations int
+	// Warmup invocations are simulated but excluded from the result
+	// series, letting the pipeline reach steady state first.
+	Warmup int
+	// MaxEvents bounds the event count (0 = default of 50M) to guard
+	// against runaway models.
+	MaxEvents uint64
+	// StrictVC selects the paper's "stricter model" (Section 6, closing
+	// remark): each physical channel is time-multiplexed between its two
+	// virtual channels, so the bandwidth available to a message is
+	// halved — transmission times double. The paper predicts the
+	// instances of output inconsistency "are likely to increase".
+	StrictVC bool
+	// Adaptive selects load-sensitive path selection in the style of
+	// adaptive cut-through routing (Ngai 1989, discussed at the end of
+	// the paper's Section 3): at injection the message commits to the
+	// equivalent shortest path with the fewest currently-occupied
+	// channels instead of the deterministic LSD-to-MSD route. The
+	// paper argues output inconsistency persists even then.
+	Adaptive bool
+	// AdaptiveMaxPaths caps the equivalent shortest paths considered
+	// per source/destination pair (default 16).
+	AdaptiveMaxPaths int
+	// Trace, when non-nil, receives simulation events: "inject" (message
+	// becomes ready), "path" (full path acquired, transmission starts),
+	// "deliver" (message received), "task" (task instance starts).
+	Trace func(event string, msg tfg.MessageID, inv int, t float64)
+}
+
+// Result carries the per-invocation measurements.
+type Result struct {
+	// OutputCompletions[j] is the absolute time at which the last output
+	// task of measured invocation j completed.
+	OutputCompletions []float64
+	// Latencies[j] is OutputCompletions[j] minus invocation j's start.
+	Latencies []float64
+	// TotalLinkWait is the summed time messages spent blocked waiting
+	// for links, across all measured and warmup invocations.
+	TotalLinkWait float64
+	// Deadlocked is true when the simulation wedged with undelivered
+	// messages (possible for the path-holding model on tori, which have
+	// cyclic link dependencies without virtual channels).
+	Deadlocked bool
+}
+
+// channel is a directed virtual-channel resource. Second-generation
+// multicomputer links carry one physical channel per direction, so
+// traffic flowing A→B does not contend with traffic flowing B→A; on
+// tori each directed channel additionally carries two virtual channels
+// with the classic dateline discipline (switch from VC0 to VC1 on
+// crossing a ring's wraparound link), which is what makes
+// dimension-order wormhole routing deadlock-free on rings — the
+// "stricter model" the paper's Section 6 closing remark refers to.
+// (Scheduled routing, by contrast, uses the paper's half-duplex CP link
+// model; it is contention-free by construction, so the distinction is
+// moot there.)
+type channel int
+
+func channelOf(l topology.LinkID, fromLow bool, vc int) channel {
+	c := channel(l) * 4
+	if !fromLow {
+		c += 2
+	}
+	return c + channel(vc)
+}
+
+// channelSequence maps a node path to its directed virtual channels:
+// per dimension, VC0 until the ring's wraparound link is crossed, VC1
+// from there on (dateline discipline). Non-wrapping hops on GHCs and
+// meshes always ride VC0.
+func channelSequence(top *topology.Topology, p topology.Path, links []topology.LinkID) []channel {
+	radices := top.Radices()
+	crossed := make([]bool, len(radices))
+	chans := make([]channel, len(links))
+	for h, l := range links {
+		u, v := p.Nodes[h], p.Nodes[h+1]
+		du, dv := top.Digits(u), top.Digits(v)
+		dim := -1
+		for d := range du {
+			if du[d] != dv[d] {
+				dim = d
+				break
+			}
+		}
+		wrap := false
+		if dim >= 0 {
+			k := radices[dim]
+			diff := du[dim] - dv[dim]
+			if diff == k-1 || diff == -(k-1) {
+				wrap = true
+			}
+		}
+		vc := 0
+		if dim >= 0 {
+			if wrap {
+				crossed[dim] = true
+			}
+			if crossed[dim] {
+				vc = 1
+			}
+		}
+		chans[h] = channelOf(l, u < v, vc)
+	}
+	return chans
+}
+
+// message instance state during simulation.
+type msgInstance struct {
+	id       tfg.MessageID
+	inv      int
+	links    []channel
+	acquired int
+	// waitSince is when the instance joined its current wait queue.
+	waitSince float64
+	// waiting is true while the instance sits in some link's queue.
+	waiting bool
+	// delivered is set on completion, for deadlock detection.
+	delivered bool
+}
+
+// taskInstance tracks readiness of one (task, invocation).
+type taskInstance struct {
+	pendingMsgs int
+	started     bool
+}
+
+type simulator struct {
+	cfg        Config
+	eng        *sim.Engine
+	paths      [][]channel      // per message ID: directed channel sequence
+	candidates [][][]channel    // per message ID: alternative sequences (adaptive mode)
+	holder     []*msgInstance   // per channel: current owner
+	queues     [][]*msgInstance // per channel: FCFS waiters
+	tasks      []map[int]*taskInstance
+	apBusy     []float64 // per node: time the AP frees up
+	// completion bookkeeping
+	outputsLeft []int     // per invocation
+	outputDone  []float64 // per invocation: completion of last output
+	invStart    []float64
+	inFlight    []*msgInstance
+	totalWait   float64
+}
+
+// Simulate runs the configured wormhole model and returns per-invocation
+// measurements.
+func Simulate(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	s := &simulator{
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		holder: make([]*msgInstance, 4*cfg.Topology.Links()),
+		queues: make([][]*msgInstance, 4*cfg.Topology.Links()),
+		tasks:  make([]map[int]*taskInstance, cfg.Graph.NumTasks()),
+		apBusy: make([]float64, cfg.Topology.Nodes()),
+	}
+	for i := range s.tasks {
+		s.tasks[i] = make(map[int]*taskInstance)
+	}
+	// Precompute LSD-to-MSD directed channel sequences per message, and
+	// in adaptive mode the alternative shortest paths to pick among at
+	// injection time.
+	s.paths = make([][]channel, cfg.Graph.NumMessages())
+	if cfg.Adaptive {
+		s.candidates = make([][][]channel, cfg.Graph.NumMessages())
+	}
+	maxPaths := cfg.AdaptiveMaxPaths
+	if maxPaths == 0 {
+		maxPaths = 16
+	}
+	for _, m := range cfg.Graph.Messages() {
+		src := cfg.Assignment.Node(m.Src)
+		dst := cfg.Assignment.Node(m.Dst)
+		if src == dst {
+			s.paths[m.ID] = nil
+			continue
+		}
+		p := cfg.Topology.LSDToMSD(src, dst)
+		links, err := p.Links(cfg.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("wormhole: message %d: %w", m.ID, err)
+		}
+		s.paths[m.ID] = channelSequence(cfg.Topology, p, links)
+		if cfg.Adaptive {
+			for _, alt := range cfg.Topology.ShortestPaths(src, dst, maxPaths) {
+				altLinks, err := alt.Links(cfg.Topology)
+				if err != nil {
+					return nil, fmt.Errorf("wormhole: message %d: %w", m.ID, err)
+				}
+				s.candidates[m.ID] = append(s.candidates[m.ID], channelSequence(cfg.Topology, alt, altLinks))
+			}
+		}
+	}
+
+	total := cfg.Warmup + cfg.Invocations
+	s.outputsLeft = make([]int, total)
+	s.outputDone = make([]float64, total)
+	s.invStart = make([]float64, total)
+	nOutputs := len(cfg.Graph.OutputTasks())
+	for j := 0; j < total; j++ {
+		j := j
+		s.outputsLeft[j] = nOutputs
+		s.outputDone[j] = math.Inf(-1)
+		s.invStart[j] = float64(j) * cfg.TauIn
+		s.eng.At(s.invStart[j], func(now float64) { s.startInvocation(j, now) })
+	}
+
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 50_000_000
+	}
+	if err := s.eng.Run(maxEvents); err != nil {
+		return nil, fmt.Errorf("wormhole: %w", err)
+	}
+
+	res := &Result{TotalLinkWait: s.totalWait}
+	for _, mi := range s.inFlight {
+		if !mi.delivered {
+			res.Deadlocked = true
+			break
+		}
+	}
+	if !res.Deadlocked {
+		for j := cfg.Warmup; j < total; j++ {
+			if s.outputsLeft[j] != 0 {
+				res.Deadlocked = true
+				break
+			}
+		}
+	}
+	if res.Deadlocked {
+		return res, nil
+	}
+	for j := cfg.Warmup; j < total; j++ {
+		res.OutputCompletions = append(res.OutputCompletions, s.outputDone[j])
+		res.Latencies = append(res.Latencies, s.outputDone[j]-s.invStart[j])
+	}
+	return res, nil
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Graph == nil || cfg.Timing == nil || cfg.Topology == nil || cfg.Assignment == nil:
+		return fmt.Errorf("wormhole: incomplete config")
+	case cfg.TauIn <= 0:
+		return fmt.Errorf("wormhole: non-positive invocation period %g", cfg.TauIn)
+	case cfg.Invocations < 1:
+		return fmt.Errorf("wormhole: need at least one measured invocation")
+	case cfg.Warmup < 0:
+		return fmt.Errorf("wormhole: negative warmup")
+	}
+	if err := cfg.Assignment.Validate(cfg.Graph, cfg.Topology, false); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *simulator) instance(t tfg.TaskID, inv int) *taskInstance {
+	ti, ok := s.tasks[t][inv]
+	if !ok {
+		ti = &taskInstance{pendingMsgs: len(s.cfg.Graph.Incoming(t))}
+		s.tasks[t][inv] = ti
+	}
+	return ti
+}
+
+func (s *simulator) startInvocation(j int, now float64) {
+	for _, t := range s.cfg.Graph.InputTasks() {
+		s.enqueueTask(t, j, now)
+	}
+}
+
+// enqueueTask makes (t, inv) ready and hands it to its node's AP, which
+// processes ready tasks first-come-first-served, one at a time.
+func (s *simulator) enqueueTask(t tfg.TaskID, inv int, now float64) {
+	ti := s.instance(t, inv)
+	if ti.started {
+		return
+	}
+	ti.started = true
+	node := s.cfg.Assignment.Node(t)
+	exec := s.cfg.Timing.ExecTime[t]
+	start := now
+	if s.apBusy[node] > start {
+		start = s.apBusy[node]
+	}
+	s.apBusy[node] = start + exec
+	finish := start + exec
+	s.eng.At(finish, func(now float64) { s.completeTask(t, inv, now) })
+}
+
+func (s *simulator) completeTask(t tfg.TaskID, inv int, now float64) {
+	g := s.cfg.Graph
+	if len(g.Outgoing(t)) == 0 {
+		s.outputsLeft[inv]--
+		if now > s.outputDone[inv] {
+			s.outputDone[inv] = now
+		}
+		return
+	}
+	for _, mid := range g.Outgoing(t) {
+		mi := &msgInstance{id: mid, inv: inv, links: s.routeFor(mid)}
+		s.inFlight = append(s.inFlight, mi)
+		if s.cfg.Trace != nil {
+			s.cfg.Trace("inject", mid, inv, now)
+		}
+		s.advance(mi, now)
+	}
+}
+
+// routeFor picks the message's channel sequence: the deterministic
+// LSD-to-MSD route, or in adaptive mode the equivalent shortest path
+// with the fewest currently-occupied channels (ties to the first
+// enumerated, keeping the simulation deterministic).
+func (s *simulator) routeFor(mid tfg.MessageID) []channel {
+	if s.candidates == nil || len(s.candidates[mid]) == 0 {
+		return s.paths[mid]
+	}
+	best, bestBusy := s.candidates[mid][0], int(^uint(0)>>1)
+	for _, cand := range s.candidates[mid] {
+		busy := 0
+		for _, ch := range cand {
+			if s.holder[ch] != nil {
+				busy++
+			}
+		}
+		if busy < bestBusy {
+			best, bestBusy = cand, busy
+		}
+	}
+	return best
+}
+
+// advance acquires channels in path order; when blocked the instance
+// enters (or stays in) the FCFS queue of the next channel; when the
+// path is complete, delivery is scheduled one transmission time later.
+// A free channel with waiters is granted only to the head of its queue,
+// so arrival order is honored even when several channels free at once.
+func (s *simulator) advance(mi *msgInstance, now float64) {
+	for mi.acquired < len(mi.links) {
+		l := mi.links[mi.acquired]
+		if s.holder[l] == nil && (len(s.queues[l]) == 0 || s.queues[l][0] == mi) {
+			if len(s.queues[l]) > 0 && s.queues[l][0] == mi {
+				s.queues[l] = s.queues[l][1:]
+				mi.waiting = false
+				s.totalWait += now - mi.waitSince
+			}
+			s.holder[l] = mi
+			mi.acquired++
+			continue
+		}
+		if !mi.waiting {
+			mi.waiting = true
+			mi.waitSince = now
+			s.queues[l] = append(s.queues[l], mi)
+		}
+		return
+	}
+	// Full path held (possibly empty for co-located tasks): transmit.
+	if s.cfg.Trace != nil {
+		s.cfg.Trace("path", mi.id, mi.inv, now)
+	}
+	xmit := s.cfg.Timing.XmitTime[mi.id]
+	if s.cfg.StrictVC && len(mi.links) > 0 {
+		xmit *= 2
+	}
+	s.eng.At(now+xmit, func(now float64) { s.deliver(mi, now) })
+}
+
+func (s *simulator) deliver(mi *msgInstance, now float64) {
+	mi.delivered = true
+	if s.cfg.Trace != nil {
+		s.cfg.Trace("deliver", mi.id, mi.inv, now)
+	}
+	// Release the whole path, waking FCFS heads.
+	released := mi.links[:mi.acquired]
+	mi.links = nil
+	for _, l := range released {
+		s.holder[l] = nil
+	}
+	for _, l := range released {
+		if s.holder[l] == nil && len(s.queues[l]) > 0 {
+			// advance pops the head itself once it grants the channel.
+			s.advance(s.queues[l][0], now)
+		}
+	}
+	dst := s.cfg.Graph.Message(mi.id).Dst
+	ti := s.instance(dst, mi.inv)
+	ti.pendingMsgs--
+	if ti.pendingMsgs == 0 {
+		s.enqueueTask(dst, mi.inv, now)
+	}
+}
