@@ -1,0 +1,36 @@
+# Tier-1 verify is `make check`: build, vet, then the full test suite.
+# `make race` is the concurrency job for the parallel sweep/search
+# engine; run it whenever internal/parallel or a sweep changes.
+
+GO ?= go
+
+.PHONY: all build vet test check race bench bench-parallel clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./...
+
+# Full figure-regeneration benchmark suite (see bench_test.go).
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Serial-vs-parallel sweep comparison plus the conflict-matrix
+# allocs/op delta recorded in docs/results-latest.txt.
+bench-parallel:
+	$(GO) test -run XXX -bench '(Serial|Parallel)(Sweep|BestAllocation)' -benchtime 3x .
+	$(GO) test -run XXX -bench ConflictMatrix -benchmem ./internal/schedule/
+
+clean:
+	$(GO) clean ./...

@@ -448,6 +448,62 @@ func benchAllocator(b *testing.B, which string) {
 	b.ReportMetric(peak, "peakU")
 }
 
+// Parallel sweep engine: the same figure panels with the worker pool at
+// GOMAXPROCS versus forced-serial (Procs: 1). Results are identical by
+// construction (see TestUtilizationSweepParallelMatchesSerial); only
+// wall-clock differs. Compare with
+//
+//	go test -bench 'Sweep(Serial|Parallel)' -benchtime 3x
+//
+// on a multi-core box to measure the speedup recorded in
+// docs/results-latest.txt.
+func benchUtilizationProcs(b *testing.B, key string, procs int) {
+	cfg := benchConfig(b, key)
+	cfg.Procs = procs
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UtilizationSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPerfProcs(b *testing.B, key string, procs int) {
+	cfg := benchConfig(b, key)
+	cfg.Procs = procs
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PerfSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialSweepFig5SixCubeB64(b *testing.B)   { benchUtilizationProcs(b, "6cube-b64", 1) }
+func BenchmarkParallelSweepFig5SixCubeB64(b *testing.B) { benchUtilizationProcs(b, "6cube-b64", 0) }
+func BenchmarkSerialSweepFig7SixCubeB64(b *testing.B)   { benchPerfProcs(b, "6cube-b64", 1) }
+func BenchmarkParallelSweepFig7SixCubeB64(b *testing.B) { benchPerfProcs(b, "6cube-b64", 0) }
+func BenchmarkSerialSweepFig9Torus88B128(b *testing.B)  { benchPerfProcs(b, "torus88-b128", 1) }
+func BenchmarkParallelSweepFig9Torus88B128(b *testing.B) {
+	benchPerfProcs(b, "torus88-b128", 0)
+}
+
+// BenchmarkParallelBestAllocation measures the coupled placement search
+// (rr + greedy + 6 random placements) on the worker pool.
+func benchBestAllocation(b *testing.B, procs int) {
+	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
+	cands, err := schedule.DefaultCandidates(p, 2, 3, 4, 5, 6, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.ComputeBestAllocation(p, schedule.Options{Seed: 1, Procs: procs}, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialBestAllocation(b *testing.B)   { benchBestAllocation(b, 1) }
+func BenchmarkParallelBestAllocation(b *testing.B) { benchBestAllocation(b, 0) }
+
 // Component benchmarks.
 
 func BenchmarkWormholeSimSixCube(b *testing.B) {

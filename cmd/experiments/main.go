@@ -27,6 +27,7 @@ func main() {
 	warmup := flag.Int("warmup", 20, "wormhole invocations to discard before measuring")
 	seed := flag.Int64("seed", 1, "AssignPaths random-restart seed")
 	format := flag.String("format", "table", "output format: table or csv")
+	procs := flag.Int("procs", 0, "worker goroutines per sweep (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintln(os.Stderr, "experiments: -format must be table or csv")
@@ -70,6 +71,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Invocations = *invocations
 			cfg.Warmup = *warmup
+			cfg.Procs = *procs
 			if experiments.IsUtilizationFigure(id) {
 				s, err := experiments.UtilizationSweep(cfg)
 				if err != nil {

@@ -38,6 +38,8 @@ func main() {
 	packets := flag.Int("verify-packets", 0, "re-verify Ω by packet-level CP simulation with this packet size (bytes)")
 	chart := flag.Bool("gantt", false, "render the frame's link occupancy as an ASCII chart")
 	shared := flag.Bool("shared", false, "allow several tasks per node (AP-sharing node schedule)")
+	best := flag.Int("best", 0, "search this many random placements (plus rr and greedy) in parallel and keep the best schedule")
+	procs := flag.Int("procs", 0, "worker goroutines for the -best candidate search (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	g, err := cliutil.LoadGraph(*tfgSpec)
@@ -66,11 +68,37 @@ func main() {
 		period = tm.TauC()
 	}
 
-	res, err := schedule.Compute(schedule.Problem{
+	prob := schedule.Problem{
 		Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: period,
-	}, schedule.Options{Seed: *seed, LSDOnly: *lsdOnly, SyncMargin: *margin, Retries: *retries, AllowSharedNodes: *shared})
-	if err != nil {
-		fatal(err)
+	}
+	opts := schedule.Options{
+		Seed: *seed, LSDOnly: *lsdOnly, SyncMargin: *margin, Retries: *retries,
+		AllowSharedNodes: *shared, Procs: *procs,
+	}
+	var res *schedule.Result
+	if *best > 0 {
+		// Coupled placement search: rr, greedy, and -best random
+		// placements are scheduled concurrently and the best outcome
+		// kept (deterministic for a fixed seed, any -procs value).
+		seeds := make([]int64, *best)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		cands, err := schedule.DefaultCandidates(prob, seeds...)
+		if err != nil {
+			fatal(err)
+		}
+		sr, err := schedule.ComputeBestAllocation(prob, opts, cands)
+		if err != nil {
+			fatal(err)
+		}
+		res = sr.Result
+		fmt.Printf("candidate search: %d placements, best is #%d\n", len(cands), sr.Chosen)
+	} else {
+		res, err = schedule.Compute(prob, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("TFG %s: %d tasks, %d messages; topology %s (%d links)\n",

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"schedroute/internal/schedule"
+)
+
+// The parallel sweep engine must be invisible in the results: for any
+// worker count, a sweep is deep-equal to the serial (Procs=1) run.
+// Exercised on the two standard configs the determinism satellite
+// names: the all-feasible 6-cube panel and the 8x8 torus panel whose
+// mid-range allocation failures stress the error paths too.
+var determinismConfigs = []string{"6cube-b64", "torus88-b128"}
+
+func determinismConfig(t *testing.T, key string, procs int) Config {
+	t.Helper()
+	cfgs, err := StandardConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, ok := cfgs[key]
+	if !ok {
+		t.Fatalf("unknown config %s", key)
+	}
+	cfg.Invocations = 8
+	cfg.Warmup = 4
+	cfg.Procs = procs
+	return cfg
+}
+
+func TestUtilizationSweepParallelMatchesSerial(t *testing.T) {
+	for _, key := range determinismConfigs {
+		serial, err := UtilizationSweep(determinismConfig(t, key, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, procs := range []int{0, 4} {
+			par, err := UtilizationSweep(determinismConfig(t, key, procs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%s: parallel (procs=%d) utilization sweep diverged from serial run", key, procs)
+			}
+		}
+	}
+}
+
+func TestPerfSweepParallelMatchesSerial(t *testing.T) {
+	for _, key := range determinismConfigs {
+		serial, err := PerfSweep(determinismConfig(t, key, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := PerfSweep(determinismConfig(t, key, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("%s: parallel perf sweep diverged from serial run", key)
+		}
+	}
+}
+
+func TestComputeBestAllocationParallelMatchesSerial(t *testing.T) {
+	for _, key := range determinismConfigs {
+		cfg := determinismConfig(t, key, 0)
+		g, tm, _, err := workload(cfg.withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := schedule.Problem{
+			Graph: g, Timing: tm, Topology: cfg.Topology,
+			TauIn: tm.TauC() * (1 + 4.0*5/11),
+		}
+		cands, err := schedule.DefaultCandidates(p, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != 4 {
+			t.Fatalf("got %d candidates", len(cands))
+		}
+		serial, err := schedule.ComputeBestAllocation(p, schedule.Options{Seed: cfg.Seed, Procs: 1}, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := schedule.ComputeBestAllocation(p, schedule.Options{Seed: cfg.Seed, Procs: 4}, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Chosen != par.Chosen {
+			t.Errorf("%s: parallel search chose candidate %d, serial chose %d", key, par.Chosen, serial.Chosen)
+		}
+		if !reflect.DeepEqual(serial.Result, par.Result) {
+			t.Errorf("%s: parallel search result diverged from serial run", key)
+		}
+	}
+}

@@ -8,14 +8,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"schedroute/internal/alloc"
 	"schedroute/internal/dvb"
 	"schedroute/internal/metrics"
+	"schedroute/internal/parallel"
 	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
@@ -58,6 +61,11 @@ type Config struct {
 	// (defaults 40/20).
 	Invocations int
 	Warmup      int
+	// Procs bounds the worker goroutines a sweep uses across its twelve
+	// load points: 0 selects GOMAXPROCS, 1 forces a serial run. The
+	// points are independent and every point keeps its serial seed, so
+	// sweep results are identical for every Procs value.
+	Procs int
 }
 
 func (c *Config) withDefaults() Config {
@@ -74,8 +82,35 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// workload instantiates the DVB problem for a config.
+// workloadKey identifies one cached workload instantiation. Topologies
+// are compared by identity: StandardConfigs shares one topology object
+// across bandwidths, and distinct objects must not share path caches'
+// assignments anyway.
+type workloadKey struct {
+	top       *topology.Topology
+	bandwidth float64
+	models    int
+}
+
+type workloadEntry struct {
+	g  *tfg.Graph
+	tm *tfg.Timing
+	as *alloc.Assignment
+}
+
+// workloadCache memoizes workload so repeated sweeps of one config stop
+// rebuilding the DVB graph, its timing, and the round-robin placement.
+// All three are immutable once built, so sharing them across concurrent
+// sweeps is safe.
+var workloadCache sync.Map // workloadKey -> *workloadEntry
+
+// workload instantiates (or recalls) the DVB problem for a config.
 func workload(cfg Config) (*tfg.Graph, *tfg.Timing, *alloc.Assignment, error) {
+	key := workloadKey{cfg.Topology, cfg.Bandwidth, cfg.Models}
+	if e, ok := workloadCache.Load(key); ok {
+		ent := e.(*workloadEntry)
+		return ent.g, ent.tm, ent.as, nil
+	}
 	g, err := dvb.New(cfg.Models)
 	if err != nil {
 		return nil, nil, nil, err
@@ -88,6 +123,7 @@ func workload(cfg Config) (*tfg.Graph, *tfg.Timing, *alloc.Assignment, error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	workloadCache.Store(key, &workloadEntry{g: g, tm: tm, as: as})
 	return g, tm, as, nil
 }
 
@@ -114,19 +150,26 @@ func UtilizationSweep(c Config) (*UtilizationSeries, error) {
 	if err != nil {
 		return nil, err
 	}
-	series := &UtilizationSeries{Config: cfg.Name}
-	for _, lp := range Grid(tm.TauC()) {
+	pts := Grid(tm.TauC())
+	points := make([]UtilizationPoint, len(pts))
+	// The points are independent, so they run concurrently on cfg.Procs
+	// workers; each writes its ordered result slot and keeps the serial
+	// per-point seed, making the output identical to a serial run.
+	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
+		lp := pts[i]
 		res, err := schedule.Compute(schedule.Problem{
 			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: lp.TauIn,
 		}, schedule.Options{Seed: cfg.Seed})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
+			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}
-		series.Points = append(series.Points, UtilizationPoint{
-			Load: lp.Load, LSD: res.PeakLSD, Final: res.Peak,
-		})
+		points[i] = UtilizationPoint{Load: lp.Load, LSD: res.PeakLSD, Final: res.Peak}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return series, nil
+	return &UtilizationSeries{Config: cfg.Name, Points: points}, nil
 }
 
 // PerfPoint is one Fig. 7-10 sample comparing wormhole routing and
@@ -167,8 +210,13 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 		return nil, err
 	}
 	cp, _ := g.CriticalPath(tm)
-	series := &PerfSeries{Config: cfg.Name, CriticalPath: cp}
-	for _, lp := range Grid(tm.TauC()) {
+	pts := Grid(tm.TauC())
+	points := make([]PerfPoint, len(pts))
+	// Each load point runs its wormhole simulation and scheduled-routing
+	// pipeline independently on the worker pool; ordered result slots
+	// keep the series identical to a serial run.
+	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
+		lp := pts[i]
 		pt := PerfPoint{Load: lp.Load, TauIn: lp.TauIn}
 
 		wres, err := wormhole.Simulate(wormhole.Config{
@@ -176,7 +224,7 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 			TauIn: lp.TauIn, Invocations: cfg.Invocations, Warmup: cfg.Warmup,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
+			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}
 		if wres.Deadlocked {
 			pt.WRDeadlock = true
@@ -191,7 +239,7 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: lp.TauIn,
 		}, schedule.Options{Seed: cfg.Seed})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
+			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}
 		pt.SRFeasible = sres.Feasible
 		pt.SRStage = sres.FailStage
@@ -199,15 +247,19 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 		if sres.Feasible {
 			exec, err := schedule.Execute(sres.Omega, g, tm, tm.TauC(), cfg.Invocations)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s load %.4f: SR execution: %w", cfg.Name, lp.Load, err)
+				return fmt.Errorf("experiments: %s load %.4f: SR execution: %w", cfg.Name, lp.Load, err)
 			}
 			ivs := metrics.Intervals(exec.OutputCompletions)
 			pt.SRThroughput = metrics.NormalizedThroughput(lp.TauIn, ivs)
 			pt.SRLatency = metrics.NormalizedLatency(cp, exec.Latencies)
 		}
-		series.Points = append(series.Points, pt)
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return series, nil
+	return &PerfSeries{Config: cfg.Name, CriticalPath: cp, Points: points}, nil
 }
 
 // StandardConfigs returns the named configuration for each 64-node

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		hits := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error {
+		t.Error("fn must not run for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachErrorsInIndexOrder(t *testing.T) {
+	wantA := errors.New("boom-3")
+	wantB := errors.New("boom-7")
+	err := ForEach(context.Background(), 10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return wantA
+		case 7:
+			return wantB
+		}
+		return nil
+	})
+	if !errors.Is(err, wantA) || !errors.Is(err, wantB) {
+		t.Fatalf("joined error %v missing parts", err)
+	}
+	// Index order: boom-3 is reported before boom-7 regardless of
+	// which goroutine finished first.
+	msg := err.Error()
+	if len(msg) == 0 || msg != wantA.Error()+"\n"+wantB.Error() {
+		t.Errorf("error text %q not in index order", msg)
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	var ran int
+	want := errors.New("stop")
+	err := ForEach(context.Background(), 10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("serial run executed %d items after error, want 3", ran)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 1000, 2, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("cancellation did not stop the pool (%d items ran)", got)
+	}
+}
+
+func TestForEachNilContext(t *testing.T) {
+	if err := ForEach(nil, 8, 4, func(int) error { return nil }); err != nil { //nolint:staticcheck
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(context.Background(), 50, workers, func(i int) (string, error) {
+			return fmt.Sprintf("v%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != fmt.Sprintf("v%d", i) {
+				t.Fatalf("workers=%d: slot %d holds %q", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	want := errors.New("bad")
+	out, err := Map(context.Background(), 4, 2, func(i int) (int, error) {
+		if i == 1 {
+			return 0, want
+		}
+		return i * 10, nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("partial results length %d", len(out))
+	}
+}

@@ -91,14 +91,27 @@ func allocateSubset(subset []tfg.MessageID, pa *PathAssignment, ws []Window, act
 	}
 
 	// (4) Link capacity per (link, interval) touched by the subset.
-	usesLink := map[topology.LinkID][]tfg.MessageID{}
+	// Dense per-link message lists (indexed by LinkID) replace the old
+	// map: cheaper to build and iterated in ascending link order, so the
+	// LP sees constraints in a deterministic order.
+	maxLink := topology.LinkID(-1)
+	for _, mi := range subset {
+		for _, l := range pa.Links[mi] {
+			if l > maxLink {
+				maxLink = l
+			}
+		}
+	}
+	usesLink := make([][]tfg.MessageID, int(maxLink)+1)
 	for _, mi := range subset {
 		for _, l := range pa.Links[mi] {
 			usesLink[l] = append(usesLink[l], mi)
 		}
 	}
-	for l, msgs := range usesLink {
-		_ = l
+	for _, msgs := range usesLink {
+		if len(msgs) < 2 {
+			continue // unused link, or a single message covered by the cell cap
+		}
 		for k := 0; k < K; k++ {
 			row := map[int]float64{}
 			for _, mi := range msgs {

@@ -59,6 +59,11 @@ type Options struct {
 	// frame (tfg.PipelinedStartShared), usually at the cost of extra
 	// latency. Without it, placements must be exclusive.
 	AllowSharedNodes bool
+	// Procs bounds the worker goroutines used by the concurrent search
+	// entry points (ComputeBestAllocation); 0 selects GOMAXPROCS and 1
+	// forces a serial run. Compute itself is single-threaded either way,
+	// and results are independent of Procs.
+	Procs int
 }
 
 func (o *Options) withDefaults() Options {

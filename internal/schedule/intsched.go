@@ -50,7 +50,9 @@ type ErrIntervalInfeasible struct {
 }
 
 func (e *ErrIntervalInfeasible) Error() string {
-	return fmt.Sprintf("schedule: interval %d needs %g but only has %g", e.Interval, e.Need, e.Have)
+	// Fixed precision keeps failure logs from parallel runs stably
+	// comparable across candidate orderings.
+	return fmt.Sprintf("schedule: interval %d needs %.6g but only has %.6g", e.Interval, e.Need, e.Have)
 }
 
 // ScheduleIntervals performs Section 5.3 interval scheduling for every
@@ -89,14 +91,22 @@ func ScheduleIntervals(allocation *Allocation, pa *PathAssignment, act *Activity
 }
 
 // conflictMatrix[i][j] is true when msgs[i] and msgs[j] share a link.
+// Link sets are LinkSet bitsets, so each pairwise test is a word-wise
+// AND rather than a map probe per link.
 func conflictMatrix(msgs []tfg.MessageID, pa *PathAssignment) [][]bool {
 	n := len(msgs)
-	linkSets := make([]map[topology.LinkID]bool, n)
-	for i, mi := range msgs {
-		linkSets[i] = map[topology.LinkID]bool{}
+	maxLink := topology.LinkID(-1)
+	for _, mi := range msgs {
 		for _, l := range pa.Links[mi] {
-			linkSets[i][l] = true
+			if l > maxLink {
+				maxLink = l
+			}
 		}
+	}
+	linkSets := make([]topology.LinkSet, n)
+	for i, mi := range msgs {
+		linkSets[i] = topology.NewLinkSet(int(maxLink) + 1)
+		linkSets[i].AddLinks(pa.Links[mi])
 	}
 	c := make([][]bool, n)
 	for i := range c {
@@ -104,11 +114,8 @@ func conflictMatrix(msgs []tfg.MessageID, pa *PathAssignment) [][]bool {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			for l := range linkSets[i] {
-				if linkSets[j][l] {
-					c[i][j], c[j][i] = true, true
-					break
-				}
+			if linkSets[i].Intersects(&linkSets[j]) {
+				c[i][j], c[j][i] = true, true
 			}
 		}
 	}

@@ -1,8 +1,11 @@
 package schedule
 
 import (
+	"errors"
 	"math"
+	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -37,6 +40,72 @@ func TestConflictMatrix(t *testing.T) {
 	}
 	if c[0][0] || c[1][1] {
 		t.Error("no self conflicts")
+	}
+}
+
+// mapConflictMatrix is the original map[LinkID]bool implementation,
+// kept as the reference the bitset version is property-checked against.
+func mapConflictMatrix(msgs []tfg.MessageID, pa *PathAssignment) [][]bool {
+	n := len(msgs)
+	linkSets := make([]map[topology.LinkID]bool, n)
+	for i, mi := range msgs {
+		linkSets[i] = map[topology.LinkID]bool{}
+		for _, l := range pa.Links[mi] {
+			linkSets[i][l] = true
+		}
+	}
+	c := make([][]bool, n)
+	for i := range c {
+		c[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for l := range linkSets[i] {
+				if linkSets[j][l] {
+					c[i][j], c[j][i] = true, true
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestConflictMatrixMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		linkSets := make([][]topology.LinkID, n)
+		msgs := make([]tfg.MessageID, n)
+		for i := 0; i < n; i++ {
+			msgs[i] = tfg.MessageID(i)
+			hops := rng.Intn(6)
+			for h := 0; h < hops; h++ {
+				// Span several bitset words to catch word-index bugs.
+				linkSets[i] = append(linkSets[i], topology.LinkID(rng.Intn(160)))
+			}
+		}
+		pa := fakeAssignment(linkSets)
+		got := conflictMatrix(msgs, pa)
+		want := mapConflictMatrix(msgs, pa)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("trial %d: conflict[%d][%d] = %v, map reference says %v (links %v vs %v)",
+						trial, i, j, got[i][j], want[i][j], linkSets[i], linkSets[j])
+				}
+			}
+		}
+	}
+}
+
+func TestErrIntervalInfeasibleFormat(t *testing.T) {
+	err := &ErrIntervalInfeasible{Interval: 2, Need: 10.0 / 3.0, Have: 3.0000001}
+	// %.6g fixed precision keeps need/have stably comparable across
+	// parallel failure logs.
+	want := "schedule: interval 2 needs 3.33333 but only has 3"
+	if got := err.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
 	}
 }
 
@@ -170,8 +239,15 @@ func TestScheduleOneRejectsOverflow(t *testing.T) {
 	if err == nil {
 		t.Fatal("16 µs of conflicting traffic cannot fit a 10 µs interval")
 	}
-	if _, ok := err.(*ErrIntervalInfeasible); !ok {
-		t.Errorf("error type %T, want ErrIntervalInfeasible", err)
+	var infeasible *ErrIntervalInfeasible
+	if !errors.As(err, &infeasible) {
+		t.Fatalf("error type %T, want ErrIntervalInfeasible via errors.As", err)
+	}
+	if infeasible.Interval != 0 || infeasible.Need <= infeasible.Have {
+		t.Errorf("unexpected fields: %+v", infeasible)
+	}
+	if !strings.Contains(err.Error(), "needs 16 but only has 10") {
+		t.Errorf("message %q lacks fixed-precision need/have", err.Error())
 	}
 }
 
@@ -196,6 +272,41 @@ func TestScheduleIntervalsTrimsExactly(t *testing.T) {
 	}
 	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-7) > 1e-9 {
 		t.Errorf("transmitted %v, want 3 and 7", got)
+	}
+}
+
+// benchConflictFixture builds a 20-message fixture with 4-hop paths
+// over 160 links, the shape the interval scheduler sees on the 64-node
+// networks.
+func benchConflictFixture() ([]tfg.MessageID, *PathAssignment) {
+	rng := rand.New(rand.NewSource(9))
+	n := 20
+	linkSets := make([][]topology.LinkID, n)
+	msgs := make([]tfg.MessageID, n)
+	for i := 0; i < n; i++ {
+		msgs[i] = tfg.MessageID(i)
+		for h := 0; h < 4; h++ {
+			linkSets[i] = append(linkSets[i], topology.LinkID(rng.Intn(160)))
+		}
+	}
+	return msgs, fakeAssignment(linkSets)
+}
+
+// The allocs/op delta of these two is the conflictMatrix hot-path
+// saving recorded in docs/results-latest.txt.
+func BenchmarkConflictMatrixBitset(b *testing.B) {
+	msgs, pa := benchConflictFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		conflictMatrix(msgs, pa)
+	}
+}
+
+func BenchmarkConflictMatrixMapReference(b *testing.B) {
+	msgs, pa := benchConflictFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mapConflictMatrix(msgs, pa)
 	}
 }
 

@@ -192,23 +192,22 @@ func (om *Omega) Validate(top *topology.Topology) error {
 // linksets are derived from the node schedules so validation checks the
 // emitted Ω, not the intermediate structures.
 func (om *Omega) Linkset(msg tfg.MessageID) []topology.LinkID {
-	seen := map[topology.LinkID]bool{}
-	var out []topology.LinkID
+	var seen topology.LinkSet
 	for _, ns := range om.Nodes {
 		for _, c := range ns.Commands {
 			if c.Msg != msg {
 				continue
 			}
 			for _, p := range []Port{c.In, c.Out} {
-				if !p.AP && !seen[p.Link] {
-					seen[p.Link] = true
-					out = append(out, p.Link)
+				if !p.AP {
+					seen.Add(p.Link)
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	// LinkSet iterates in ascending ID order, preserving the sorted
+	// contract of the old map-plus-sort implementation.
+	return seen.Links()
 }
 
 // CommandsAt returns node n's switching schedule.

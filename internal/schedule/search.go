@@ -1,9 +1,11 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"schedroute/internal/alloc"
+	"schedroute/internal/parallel"
 )
 
 // SearchResult reports which allocation candidate won the coupled
@@ -22,18 +24,30 @@ type SearchResult struct {
 // pipeline is run for each candidate placement and the best outcome is
 // kept — a feasible schedule with the lowest peak utilization if any
 // candidate succeeds, otherwise the failure with the lowest peak.
+//
+// Candidates are evaluated concurrently on opt.Procs workers (0 =
+// GOMAXPROCS). Every candidate sees the same opt.Seed, exactly as the
+// serial loop did, and the winner is selected by a serial scan in
+// candidate order, so the outcome is identical to a serial run.
 func ComputeBestAllocation(p Problem, opt Options, candidates []*alloc.Assignment) (*SearchResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("schedule: no candidate allocations")
 	}
+	results, err := parallel.Map(context.Background(), len(candidates), parallel.Workers(opt.Procs),
+		func(i int) (*Result, error) {
+			prob := p
+			prob.Assignment = candidates[i]
+			res, err := Compute(prob, opt)
+			if err != nil {
+				return nil, fmt.Errorf("schedule: candidate %d: %w", i, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var best *SearchResult
-	for i, as := range candidates {
-		prob := p
-		prob.Assignment = as
-		res, err := Compute(prob, opt)
-		if err != nil {
-			return nil, fmt.Errorf("schedule: candidate %d: %w", i, err)
-		}
+	for i, res := range results {
 		if best == nil || better(res, best.Result) {
 			best = &SearchResult{Result: res, Chosen: i}
 		}
@@ -52,25 +66,24 @@ func better(a, b *Result) bool {
 
 // DefaultCandidates builds the standard candidate set for
 // ComputeBestAllocation: round-robin, greedy, and seeds of random
-// placements.
+// placements. The placements are independent, so they are built
+// concurrently; slot order (round-robin, greedy, randoms in seed order)
+// matches the serial construction.
 func DefaultCandidates(p Problem, randomSeeds ...int64) ([]*alloc.Assignment, error) {
-	var out []*alloc.Assignment
-	rr, err := alloc.RoundRobin(p.Graph, p.Topology)
-	if err != nil {
-		return nil, err
+	builders := []func() (*alloc.Assignment, error){
+		func() (*alloc.Assignment, error) { return alloc.RoundRobin(p.Graph, p.Topology) },
+		func() (*alloc.Assignment, error) { return alloc.Greedy(p.Graph, p.Topology) },
 	}
-	out = append(out, rr)
-	gr, err := alloc.Greedy(p.Graph, p.Topology)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, gr)
 	for _, seed := range randomSeeds {
-		ra, err := alloc.Random(p.Graph, p.Topology, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ra)
+		seed := seed
+		builders = append(builders, func() (*alloc.Assignment, error) {
+			return alloc.Random(p.Graph, p.Topology, seed)
+		})
+	}
+	out, err := parallel.Map(context.Background(), len(builders), parallel.Workers(0),
+		func(i int) (*alloc.Assignment, error) { return builders[i]() })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

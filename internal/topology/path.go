@@ -125,8 +125,19 @@ func (t *Topology) dimStep(dim, a, b int) int {
 // lexicographic node order, stopping after max paths (max <= 0 means no
 // bound). The enumeration walks the shortest-path DAG implied by the
 // address structure, so every returned path has exactly Distance(src,
-// dst) hops.
+// dst) hops. Results are memoized per (src, dst, max) and shared across
+// callers — treat the returned paths as immutable.
 func (t *Topology) ShortestPaths(src, dst NodeID, max int) []Path {
+	key := pathKey{src, dst, max}
+	if cached, ok := t.pathCache.Load(key); ok {
+		return cached.([]Path)
+	}
+	out := t.shortestPaths(src, dst, max)
+	t.pathCache.Store(key, out)
+	return out
+}
+
+func (t *Topology) shortestPaths(src, dst NodeID, max int) []Path {
 	if src == dst {
 		return []Path{{Nodes: []NodeID{src}}}
 	}

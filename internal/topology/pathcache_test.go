@@ -1,0 +1,47 @@
+package topology
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestShortestPathsMemoized(t *testing.T) {
+	top, err := NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := top.ShortestPaths(0, 63, 24)
+	second := top.ShortestPaths(0, 63, 24)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("memoized result differs")
+	}
+	// Different caps are distinct cache entries.
+	capped := top.ShortestPaths(0, 63, 4)
+	if len(capped) != 4 || len(first) != 24 {
+		t.Fatalf("caps leaked across cache entries: %d and %d", len(capped), len(first))
+	}
+}
+
+func TestShortestPathsConcurrent(t *testing.T) {
+	top, err := NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := top.shortestPaths(0, 27, 24)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := top.ShortestPaths(0, 27, 24)
+				if !reflect.DeepEqual(got, want) {
+					t.Error("concurrent enumeration diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node; valid IDs are 0..Nodes()-1 and correspond to
@@ -60,7 +61,8 @@ type Link struct {
 	B  NodeID
 }
 
-// Topology is an immutable interconnection network.
+// Topology is an immutable interconnection network. All methods are
+// safe for concurrent use.
 type Topology struct {
 	kind    Kind
 	radices []int
@@ -68,6 +70,18 @@ type Topology struct {
 	adj     [][]NodeID
 	links   []Link
 	linkOf  map[[2]NodeID]LinkID
+
+	// pathCache memoizes ShortestPaths enumerations per (src, dst, max)
+	// so repeated sweeps over one topology stop re-walking the
+	// shortest-path DAG. Cached slices are shared: callers must not
+	// mutate returned paths.
+	pathCache sync.Map // pathKey -> []Path
+}
+
+// pathKey identifies one memoized ShortestPaths enumeration.
+type pathKey struct {
+	src, dst NodeID
+	max      int
 }
 
 // NewGHC builds a generalized hypercube GHC(m_1, ..., m_r) with
