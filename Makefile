@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check race bench bench-parallel clean
+.PHONY: all build vet test check race faults bench bench-parallel clean
 
 all: check
 
@@ -21,6 +21,13 @@ check: build vet test
 
 race:
 	$(GO) test -race ./...
+
+# Survivability smoke sweep: the repair ladder against single-link
+# faults on the binary 6-cube, each repaired Ω re-verified by
+# packet-level fault injection (capped at 16 faults per load point for
+# speed; drop -max-faults for the full panel).
+faults:
+	$(GO) run ./cmd/experiments -fig faults -config 6cube-b64 -max-faults 16
 
 # Full figure-regeneration benchmark suite (see bench_test.go).
 bench:

@@ -2,26 +2,39 @@
 //
 // Usage:
 //
-//	experiments -fig 7        # one figure (5..10)
-//	experiments -all          # all six figures
-//	experiments -list         # show the figure → configuration map
+//	experiments -fig 7            # one figure (5..10)
+//	experiments -all              # all six figures
+//	experiments -fig faults       # survivability under single-link faults
+//	experiments -list             # show the figure → configuration map
 //
 // Figures 5 and 6 print peak-utilization tables (AssignPaths vs
 // LSD-to-MSD); figures 7-10 print wormhole-vs-scheduled-routing
-// throughput/latency tables with output-inconsistency spikes.
+// throughput/latency tables with output-inconsistency spikes. The
+// faults pseudo-figure runs the repair ladder against every
+// single-link fault at each load point, optionally re-verifying each
+// repaired Ω by packet-level simulation with the fault injected
+// mid-run (-verify), and can be narrowed with -config.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
+	"schedroute/internal/cliutil"
 	"schedroute/internal/experiments"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (5..10)")
+	fig := flag.String("fig", "", "figure to regenerate (5..10), or 'faults' for the survivability sweep")
 	all := flag.Bool("all", false, "regenerate every figure")
+	configFilter := flag.String("config", "", "faults sweep: only configurations whose key contains this substring")
+	verify := flag.Bool("verify", true, "faults sweep: re-verify every repaired Ω by packet-level fault injection")
+	strict := flag.Bool("strict", false, "faults sweep: abort on the first infeasible repair")
+	maxFaults := flag.Int("max-faults", 0, "faults sweep: cap single-link scenarios per load point (0 = every link)")
 	list := flag.Bool("list", false, "list figures and their configurations")
 	invocations := flag.Int("invocations", 40, "wormhole invocations to simulate per load point")
 	warmup := flag.Int("warmup", 20, "wormhole invocations to discard before measuring")
@@ -46,20 +59,26 @@ func main() {
 		return
 	}
 
-	var figs []int
-	switch {
-	case *all:
-		figs = []int{5, 6, 7, 8, 9, 10}
-	case *fig >= 5 && *fig <= 10:
-		figs = []int{*fig}
-	default:
-		fmt.Fprintln(os.Stderr, "experiments: pass -fig 5..10, -all or -list")
-		os.Exit(2)
-	}
-
 	cfgs, err := experiments.StandardConfigs()
 	if err != nil {
 		fatal(err)
+	}
+
+	if *fig == "faults" {
+		runFaults(cfgs, *configFilter, *seed, *procs, *maxFaults, *verify, *strict, *format)
+		return
+	}
+
+	var figs []int
+	figNum, figErr := strconv.Atoi(*fig)
+	switch {
+	case *all:
+		figs = []int{5, 6, 7, 8, 9, 10}
+	case figErr == nil && figNum >= 5 && figNum <= 10:
+		figs = []int{figNum}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: pass -fig 5..10, -fig faults, -all or -list")
+		os.Exit(2)
 	}
 	for _, id := range figs {
 		keys, _ := experiments.Figure(id)
@@ -99,6 +118,45 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+}
+
+// runFaults executes the survivability pseudo-figure over every
+// standard configuration whose key contains filter, in key order.
+func runFaults(cfgs map[string]experiments.Config, filter string, seed int64, procs, maxFaults int, verify, strict bool, format string) {
+	var keys []string
+	for key := range cfgs {
+		if strings.Contains(key, filter) {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no configuration matches -config %q\n", filter)
+		os.Exit(2)
+	}
+	sort.Strings(keys)
+	if format == "table" {
+		fmt.Println("==== Survivability under single-link faults ====")
+	}
+	for _, key := range keys {
+		cfg := cfgs[key]
+		cfg.Seed = seed
+		cfg.Procs = procs
+		cfg.MaxFaults = maxFaults
+		cfg.VerifyFaults = verify
+		cfg.StrictRepair = strict
+		s, err := experiments.SurvivabilitySweep(cfg)
+		if err != nil {
+			cliutil.Fatal("experiments", err)
+		}
+		write := experiments.WriteSurvivability
+		if format == "csv" {
+			write = experiments.WriteSurvivabilityCSV
+		}
+		if err := write(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
 	}
 }
 

@@ -7,6 +7,14 @@
 //
 //	srsched -tfg dvb:4 -topo cube:6 -bw 64 -tauin 141
 //	srsched -tfg graph.json -topo torus:8,8 -bw 128 -tauin 75 -dump
+//	srsched -tfg dvb:4 -topo cube:6 -tauin 141 -fail-link 0-1 -verify-packets 64
+//
+// With -fail-link u-v the computed schedule is repaired for the named
+// link fault through the degradation ladder (incremental reroute, full
+// recompute, widened windows, reduced rate); -fail-node fails a node
+// instead. Combined with -verify-packets, the repaired Ω is replayed
+// with the fault injected mid-run. An infeasible repair exits with
+// status 3.
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 	shared := flag.Bool("shared", false, "allow several tasks per node (AP-sharing node schedule)")
 	best := flag.Int("best", 0, "search this many random placements (plus rr and greedy) in parallel and keep the best schedule")
 	procs := flag.Int("procs", 0, "worker goroutines for the -best candidate search (0 = GOMAXPROCS, 1 = serial)")
+	failLink := flag.String("fail-link", "", "repair the schedule for a failed link, given as the node pair u-v")
+	failNode := flag.Int("fail-node", -1, "repair the schedule for a failed node")
 	flag.Parse()
 
 	g, err := cliutil.LoadGraph(*tfgSpec)
@@ -126,17 +136,70 @@ func main() {
 		}
 		fmt.Printf("Ω written to %s\n", *save)
 	}
+	var fs *topology.FaultSet
+	if *failLink != "" || *failNode >= 0 {
+		fs = topology.NewFaultSet(top.Links(), top.Nodes())
+		if *failLink != "" {
+			l, err := top.ParseLinkSpec(*failLink)
+			if err != nil {
+				fatal(err)
+			}
+			fs.FailLink(l)
+		}
+		if *failNode >= 0 {
+			if *failNode >= top.Nodes() {
+				fatal(fmt.Errorf("-fail-node %d out of range [0,%d)", *failNode, top.Nodes()))
+			}
+			fs.FailNode(topology.NodeID(*failNode))
+		}
+	}
+	var repaired *schedule.Omega
+	if fs != nil {
+		rep, err := schedule.Repair(prob, opts, res, fs)
+		if err != nil {
+			cliutil.Fatal("srsched", err)
+		}
+		if rerr := rep.Err(); rerr != nil {
+			cliutil.Fatal("srsched", rerr)
+		}
+		fmt.Printf("repair for %s: %s (%d affected, %d rerouted), peak %.4f",
+			fs, rep.Outcome, len(rep.Affected), rep.Rerouted, rep.NewPeak)
+		switch rep.Outcome {
+		case schedule.RepairDegradedWindow:
+			fmt.Printf(", window ×%.2f", rep.WindowScale)
+		case schedule.RepairDegradedRate:
+			fmt.Printf(", τout %g µs (%.2f× τin)", rep.TauOut, rep.TauOut/period)
+		}
+		fmt.Println()
+		if rep.Result != nil {
+			repaired = rep.Result.Omega
+		}
+	}
 	if *packets > 0 {
-		out, err := cpsim.Run(cpsim.Config{
+		cfg := cpsim.Config{
 			Omega: res.Omega, Graph: g, Topology: top,
 			PacketBytes: *packets, Bandwidth: *bw,
-		})
+		}
+		if repaired != nil {
+			// Replay 2 healthy frames, fail the element, then hand over
+			// to the repaired Ω for the back half of the run.
+			cfg.Invocations = 8
+			cfg.Fault = &cpsim.FaultInjection{Faults: fs, FailAt: 2, Repaired: repaired, RepairAt: 4}
+		}
+		out, err := cpsim.Run(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("packet-level CP simulation: %d packets/frame, %d violations, skew tolerance ±%.3g µs\n",
+		fmt.Printf("packet-level CP simulation: %d packets delivered, %d violations, skew tolerance ±%.3g µs\n",
 			out.PacketsDelivered, len(out.Violations), out.MaxSkewTolerated)
-		if len(out.Violations) > 0 {
+		if repaired != nil {
+			fmt.Printf("fault injected mid-run: %d packets lost, OI window [%g, %g] µs, %d violations under the repaired Ω\n",
+				out.LostPackets, out.OIStart, out.OIEnd, len(out.RepairViolations))
+			if len(out.RepairViolations) > 0 {
+				os.Exit(1)
+			}
+		}
+		if len(out.Violations) > 0 && repaired == nil {
 			os.Exit(1)
 		}
 	}

@@ -76,8 +76,14 @@ func main() {
 	}
 	cp, _ := g.CriticalPath(tm)
 	ivs := metrics.Intervals(res.OutputCompletions)
-	th := metrics.NormalizedThroughput(period, ivs)
-	lat := metrics.NormalizedLatency(cp, res.Latencies)
+	th, err := metrics.NormalizedThroughput(period, ivs)
+	if err != nil {
+		fatal(err)
+	}
+	lat, err := metrics.NormalizedLatency(cp, res.Latencies)
+	if err != nil {
+		fatal(err)
+	}
 	oi := metrics.OutputInconsistent(period, ivs, 1e-6)
 	fmt.Printf("normalized throughput (min/mid/max): %s\n", th)
 	fmt.Printf("normalized latency    (min/mid/max): %s\n", lat)

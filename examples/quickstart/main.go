@@ -73,8 +73,11 @@ func main() {
 	}
 	ivs := metrics.Intervals(exec.OutputCompletions)
 	fmt.Printf("output intervals: %v\n", ivs)
+	th, err := metrics.NormalizedThroughput(100, ivs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("output inconsistency: %v (throughput spike %s)\n",
-		metrics.OutputInconsistent(100, ivs, 1e-9),
-		metrics.NormalizedThroughput(100, ivs))
+		metrics.OutputInconsistent(100, ivs, 1e-9), th)
 	fmt.Printf("every invocation completes %.0f µs after it starts\n", exec.Latencies[0])
 }

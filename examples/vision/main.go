@@ -57,7 +57,10 @@ func main() {
 		} else {
 			ivs := metrics.Intervals(wres.OutputCompletions)
 			if metrics.OutputInconsistent(tauIn, ivs, 1e-6) {
-				sp := metrics.Summarize(ivs)
+				sp, err := metrics.Summarize(ivs)
+				if err != nil {
+					log.Fatal(err)
+				}
 				if sp.Max-sp.Min < 1e-6 {
 					wr = fmt.Sprintf("SATURATED (outputs every %.0f µs)", sp.Mid)
 				} else {

@@ -4,16 +4,54 @@
 package cliutil
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"schedroute/internal/alloc"
 	"schedroute/internal/dvb"
+	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
 )
+
+// Exit statuses shared by the command-line tools. A repair that
+// exhausts every rung of the degradation ladder is an expected
+// operational outcome, not a tool malfunction, so scripts driving
+// fault sweeps get a distinct status to branch on.
+const (
+	ExitFailure          = 1 // generic error
+	ExitInfeasibleRepair = 3 // *schedule.InfeasibleRepairError anywhere in the chain
+)
+
+// ExitStatus maps an error to the tool's process exit status.
+func ExitStatus(err error) int {
+	var ire *schedule.InfeasibleRepairError
+	if errors.As(err, &ire) {
+		return ExitInfeasibleRepair
+	}
+	return ExitFailure
+}
+
+// WriteError renders err for the named tool, appending a remediation
+// hint when the error is an infeasible repair abort.
+func WriteError(w io.Writer, tool string, err error) {
+	fmt.Fprintf(w, "%s: %v\n", tool, err)
+	var ire *schedule.InfeasibleRepairError
+	if errors.As(err, &ire) {
+		fmt.Fprintf(w, "%s: hint: the fault disconnects or overloads the topology at this rate; retry at a lower load (larger -tauin), a richer topology, or drop the failed element from the fault set\n", tool)
+	}
+}
+
+// Fatal reports err on stderr via WriteError and exits with the
+// status from ExitStatus.
+func Fatal(tool string, err error) {
+	WriteError(os.Stderr, tool, err)
+	os.Exit(ExitStatus(err))
+}
 
 // ParseTopology builds a topology from a spec string:
 //

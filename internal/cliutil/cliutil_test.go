@@ -1,10 +1,14 @@
 package cliutil
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
 )
@@ -113,5 +117,37 @@ func TestLoadGraphFromFile(t *testing.T) {
 	}
 	if _, err := LoadGraph(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+func TestExitStatusInfeasibleRepair(t *testing.T) {
+	ire := &schedule.InfeasibleRepairError{Faults: "link 0-1", Stage: schedule.StageAllocation, Reason: "no surviving path"}
+	if got := ExitStatus(ire); got != ExitInfeasibleRepair {
+		t.Errorf("ExitStatus(bare) = %d, want %d", got, ExitInfeasibleRepair)
+	}
+	wrapped := fmt.Errorf("sweep: %w", ire)
+	if got := ExitStatus(wrapped); got != ExitInfeasibleRepair {
+		t.Errorf("ExitStatus(wrapped) = %d, want %d", got, ExitInfeasibleRepair)
+	}
+	if got := ExitStatus(errors.New("boom")); got != ExitFailure {
+		t.Errorf("ExitStatus(generic) = %d, want %d", got, ExitFailure)
+	}
+}
+
+func TestWriteErrorRemediationHint(t *testing.T) {
+	var b strings.Builder
+	ire := &schedule.InfeasibleRepairError{Faults: "link 0-1", Stage: schedule.StageAllocation, Reason: "no surviving path"}
+	WriteError(&b, "srsched", fmt.Errorf("repair: %w", ire))
+	out := b.String()
+	if !strings.Contains(out, "srsched: repair:") {
+		t.Errorf("missing tool-prefixed error: %q", out)
+	}
+	if !strings.Contains(out, "hint:") || !strings.Contains(out, "lower load") {
+		t.Errorf("infeasible repair must carry a remediation hint: %q", out)
+	}
+	b.Reset()
+	WriteError(&b, "srsched", errors.New("boom"))
+	if strings.Contains(b.String(), "hint:") {
+		t.Errorf("generic errors must not get the repair hint: %q", b.String())
 	}
 }

@@ -53,15 +53,38 @@ type Config struct {
 	// schedule computed under Options.SyncMargin >= Guard so the
 	// delayed stream still meets its window.
 	Guard float64
+	// Fault, when non-nil, injects a fault mid-run: invocations before
+	// FailAt replay Omega on the healthy machine, invocations from
+	// FailAt replay it with the fault active (packets crossing a failed
+	// element are lost), and — when a repaired schedule is supplied —
+	// invocations from RepairAt replay Repaired on the degraded machine.
+	Fault *FaultInjection
+}
+
+// FaultInjection describes a mid-run fault and (optionally) the
+// activation of a repaired schedule.
+type FaultInjection struct {
+	// Faults are the elements that fail at invocation FailAt.
+	Faults *topology.FaultSet
+	// FailAt is the invocation index at which the fault strikes
+	// (0 <= FailAt < Invocations).
+	FailAt int
+	// Repaired is the repaired Ω distributed to the CPs, active from
+	// invocation RepairAt; nil means the fault is never repaired.
+	Repaired *schedule.Omega
+	// RepairAt is the first invocation replayed under Repaired
+	// (FailAt < RepairAt <= Invocations).
+	RepairAt int
 }
 
 // Violation records a packet that crossed a link outside an active
-// reservation or simultaneously with another message's packet.
+// reservation, simultaneously with another message's packet, or into a
+// failed element.
 type Violation struct {
 	Msg  tfg.MessageID
 	Link topology.LinkID
 	Time float64
-	Kind string // "no-reservation" or "collision"
+	Kind string // "no-reservation", "collision", "failed-link" or "failed-node"
 }
 
 // Result summarizes the execution.
@@ -78,6 +101,18 @@ type Result struct {
 	// this Ω would still be violation-free, derived from the tightest
 	// reservation margin encountered (0 when reservations abut).
 	MaxSkewTolerated float64
+	// LostPackets counts packets dropped at a failed element across the
+	// faulted invocations (zero without fault injection).
+	LostPackets int
+	// OIStart/OIEnd bound the output-inconsistency window in absolute
+	// time: from the fault striking to the repaired Ω taking over (OIEnd
+	// is +Inf for a permanent unrepaired fault; both are NaN when the
+	// fault loses no packets).
+	OIStart, OIEnd float64
+	// RepairViolations are contention or reservation breaches observed
+	// while replaying the repaired Ω on the degraded machine; empty iff
+	// the repair is verified contention-free.
+	RepairViolations []Violation
 }
 
 // reservation is one command's claim on a link, in global (unskewed)
@@ -88,7 +123,13 @@ type reservation struct {
 	node       topology.NodeID
 }
 
-// Run replays Ω and returns the packet-level measurements.
+// Run replays Ω and returns the packet-level measurements. With fault
+// injection configured, the run is composed of up to three regimes —
+// healthy frames under the base Ω, faulted frames under the base Ω
+// (losing the packets that hit failed elements), and repaired frames
+// under the repaired Ω on the degraded machine — and the Result
+// reports the lost-packet count, the output-inconsistency window, and
+// any violations of the repaired schedule separately.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Omega == nil || cfg.Graph == nil || cfg.Topology == nil {
 		return nil, fmt.Errorf("cpsim: incomplete config")
@@ -108,8 +149,98 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Skew != nil && len(cfg.Skew) != cfg.Topology.Nodes() {
 		return nil, fmt.Errorf("cpsim: skew vector has %d entries for %d nodes", len(cfg.Skew), cfg.Topology.Nodes())
 	}
-	om := cfg.Omega
 
+	if cfg.Fault == nil {
+		fr, err := replayFrame(&cfg, cfg.Omega, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			PacketsDelivered: fr.delivered * cfg.Invocations,
+			Deliveries:       fr.deliveries,
+			Violations:       fr.violations,
+			MaxSkewTolerated: fr.maxSkew,
+			OIStart:          math.NaN(),
+			OIEnd:            math.NaN(),
+		}, nil
+	}
+
+	fi := cfg.Fault
+	if fi.Faults.Empty() {
+		return nil, fmt.Errorf("cpsim: fault injection with an empty fault set")
+	}
+	if fi.FailAt < 0 || fi.FailAt >= cfg.Invocations {
+		return nil, fmt.Errorf("cpsim: FailAt %d outside [0, %d)", fi.FailAt, cfg.Invocations)
+	}
+	repairAt := cfg.Invocations
+	if fi.Repaired != nil {
+		if fi.RepairAt <= fi.FailAt || fi.RepairAt > cfg.Invocations {
+			return nil, fmt.Errorf("cpsim: RepairAt %d outside (%d, %d]", fi.RepairAt, fi.FailAt, cfg.Invocations)
+		}
+		repairAt = fi.RepairAt
+	}
+
+	healthy, err := replayFrame(&cfg, cfg.Omega, nil)
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := replayFrame(&cfg, cfg.Omega, fi.Faults)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Deliveries:       healthy.deliveries,
+		Violations:       healthy.violations,
+		MaxSkewTolerated: healthy.maxSkew,
+		OIStart:          math.NaN(),
+		OIEnd:            math.NaN(),
+	}
+	nFaulted := repairAt - fi.FailAt
+	res.PacketsDelivered = healthy.delivered*fi.FailAt + faulted.delivered*nFaulted
+	res.LostPackets = faulted.lost * nFaulted
+	// Faulted-regime violations (including per-packet loss flags) repeat
+	// identically every frame; record one frame's worth.
+	res.Violations = append(res.Violations, faulted.violations...)
+	res.Violations = append(res.Violations, faulted.lostViolations...)
+	if res.LostPackets > 0 {
+		res.OIStart = float64(fi.FailAt) * cfg.Omega.TauIn
+		if fi.Repaired != nil {
+			res.OIEnd = float64(repairAt) * cfg.Omega.TauIn
+		} else {
+			res.OIEnd = math.Inf(1)
+		}
+	}
+	if fi.Repaired != nil {
+		repaired, err := replayFrame(&cfg, fi.Repaired, fi.Faults)
+		if err != nil {
+			return nil, err
+		}
+		res.PacketsDelivered += repaired.delivered * (cfg.Invocations - repairAt)
+		// A repaired Ω must not route anything into a failed element, so
+		// packet losses under it are schedule defects, not expected decay.
+		res.RepairViolations = append(res.RepairViolations, repaired.violations...)
+		res.RepairViolations = append(res.RepairViolations, repaired.lostViolations...)
+		if repaired.maxSkew < res.MaxSkewTolerated {
+			res.MaxSkewTolerated = repaired.maxSkew
+		}
+	}
+	return res, nil
+}
+
+// frameStats summarizes one frame replay of a schedule under an
+// optional fault set.
+type frameStats struct {
+	delivered      int
+	lost           int
+	deliveries     []float64
+	violations     []Violation
+	lostViolations []Violation
+	maxSkew        float64
+}
+
+// replayFrame replays one frame of om, dropping packets at failed
+// elements when fs is non-empty.
+func replayFrame(cfg *Config, om *schedule.Omega, fs *topology.FaultSet) (*frameStats, error) {
 	// Rebuild per-link reservations from the node command streams: a
 	// link is connected for a message while *both* endpoint CPs have a
 	// command naming it. With skew, the usable interval is the
@@ -195,14 +326,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{Deliveries: make([]float64, cfg.Graph.NumMessages())}
-	for i := range res.Deliveries {
-		res.Deliveries[i] = math.NaN()
+	fr := &frameStats{deliveries: make([]float64, cfg.Graph.NumMessages())}
+	for i := range fr.deliveries {
+		fr.deliveries[i] = math.NaN()
 	}
 	if !math.IsInf(minGap, 1) {
-		res.MaxSkewTolerated = math.Max(0, minGap/2)
+		fr.maxSkew = math.Max(0, minGap/2)
 	} else {
-		res.MaxSkewTolerated = math.Inf(1)
+		fr.maxSkew = math.Inf(1)
 	}
 
 	// claimFor locates the reservation covering message m on link l at
@@ -235,12 +366,31 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Replay the slices packet by packet.
-	pktTime := float64(cfg.PacketBytes) / cfg.Bandwidth
+	// A message whose path touches a failed element loses every packet
+	// at the first such element.
+	lostAt := make([]topology.LinkID, cfg.Graph.NumMessages())
+	lostKind := make([]string, cfg.Graph.NumMessages())
 	linksOf := make([][]topology.LinkID, cfg.Graph.NumMessages())
 	for m := range linksOf {
 		linksOf[m] = om.Linkset(tfg.MessageID(m))
+		lostAt[m] = -1
+		if fs.Empty() {
+			continue
+		}
+		for _, l := range linksOf[m] {
+			if fs.LinkFailed(l) {
+				lostAt[m], lostKind[m] = l, "failed-link"
+				break
+			}
+			if !fs.LinkUsable(cfg.Topology, l) {
+				lostAt[m], lostKind[m] = l, "failed-node"
+				break
+			}
+		}
 	}
+
+	// Replay the slices packet by packet.
+	pktTime := float64(cfg.PacketBytes) / cfg.Bandwidth
 	for _, sl := range om.Slices {
 		for mi, msg := range sl.Msgs {
 			w := om.Windows[msg]
@@ -254,20 +404,27 @@ func Run(cfg Config) (*Result, error) {
 				t0 := sl.Start + srcSkew + cfg.Guard + float64(k)*pktTime
 				t1 := t0 + pktTime
 				mid := (t0 + t1) / 2
+				if lostAt[msg] >= 0 {
+					fr.lost++
+					fr.lostViolations = append(fr.lostViolations, Violation{
+						Msg: msg, Link: lostAt[msg], Time: mid, Kind: lostKind[msg],
+					})
+					continue
+				}
 				ok := true
 				for _, l := range linksOf[msg] {
 					if !claimFor(l, msg, mid) {
-						res.Violations = append(res.Violations, Violation{
+						fr.violations = append(fr.violations, Violation{
 							Msg: msg, Link: l, Time: mid, Kind: "no-reservation",
 						})
 						ok = false
 					}
 				}
 				if ok {
-					res.PacketsDelivered++
+					fr.delivered++
 					abs := w.AbsoluteTime(sl.Start, om.TauIn) + (t1 - srcSkew - sl.Start)
-					if math.IsNaN(res.Deliveries[msg]) || abs > res.Deliveries[msg] {
-						res.Deliveries[msg] = abs
+					if math.IsNaN(fr.deliveries[msg]) || abs > fr.deliveries[msg] {
+						fr.deliveries[msg] = abs
 					}
 				}
 			}
@@ -278,18 +435,14 @@ func Run(cfg Config) (*Result, error) {
 	for l, claims := range perLink {
 		for i := 1; i < len(claims); i++ {
 			if claims[i].msg != claims[i-1].msg && claims[i].start < claims[i-1].end-1e-9 {
-				res.Violations = append(res.Violations, Violation{
+				fr.violations = append(fr.violations, Violation{
 					Msg: claims[i].msg, Link: topology.LinkID(l),
 					Time: claims[i].start, Kind: "collision",
 				})
 			}
 		}
 	}
-
-	// Scale delivered packets over the requested invocations (the frame
-	// repeats identically; packet counts are per frame).
-	res.PacketsDelivered *= cfg.Invocations
-	return res, nil
+	return fr, nil
 }
 
 // ExpectedPackets returns the per-frame packet count Ω should deliver

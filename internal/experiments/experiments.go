@@ -66,6 +66,19 @@ type Config struct {
 	// points are independent and every point keeps its serial seed, so
 	// sweep results are identical for every Procs value.
 	Procs int
+	// VerifyFaults makes SurvivabilitySweep re-verify every repaired
+	// schedule end-to-end: cpsim injects the fault mid-run, activates
+	// the repaired Ω, and asserts the replay is contention-free.
+	VerifyFaults bool
+	// StrictRepair makes SurvivabilitySweep abort with the first
+	// *schedule.InfeasibleRepairError instead of tallying the fault as
+	// unsurvivable — for deployments where graceful degradation is not
+	// an acceptable answer.
+	StrictRepair bool
+	// MaxFaults caps the single-link fault scenarios per load point
+	// (0 = every link); the scenarios kept are the first in link order,
+	// so a capped sweep is a prefix of the full one.
+	MaxFaults int
 }
 
 func (c *Config) withDefaults() Config {
@@ -230,8 +243,14 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 			pt.WRDeadlock = true
 		} else {
 			ivs := metrics.Intervals(wres.OutputCompletions)
-			pt.WRThroughput = metrics.NormalizedThroughput(lp.TauIn, ivs)
-			pt.WRLatency = metrics.NormalizedLatency(cp, wres.Latencies)
+			pt.WRThroughput, err = metrics.NormalizedThroughput(lp.TauIn, ivs)
+			if err != nil {
+				return fmt.Errorf("experiments: %s load %.4f: WR throughput: %w", cfg.Name, lp.Load, err)
+			}
+			pt.WRLatency, err = metrics.NormalizedLatency(cp, wres.Latencies)
+			if err != nil {
+				return fmt.Errorf("experiments: %s load %.4f: WR latency: %w", cfg.Name, lp.Load, err)
+			}
 			pt.WROI = metrics.OutputInconsistent(lp.TauIn, ivs, 1e-6)
 		}
 
@@ -250,8 +269,14 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 				return fmt.Errorf("experiments: %s load %.4f: SR execution: %w", cfg.Name, lp.Load, err)
 			}
 			ivs := metrics.Intervals(exec.OutputCompletions)
-			pt.SRThroughput = metrics.NormalizedThroughput(lp.TauIn, ivs)
-			pt.SRLatency = metrics.NormalizedLatency(cp, exec.Latencies)
+			pt.SRThroughput, err = metrics.NormalizedThroughput(lp.TauIn, ivs)
+			if err != nil {
+				return fmt.Errorf("experiments: %s load %.4f: SR throughput: %w", cfg.Name, lp.Load, err)
+			}
+			pt.SRLatency, err = metrics.NormalizedLatency(cp, exec.Latencies)
+			if err != nil {
+				return fmt.Errorf("experiments: %s load %.4f: SR latency: %w", cfg.Name, lp.Load, err)
+			}
 		}
 		points[i] = pt
 		return nil

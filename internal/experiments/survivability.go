@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"schedroute/internal/cpsim"
+	"schedroute/internal/faults"
+	"schedroute/internal/parallel"
+	"schedroute/internal/schedule"
+)
+
+// SurvivabilityPoint summarizes, for one load point, how the schedule
+// survives every single-link fault: the count of faults resolved at
+// each rung of the repair ladder, the worst residual peak utilization,
+// the worst output-period degradation, and (when Config.VerifyFaults
+// is set) the end-to-end packet-level verification tally.
+type SurvivabilityPoint struct {
+	Load  float64
+	TauIn float64
+
+	// BaseFeasible reports whether the fault-free schedule exists at
+	// this load; when false the fault fan-out is skipped and BaseStage
+	// names the rejecting pipeline stage.
+	BaseFeasible bool
+	BaseStage    schedule.Stage
+
+	// Scenarios is the number of single-link faults evaluated.
+	Scenarios int
+	// Per-outcome counts over the scenarios (see schedule.RepairOutcome).
+	Unaffected     int
+	Incremental    int
+	Recomputed     int
+	DegradedWindow int
+	DegradedRate   int
+	Infeasible     int
+
+	// WorstPeak is the highest repaired peak utilization over the
+	// survivable scenarios.
+	WorstPeak float64
+	// WorstTauOutRatio is the worst τout/τin over the survivable
+	// scenarios (1 unless some fault forced a rate degradation).
+	WorstTauOutRatio float64
+
+	// Verified counts scenarios whose repaired Ω replayed mid-run
+	// fault injection without violations; VerifyViolations sums the
+	// violations observed (0 on a correct repair pipeline). Both stay 0
+	// unless Config.VerifyFaults is set.
+	Verified         int
+	VerifyViolations int
+}
+
+// SurvivabilitySeries is one config's survivability sweep across the
+// twelve load points.
+type SurvivabilitySeries struct {
+	Config string
+	Points []SurvivabilityPoint
+}
+
+// faultOutcome is one (load point, link fault) repair result, kept in
+// an ordered slot so parallel sweeps tally identically to serial ones.
+type faultOutcome struct {
+	outcome    schedule.RepairOutcome
+	peak       float64
+	ratio      float64
+	verified   bool
+	violations int
+	err        error
+}
+
+// SurvivabilitySweep measures schedule survivability under every
+// single-link fault at each of the twelve load points: the base
+// schedule is computed per point, then each (point, fault) pair runs
+// the repair ladder — incremental reroute, full recompute, widened
+// windows, reduced rate — and, optionally, a packet-level mid-run
+// fault-injection verification of the repaired Ω. Both stages fan out
+// on cfg.Procs workers with ordered result slots, so the series is
+// byte-identical for every worker count.
+func SurvivabilitySweep(c Config) (*SurvivabilitySeries, error) {
+	cfg := c.withDefaults()
+	g, tm, as, err := workload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := Grid(tm.TauC())
+	opts := schedule.Options{Seed: cfg.Seed}
+	problem := func(tauIn float64) schedule.Problem {
+		return schedule.Problem{
+			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: tauIn,
+		}
+	}
+
+	// Stage 1: fault-free base schedule per load point.
+	base := make([]*schedule.Result, len(pts))
+	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
+		res, err := schedule.Compute(problem(pts[i].TauIn), opts)
+		if err != nil {
+			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, pts[i].Load, err)
+		}
+		base[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Single-link fault scenarios, one per link in link order.
+	scenarios := faults.SingleLink(cfg.Topology, 1)
+	if cfg.MaxFaults > 0 && cfg.MaxFaults < len(scenarios) {
+		scenarios = scenarios[:cfg.MaxFaults]
+	}
+
+	// Stage 2: the repair fan-out over every (feasible point, fault)
+	// pair, each writing its ordered slot.
+	type job struct{ pi, si int }
+	var jobs []job
+	outcomes := make([][]faultOutcome, len(pts))
+	for pi := range pts {
+		if base[pi].Feasible {
+			outcomes[pi] = make([]faultOutcome, len(scenarios))
+			for si := range scenarios {
+				jobs = append(jobs, job{pi, si})
+			}
+		}
+	}
+	err = parallel.ForEach(context.Background(), len(jobs), parallel.Workers(cfg.Procs), func(j int) error {
+		pi, si := jobs[j].pi, jobs[j].si
+		fs := scenarios[si].ActiveAt(cfg.Topology, 1)
+		rep, err := schedule.Repair(problem(pts[pi].TauIn), opts, base[pi], fs)
+		if err != nil {
+			return fmt.Errorf("experiments: %s load %.4f fault %s: %w",
+				cfg.Name, pts[pi].Load, scenarios[si].Name, err)
+		}
+		out := faultOutcome{
+			outcome: rep.Outcome,
+			peak:    rep.NewPeak,
+			ratio:   rep.TauOut / pts[pi].TauIn,
+			err:     rep.Err(),
+		}
+		if cfg.VerifyFaults && rep.Result != nil {
+			sim, err := cpsim.Run(cpsim.Config{
+				Omega: base[pi].Omega, Graph: g, Topology: cfg.Topology,
+				PacketBytes: 64, Bandwidth: cfg.Bandwidth, Invocations: 4,
+				Fault: &cpsim.FaultInjection{
+					Faults: fs, FailAt: 1,
+					Repaired: rep.Result.Omega, RepairAt: 2,
+				},
+			})
+			if err != nil {
+				return fmt.Errorf("experiments: %s load %.4f fault %s: cpsim: %w",
+					cfg.Name, pts[pi].Load, scenarios[si].Name, err)
+			}
+			out.violations = len(sim.RepairViolations)
+			out.verified = out.violations == 0
+		}
+		outcomes[pi][si] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Tally serially in (point, scenario) order.
+	series := &SurvivabilitySeries{Config: cfg.Name, Points: make([]SurvivabilityPoint, len(pts))}
+	for pi, lp := range pts {
+		pt := SurvivabilityPoint{
+			Load: lp.Load, TauIn: lp.TauIn,
+			BaseFeasible: base[pi].Feasible, BaseStage: base[pi].FailStage,
+			WorstTauOutRatio: 1,
+		}
+		if base[pi].Feasible {
+			pt.Scenarios = len(scenarios)
+			for _, out := range outcomes[pi] {
+				switch out.outcome {
+				case schedule.RepairUnaffected:
+					pt.Unaffected++
+				case schedule.RepairIncremental:
+					pt.Incremental++
+				case schedule.RepairRecomputed:
+					pt.Recomputed++
+				case schedule.RepairDegradedWindow:
+					pt.DegradedWindow++
+				case schedule.RepairDegradedRate:
+					pt.DegradedRate++
+				case schedule.RepairInfeasible:
+					pt.Infeasible++
+					if cfg.StrictRepair {
+						return nil, out.err
+					}
+				}
+				if out.outcome != schedule.RepairInfeasible {
+					if out.peak > pt.WorstPeak {
+						pt.WorstPeak = out.peak
+					}
+					if out.ratio > pt.WorstTauOutRatio {
+						pt.WorstTauOutRatio = out.ratio
+					}
+					if out.verified {
+						pt.Verified++
+					}
+					pt.VerifyViolations += out.violations
+				}
+			}
+		}
+		series.Points[pi] = pt
+	}
+	return series, nil
+}
+
+// WriteSurvivability renders a survivability sweep as a text table:
+// one row per load point with the repair-ladder outcome counts.
+func WriteSurvivability(w io.Writer, s *SurvivabilitySeries) error {
+	if _, err := fmt.Fprintf(w, "# survivability under single-link faults: %s\n", s.Config); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-8s %-10s %-6s %-6s %-6s %-7s %-6s %-6s %-7s %-8s %-9s %-9s",
+		"load", "base", "n", "unaff", "incr", "recomp", "degW", "degR", "infeas", "worstU", "tout/tin", "verified")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if !p.BaseFeasible {
+			if _, err := fmt.Fprintf(w, "%-8.4f %-10s %-6s\n", p.Load, failTag(p.BaseStage), "-"); err != nil {
+				return err
+			}
+			continue
+		}
+		verified := "-"
+		if p.Verified > 0 || p.VerifyViolations > 0 {
+			verified = fmt.Sprintf("%d/%d", p.Verified, p.Scenarios-p.Infeasible)
+		}
+		if _, err := fmt.Fprintf(w, "%-8.4f %-10s %-6d %-6d %-6d %-7d %-6d %-6d %-7d %-8.4f %-9.4f %-9s\n",
+			p.Load, "feasible", p.Scenarios, p.Unaffected, p.Incremental, p.Recomputed,
+			p.DegradedWindow, p.DegradedRate, p.Infeasible,
+			p.WorstPeak, p.WorstTauOutRatio, verified); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSurvivabilityCSV renders a survivability sweep as CSV for
+// external plotting.
+func WriteSurvivabilityCSV(w io.Writer, s *SurvivabilitySeries) error {
+	if _, err := fmt.Fprintf(w, "config,load,base_stage,scenarios,unaffected,incremental,recomputed,degraded_window,degraded_rate,infeasible,worst_peak,worst_tauout_ratio,verified,verify_violations\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		worstPeak, ratio := p.WorstPeak, p.WorstTauOutRatio
+		if !p.BaseFeasible {
+			worstPeak, ratio = math.NaN(), math.NaN()
+		}
+		if _, err := fmt.Fprintf(w, "%q,%.6f,%q,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d\n",
+			s.Config, p.Load, p.BaseStage.String(), p.Scenarios,
+			p.Unaffected, p.Incremental, p.Recomputed, p.DegradedWindow, p.DegradedRate, p.Infeasible,
+			worstPeak, ratio, p.Verified, p.VerifyViolations); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"schedroute/internal/topology"
+)
+
+func cube(t *testing.T) *topology.Topology {
+	t.Helper()
+	top, err := topology.NewHypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestSingleLinkCoversEveryLink(t *testing.T) {
+	top := cube(t)
+	trs := SingleLink(top, 2)
+	if len(trs) != top.Links() {
+		t.Fatalf("%d scenarios for %d links", len(trs), top.Links())
+	}
+	seen := map[topology.LinkID]bool{}
+	for _, tr := range trs {
+		if len(tr.Events) != 1 || tr.Events[0].IsNode {
+			t.Fatalf("scenario %s malformed", tr.Name)
+		}
+		e := tr.Events[0]
+		if e.At != 2 || e.RepairedAt >= 0 {
+			t.Errorf("scenario %s: want permanent fault at invocation 2, got %s", tr.Name, e)
+		}
+		seen[e.Link] = true
+	}
+	if len(seen) != top.Links() {
+		t.Errorf("scenarios cover %d distinct links, want %d", len(seen), top.Links())
+	}
+}
+
+func TestSingleNodeCoversEveryNode(t *testing.T) {
+	top := cube(t)
+	trs := SingleNode(top, 1)
+	if len(trs) != top.Nodes() {
+		t.Fatalf("%d scenarios for %d nodes", len(trs), top.Nodes())
+	}
+	for i, tr := range trs {
+		if !tr.Events[0].IsNode || tr.Events[0].Node != topology.NodeID(i) {
+			t.Errorf("scenario %d targets %s", i, tr.Events[0])
+		}
+	}
+}
+
+func TestActiveAtWindows(t *testing.T) {
+	top := cube(t)
+	tr := Trace{Events: []Event{
+		{Link: 0, At: 2, RepairedAt: 5},
+		{IsNode: true, Node: 3, At: 4, RepairedAt: -1},
+	}}
+	cases := []struct {
+		inv        int
+		link, node bool
+	}{
+		{0, false, false},
+		{2, true, false},
+		{4, true, true},
+		{5, false, true},
+		{9, false, true},
+	}
+	for _, c := range cases {
+		fs := tr.ActiveAt(top, c.inv)
+		if fs.LinkFailed(0) != c.link || fs.NodeFailed(3) != c.node {
+			t.Errorf("inv %d: link=%v node=%v, want link=%v node=%v",
+				c.inv, fs.LinkFailed(0), fs.NodeFailed(3), c.link, c.node)
+		}
+	}
+	if got, want := tr.Epochs(10), []int{2, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Epochs = %v, want %v", got, want)
+	}
+	if got := tr.Epochs(4); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("Epochs(4) = %v, want [2]", got)
+	}
+}
+
+func TestDoubleLinkDeterministicAndDistinct(t *testing.T) {
+	top := cube(t)
+	a := DoubleLink(top, 7, 10, 1)
+	b := DoubleLink(top, 7, 10, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give the same scenarios")
+	}
+	c := DoubleLink(top, 8, 10, 1)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should differ")
+	}
+	seen := map[string]bool{}
+	for _, tr := range a {
+		if seen[tr.Name] {
+			t.Errorf("duplicate pair %s", tr.Name)
+		}
+		seen[tr.Name] = true
+		if len(tr.Events) != 2 || tr.Events[0].Link == tr.Events[1].Link {
+			t.Errorf("scenario %s malformed", tr.Name)
+		}
+	}
+	// Exhaustive fallback when count >= all pairs.
+	nl := top.Links()
+	all := DoubleLink(top, 1, nl*nl, 0)
+	if len(all) != nl*(nl-1)/2 {
+		t.Errorf("exhaustive enumeration has %d pairs, want %d", len(all), nl*(nl-1)/2)
+	}
+}
+
+func TestRandomTraceDeterministic(t *testing.T) {
+	top := cube(t)
+	opts := RandomOptions{Events: 5, Horizon: 6, NodeFraction: 0.3, RepairFraction: 0.5}
+	a := RandomTrace(top, 42, opts)
+	b := RandomTrace(top, 42, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give the same trace")
+	}
+	if len(a.Events) != 5 {
+		t.Fatalf("%d events, want 5", len(a.Events))
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Error("events must be sorted by failure time")
+		}
+	}
+	for _, e := range a.Events {
+		if e.RepairedAt >= 0 && e.RepairedAt <= e.At {
+			t.Errorf("event %s repaired before it fails", e)
+		}
+	}
+}

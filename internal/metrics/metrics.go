@@ -5,9 +5,14 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrEmptySeries is returned by Summarize (and the measures built on
+// it) when asked to summarize a series with no observations.
+var ErrEmptySeries = errors.New("metrics: summarize of empty series")
 
 // Spike carries the three values the paper plots as an up-down spike
 // when a measure is not constant across invocations: the extreme values
@@ -42,11 +47,13 @@ func Intervals(completions []float64) []float64 {
 	return out
 }
 
-// Summarize returns the min, mean and max of xs as a Spike. It panics on
-// an empty slice — callers always have at least one invocation interval.
-func Summarize(xs []float64) Spike {
+// Summarize returns the min, mean and max of xs as a Spike. An empty
+// series has no summary and yields ErrEmptySeries — a sim run short
+// enough to produce no output intervals hits this, so callers must
+// handle it rather than trust every run to span two invocations.
+func Summarize(xs []float64) (Spike, error) {
 	if len(xs) == 0 {
-		panic("metrics: Summarize of empty series")
+		return Spike{}, ErrEmptySeries
 	}
 	s := Spike{Min: math.Inf(1), Max: math.Inf(-1)}
 	sum := 0.0
@@ -60,7 +67,7 @@ func Summarize(xs []float64) Spike {
 		sum += x
 	}
 	s.Mid = sum / float64(len(xs))
-	return s
+	return s, nil
 }
 
 // NormalizedLoad is τc/τin, the paper's x-axis for every plot.
@@ -72,14 +79,17 @@ func NormalizedLoad(tauC, tauIn float64) float64 { return tauC / tauIn }
 // smallest observed intervals and the middle value from the average
 // interval (τin divided by the mean interval, not the mean of ratios,
 // which would explode on bursty output).
-func NormalizedThroughput(tauIn float64, outputIntervals []float64) Spike {
-	iv := Summarize(outputIntervals)
-	return Spike{Min: tauIn / iv.Max, Mid: tauIn / iv.Mid, Max: tauIn / iv.Min}
+func NormalizedThroughput(tauIn float64, outputIntervals []float64) (Spike, error) {
+	iv, err := Summarize(outputIntervals)
+	if err != nil {
+		return Spike{}, err
+	}
+	return Spike{Min: tauIn / iv.Max, Mid: tauIn / iv.Mid, Max: tauIn / iv.Min}, nil
 }
 
 // NormalizedLatency maps per-invocation latencies to the paper's λ/Λ
 // ratio, where criticalPath is the TFG critical path length Λ.
-func NormalizedLatency(criticalPath float64, latencies []float64) Spike {
+func NormalizedLatency(criticalPath float64, latencies []float64) (Spike, error) {
 	ratios := make([]float64, len(latencies))
 	for i, l := range latencies {
 		ratios[i] = l / criticalPath

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -26,25 +27,31 @@ func TestIntervals(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
-	s := Summarize([]float64{2, 4, 6})
+	s, err := Summarize([]float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Min != 2 || s.Max != 6 || s.Mid != 4 {
 		t.Errorf("spike = %+v", s)
 	}
-	if !Summarize([]float64{5, 5, 5}).Constant(1e-12) {
+	if c, _ := Summarize([]float64{5, 5, 5}); !c.Constant(1e-12) {
 		t.Error("constant series should be Constant")
 	}
-	if Summarize([]float64{1, 2}).Constant(0.5) {
+	if c, _ := Summarize([]float64{1, 2}); c.Constant(0.5) {
 		t.Error("spread series should not be Constant")
 	}
 }
 
-func TestSummarizePanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	Summarize(nil)
+func TestSummarizeEmptySeries(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmptySeries) {
+		t.Errorf("Summarize(nil) = %v, want ErrEmptySeries", err)
+	}
+	if _, err := NormalizedThroughput(100, nil); !errors.Is(err, ErrEmptySeries) {
+		t.Errorf("NormalizedThroughput(100, nil) = %v, want ErrEmptySeries", err)
+	}
+	if _, err := NormalizedLatency(100, nil); !errors.Is(err, ErrEmptySeries) {
+		t.Errorf("NormalizedLatency(100, nil) = %v, want ErrEmptySeries", err)
+	}
 }
 
 func TestNormalizedLoad(t *testing.T) {
@@ -58,12 +65,18 @@ func TestNormalizedLoad(t *testing.T) {
 
 func TestNormalizedThroughput(t *testing.T) {
 	// Constant intervals equal to the period → throughput exactly 1.
-	s := NormalizedThroughput(100, []float64{100, 100, 100})
+	s, err := NormalizedThroughput(100, []float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !s.Constant(1e-12) || s.Mid != 1 {
 		t.Errorf("spike = %+v", s)
 	}
 	// Alternating fast/slow outputs: spike straddles 1.
-	s = NormalizedThroughput(100, []float64{80, 120, 80, 120})
+	s, err = NormalizedThroughput(100, []float64{80, 120, 80, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Min >= 1 || s.Max <= 1 {
 		t.Errorf("spike should straddle 1: %+v", s)
 	}
@@ -73,7 +86,10 @@ func TestNormalizedThroughput(t *testing.T) {
 }
 
 func TestNormalizedLatency(t *testing.T) {
-	s := NormalizedLatency(200, []float64{200, 300, 250})
+	s, err := NormalizedLatency(200, []float64{200, 300, 250})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Min != 1.0 || s.Max != 1.5 {
 		t.Errorf("spike = %+v", s)
 	}
@@ -110,8 +126,8 @@ func TestQuickSummarizeBounds(t *testing.T) {
 		if len(xs) == 0 {
 			return true
 		}
-		s := Summarize(xs)
-		return s.Min <= s.Mid+1e-9 && s.Mid <= s.Max+1e-9
+		s, err := Summarize(xs)
+		return err == nil && s.Min <= s.Mid+1e-9 && s.Mid <= s.Max+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -131,8 +147,8 @@ func TestQuickConsistentSeries(t *testing.T) {
 		if OutputInconsistent(period, ivs, 1e-9) {
 			return false
 		}
-		s := NormalizedThroughput(period, ivs)
-		return s.Constant(1e-9) && math.Abs(s.Mid-1) < 1e-9
+		s, err := NormalizedThroughput(period, ivs)
+		return err == nil && s.Constant(1e-9) && math.Abs(s.Mid-1) < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

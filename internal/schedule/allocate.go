@@ -46,6 +46,158 @@ func AllocateIntervals(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Windo
 	return out, nil
 }
 
+// AllocateIntervalsPinned re-solves the Section 5.2 allocation with the
+// rows of pinned messages held at their values in base — the heart of
+// incremental schedule repair: only the free (rerouted) messages get
+// fresh allocations, solved against the residual per-(link, interval)
+// capacity left by the pinned reservations. free reports whether a
+// message may be reallocated; every other non-local message must have a
+// row in base.
+func AllocateIntervalsPinned(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, base *Allocation, free func(tfg.MessageID) bool) (*Allocation, error) {
+	K := act.Intervals.K()
+	out := &Allocation{P: make([][]float64, len(ws))}
+	for _, subset := range subsets {
+		var freeMsgs []tfg.MessageID
+		for _, mi := range subset {
+			if free(mi) {
+				freeMsgs = append(freeMsgs, mi)
+			} else {
+				if base.P[mi] == nil {
+					return nil, fmt.Errorf("schedule: pinned message %d has no base allocation", mi)
+				}
+				out.P[mi] = append([]float64(nil), base.P[mi]...)
+			}
+		}
+		if len(freeMsgs) == 0 {
+			continue
+		}
+		if err := allocateSubsetPinned(subset, freeMsgs, pa, ws, act, K, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// allocateSubsetPinned solves the allocation LP for the free members of
+// one maximal subset; the pinned members' rows are already in out and
+// consume capacity on every (link, interval) they occupy.
+func allocateSubsetPinned(subset, freeMsgs []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
+	type cellKey struct {
+		mi tfg.MessageID
+		k  int
+	}
+	varOf := map[cellKey]int{}
+	var cells []cellKey
+	for _, mi := range freeMsgs {
+		for k := 0; k < K; k++ {
+			if act.Active[mi][k] {
+				key := cellKey{mi, k}
+				varOf[key] = len(cells)
+				cells = append(cells, key)
+			}
+		}
+	}
+	prob := lp.NewProblem(len(cells))
+
+	// Demand equality per free message.
+	for _, mi := range freeMsgs {
+		row := map[int]float64{}
+		for k := 0; k < K; k++ {
+			if act.Active[mi][k] {
+				row[varOf[cellKey{mi, k}]] = 1
+			}
+		}
+		if len(row) == 0 {
+			return &ErrAllocationInfeasible{Subset: subset}
+		}
+		if err := prob.AddSparse(row, lp.EQ, ws[mi].Xmit); err != nil {
+			return err
+		}
+	}
+
+	// Per-cell capacity.
+	for vi, c := range cells {
+		row := map[int]float64{vi: 1}
+		if err := prob.AddSparse(row, lp.LE, act.Intervals.Length(c.k)); err != nil {
+			return err
+		}
+	}
+
+	// Link capacity with the pinned usage subtracted from the RHS. Any
+	// link a free message uses must be constrained, even when it is the
+	// only free user, because pinned reservations consume capacity too.
+	maxLink := topology.LinkID(-1)
+	for _, mi := range subset {
+		for _, l := range pa.Links[mi] {
+			if l > maxLink {
+				maxLink = l
+			}
+		}
+	}
+	freeOn := make([][]tfg.MessageID, int(maxLink)+1)
+	pinnedOn := make([][]tfg.MessageID, int(maxLink)+1)
+	isFree := map[tfg.MessageID]bool{}
+	for _, mi := range freeMsgs {
+		isFree[mi] = true
+	}
+	for _, mi := range subset {
+		for _, l := range pa.Links[mi] {
+			if isFree[mi] {
+				freeOn[l] = append(freeOn[l], mi)
+			} else {
+				pinnedOn[l] = append(pinnedOn[l], mi)
+			}
+		}
+	}
+	for l := range freeOn {
+		if len(freeOn[l]) == 0 {
+			continue
+		}
+		for k := 0; k < K; k++ {
+			row := map[int]float64{}
+			for _, mi := range freeOn[l] {
+				if act.Active[mi][k] {
+					row[varOf[cellKey{mi, k}]] = 1
+				}
+			}
+			if len(row) == 0 {
+				continue
+			}
+			residual := act.Intervals.Length(k)
+			for _, mi := range pinnedOn[l] {
+				if out.P[mi] != nil {
+					residual -= out.P[mi][k]
+				}
+			}
+			if residual < 0 {
+				residual = 0
+			}
+			if len(row) < 2 && residual >= act.Intervals.Length(k) {
+				continue // lone free message, no pinned pressure: cell cap suffices
+			}
+			if err := prob.AddSparse(row, lp.LE, residual); err != nil {
+				return err
+			}
+		}
+	}
+
+	sol := prob.Solve()
+	if sol.Status != lp.Optimal {
+		return &ErrAllocationInfeasible{Subset: subset}
+	}
+	for vi, c := range cells {
+		if out.P[c.mi] == nil {
+			out.P[c.mi] = make([]float64, K)
+		}
+		v := sol.X[vi]
+		if v < 0 {
+			v = 0
+		}
+		out.P[c.mi][c.k] = v
+	}
+	return nil
+}
+
 func allocateSubset(subset []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
 	// Variable index per active (message, interval) cell.
 	type cellKey struct {

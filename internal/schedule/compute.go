@@ -19,6 +19,11 @@ type Problem struct {
 	Assignment *alloc.Assignment
 	// TauIn is the invocation period τin >= τc.
 	TauIn float64
+	// Faults, when non-empty, restricts routing to the residual
+	// topology: the deterministic baseline becomes RouteAround and path
+	// candidates come from SurvivingPaths, so every emitted Ω avoids the
+	// failed links and nodes. A nil or empty set is the perfect machine.
+	Faults *topology.FaultSet
 }
 
 // Options tunes the Compute pipeline; the zero value selects the
@@ -194,7 +199,7 @@ func Compute(p Problem, o Options) (*Result, error) {
 		Latency:   p.Graph.LatencyOf(p.Timing, starts),
 	}
 
-	lsd, err := LSDAssignment(p.Graph, p.Topology, p.Assignment, ws)
+	lsd, err := FaultRouteAssignment(p.Graph, p.Topology, p.Assignment, ws, p.Faults)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +208,7 @@ func Compute(p Problem, o Options) (*Result, error) {
 
 	var cands *Candidates
 	if !opt.LSDOnly {
-		cands, err = BuildCandidates(p.Graph, p.Topology, p.Assignment, ws, opt.MaxPaths)
+		cands, err = BuildCandidatesFault(p.Graph, p.Topology, p.Assignment, ws, opt.MaxPaths, p.Faults)
 		if err != nil {
 			return nil, err
 		}

@@ -147,7 +147,10 @@ func TestExecuteConstantThroughput(t *testing.T) {
 	if metrics.OutputInconsistent(p.TauIn, ivs, 1e-9) {
 		t.Errorf("scheduled routing must be output consistent; intervals %v", ivs)
 	}
-	th := metrics.NormalizedThroughput(p.TauIn, ivs)
+	th, err := metrics.NormalizedThroughput(p.TauIn, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !th.Constant(1e-9) || math.Abs(th.Mid-1) > 1e-9 {
 		t.Errorf("throughput spike %v, want exactly 1", th)
 	}

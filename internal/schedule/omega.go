@@ -159,7 +159,7 @@ func (om *Omega) Validate(top *topology.Topology) error {
 			if !w.Contains(start, om.TauIn) {
 				return fmt.Errorf("schedule: message %d transmits at frame %g outside window", msg, start)
 			}
-			off := fmod(start-w.Release, om.TauIn) + (end - start)
+			off := w.frameOffset(start, om.TauIn) + (end - start)
 			if w.Length < om.TauIn-timeEps && off > w.Length+1e-6 {
 				return fmt.Errorf("schedule: message %d transmission runs %g past its window", msg, off-w.Length)
 			}

@@ -36,6 +36,16 @@ func (pa *PathAssignment) SetPath(i tfg.MessageID, p topology.Path, links []topo
 // LSDAssignment routes every non-local message along its deterministic
 // LSD-to-MSD path — the paper's baseline path selection.
 func LSDAssignment(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment, ws []Window) (*PathAssignment, error) {
+	return FaultRouteAssignment(g, top, as, ws, nil)
+}
+
+// FaultRouteAssignment is the fault-aware deterministic baseline: every
+// non-local message takes its LSD-to-MSD path when that path survives
+// the fault set, and otherwise the lexicographically first surviving
+// shortest path (topology.RouteAround). With a nil or empty fault set
+// it is exactly LSDAssignment. A *topology.NoRouteError is returned
+// when the residual topology disconnects a message's endpoints.
+func FaultRouteAssignment(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment, ws []Window, fs *topology.FaultSet) (*PathAssignment, error) {
 	pa := &PathAssignment{
 		Paths: make([]topology.Path, g.NumMessages()),
 		Links: make([][]topology.LinkID, g.NumMessages()),
@@ -44,7 +54,10 @@ func LSDAssignment(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment, w
 		if ws[m.ID].Local {
 			continue
 		}
-		p := top.LSDToMSD(as.Node(m.Src), as.Node(m.Dst))
+		p, err := top.RouteAround(as.Node(m.Src), as.Node(m.Dst), fs)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: message %d: %w", m.ID, err)
+		}
 		links, err := p.Links(top)
 		if err != nil {
 			return nil, fmt.Errorf("schedule: message %d: %w", m.ID, err)
@@ -70,6 +83,13 @@ type candidate struct {
 // BuildCandidates enumerates up to maxPaths equivalent shortest paths
 // per non-local message.
 func BuildCandidates(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment, ws []Window, maxPaths int) (*Candidates, error) {
+	return BuildCandidatesFault(g, top, as, ws, maxPaths, nil)
+}
+
+// BuildCandidatesFault enumerates up to maxPaths surviving shortest
+// paths per non-local message on the residual topology; with a nil or
+// empty fault set it is exactly BuildCandidates.
+func BuildCandidatesFault(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment, ws []Window, maxPaths int, fs *topology.FaultSet) (*Candidates, error) {
 	if maxPaths < 1 {
 		return nil, fmt.Errorf("schedule: maxPaths %d < 1", maxPaths)
 	}
@@ -78,7 +98,10 @@ func BuildCandidates(g *tfg.Graph, top *topology.Topology, as *alloc.Assignment,
 		if ws[m.ID].Local {
 			continue
 		}
-		paths := top.ShortestPaths(as.Node(m.Src), as.Node(m.Dst), maxPaths)
+		paths, err := top.SurvivingPaths(as.Node(m.Src), as.Node(m.Dst), maxPaths, fs)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: message %d: %w", m.ID, err)
+		}
 		list := make([]candidate, 0, len(paths))
 		for _, p := range paths {
 			links, err := p.Links(top)

@@ -1,0 +1,474 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// RepairOutcome names the rung of the repair ladder that produced (or
+// failed to produce) a schedule for the degraded machine.
+type RepairOutcome int
+
+const (
+	// RepairUnaffected: no scheduled message crosses a failed element;
+	// the existing Ω remains valid as-is.
+	RepairUnaffected RepairOutcome = iota
+	// RepairIncremental: only the affected messages were rerouted and
+	// reallocated; every unaffected reservation kept its allocation.
+	RepairIncremental
+	// RepairRecomputed: incremental repair was infeasible, but a full
+	// pipeline rerun on the residual topology found a schedule at the
+	// original rate and window.
+	RepairRecomputed
+	// RepairDegradedWindow: feasible only after widening the message
+	// windows (latency grows; the output rate τout is preserved).
+	RepairDegradedWindow
+	// RepairDegradedRate: feasible only at a longer invocation period
+	// (τout > τin — the constant-rate guarantee holds at a reduced rate).
+	RepairDegradedRate
+	// RepairInfeasible: no rung produced a schedule; the fault is not
+	// survivable for this workload and placement.
+	RepairInfeasible
+)
+
+// String names the outcome.
+func (o RepairOutcome) String() string {
+	switch o {
+	case RepairUnaffected:
+		return "unaffected"
+	case RepairIncremental:
+		return "incremental"
+	case RepairRecomputed:
+		return "recomputed"
+	case RepairDegradedWindow:
+		return "degraded-window"
+	case RepairDegradedRate:
+		return "degraded-rate"
+	case RepairInfeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// windowScales and rateFactors are the graceful-degradation ladders:
+// window widening preserves the output rate at higher latency, rate
+// reduction trades τout itself. Both are tried in order and the first
+// feasible rung wins, so reports are deterministic.
+var (
+	windowScales = []float64{1.25, 1.5, 2}
+	rateFactors  = []float64{1.1, 1.25, 1.5, 2}
+)
+
+// RepairReport is the typed outcome of a repair attempt.
+type RepairReport struct {
+	Outcome RepairOutcome
+	// Stage is the pipeline stage that rejected the final attempt when
+	// Outcome is RepairInfeasible; StageOK otherwise.
+	Stage Stage
+	// Faults describes the injected fault population.
+	Faults string
+	// Affected lists the messages whose paths crossed a failed element.
+	Affected []tfg.MessageID
+	// Rerouted counts messages whose path changed in the repaired Ω.
+	Rerouted int
+	// NewPeak is the peak utilization of the repaired assignment.
+	NewPeak float64
+	// TauOut is the output period of the repaired schedule; it exceeds
+	// the problem's TauIn exactly when Outcome is RepairDegradedRate.
+	TauOut float64
+	// WindowScale is the window widening factor applied (1 unless
+	// Outcome is RepairDegradedWindow).
+	WindowScale float64
+	// LostTasks is true when a failed node hosts an application task, a
+	// fault no amount of rerouting can mask (the model has no task
+	// migration); the outcome is then RepairInfeasible.
+	LostTasks bool
+	// Reason carries a one-line diagnosis for infeasible outcomes.
+	Reason string
+	// Result is the repaired schedule (the base result when Outcome is
+	// RepairUnaffected); nil only when Outcome is RepairInfeasible.
+	Result *Result
+}
+
+// Err returns a typed *InfeasibleRepairError when the repair failed,
+// and nil otherwise — the hook for strict sweeps that must abort on the
+// first unsurvivable fault.
+func (r *RepairReport) Err() error {
+	if r.Outcome != RepairInfeasible {
+		return nil
+	}
+	return &InfeasibleRepairError{Faults: r.Faults, Stage: r.Stage, Reason: r.Reason}
+}
+
+// InfeasibleRepairError reports an unsurvivable fault: every rung of
+// the repair ladder — incremental reroute, full recompute, widened
+// windows, reduced rate — was rejected.
+type InfeasibleRepairError struct {
+	Faults string
+	Stage  Stage
+	Reason string
+}
+
+func (e *InfeasibleRepairError) Error() string {
+	msg := fmt.Sprintf("schedule: repair infeasible under %s (last stage: %s)", e.Faults, e.Stage)
+	if e.Reason != "" {
+		msg += ": " + e.Reason
+	}
+	return msg
+}
+
+// Repair attempts to restore a valid schedule after the fault set fs
+// strikes a machine running the feasible base schedule, descending the
+// ladder of the paper's Fig. 3 feedback arrows extended with graceful
+// degradation:
+//
+//  1. incremental — reroute only the affected messages over surviving
+//     paths, re-allocate them against the residual per-(link, interval)
+//     capacity with every unaffected allocation pinned, and re-run
+//     interval scheduling;
+//  2. full recompute — the whole pipeline on the residual topology;
+//  3. widened windows — full recompute with the message windows scaled
+//     up (latency degrades, the output rate does not);
+//  4. reduced rate — full recompute at a longer invocation period
+//     (τout degrades but stays constant).
+//
+// Every outcome is a typed RepairReport; an error return signals
+// invalid input or an internal inconsistency, never mere infeasibility.
+func Repair(p Problem, o Options, base *Result, fs *topology.FaultSet) (*RepairReport, error) {
+	opt := o.withDefaults()
+	if base == nil || !base.Feasible || base.Omega == nil {
+		return nil, fmt.Errorf("schedule: repair needs a feasible base schedule")
+	}
+	if p.Graph == nil || p.Topology == nil || p.Assignment == nil {
+		return nil, fmt.Errorf("schedule: incomplete problem")
+	}
+	rep := &RepairReport{
+		Faults:      fs.String(),
+		NewPeak:     base.Peak,
+		TauOut:      p.TauIn,
+		WindowScale: 1,
+	}
+	if fs.Empty() {
+		rep.Outcome = RepairUnaffected
+		rep.Result = base
+		return rep, nil
+	}
+
+	// A dead node that hosts a task kills the application outright: the
+	// model has no task migration, so no routing repair applies.
+	for t := 0; t < p.Graph.NumTasks(); t++ {
+		if fs.NodeFailed(p.Assignment.Node(tfg.TaskID(t))) {
+			rep.Outcome = RepairInfeasible
+			rep.LostTasks = true
+			rep.Reason = fmt.Sprintf("failed node hosts task %d", t)
+			return rep, nil
+		}
+	}
+
+	// Affected messages: their assigned path crosses a failed element.
+	for i := range base.Windows {
+		if base.Windows[i].Local || len(base.Assignment.Links[i]) == 0 {
+			continue
+		}
+		if _, blocked := fs.Blocks(p.Topology, base.Assignment.Paths[i]); blocked {
+			rep.Affected = append(rep.Affected, tfg.MessageID(i))
+		}
+	}
+	if len(rep.Affected) == 0 {
+		rep.Outcome = RepairUnaffected
+		rep.Result = base
+		return rep, nil
+	}
+
+	// Rung 1: incremental repair with unaffected reservations pinned.
+	res, incPA, incPeak, err := repairIncremental(p, opt, base, fs, rep.Affected)
+	if err != nil {
+		var nre *topology.NoRouteError
+		if errors.As(err, &nre) {
+			// The residual topology disconnects a message's endpoints;
+			// no downstream rung can restore connectivity.
+			rep.Outcome = RepairInfeasible
+			rep.Reason = nre.Error()
+			return rep, nil
+		}
+		return nil, err
+	}
+	if res != nil {
+		rep.Outcome = RepairIncremental
+		rep.Rerouted = len(rep.Affected)
+		rep.NewPeak = res.Peak
+		rep.Result = res
+		return rep, nil
+	}
+
+	// Rungs 2-4 all run the full pipeline on the residual topology.
+	full := p
+	full.Faults = fs
+	lastStage := StageOK
+	attempt := func(tauIn, window float64) (*Result, error) {
+		fp := full
+		fp.TauIn = tauIn
+		fo := opt
+		fo.Window = window
+		r, err := Compute(fp, fo)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Feasible {
+			lastStage = r.FailStage
+			return nil, nil
+		}
+		return r, nil
+	}
+	countRerouted := func(r *Result) int {
+		n := 0
+		for i := range r.Assignment.Paths {
+			if base.Windows[i].Local {
+				continue
+			}
+			if !r.Assignment.Paths[i].Equal(base.Assignment.Paths[i]) {
+				n++
+			}
+		}
+		return n
+	}
+	finish := func(r *Result, outcome RepairOutcome, tauOut, scale float64) (*RepairReport, error) {
+		rep.Outcome = outcome
+		rep.Rerouted = countRerouted(r)
+		rep.NewPeak = r.Peak
+		rep.TauOut = tauOut
+		rep.WindowScale = scale
+		rep.Result = r
+		return rep, nil
+	}
+
+	baseWindow := opt.Window
+	if baseWindow == 0 {
+		baseWindow = p.Timing.TauC()
+	}
+
+	// Rung 2: full recompute at the original rate and window. First a
+	// warm start — keep the incrementally rerouted paths (known to sit
+	// under peak 1) but re-solve the allocation jointly for every
+	// message; this rescues the cases where the pinned base allocation
+	// boxed a no-slack detour in. Then the from-scratch pipeline.
+	if incPA != nil {
+		r, err := repairReschedule(p, opt, base, fs, incPA, incPeak)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return finish(r, RepairRecomputed, p.TauIn, 1)
+		}
+	}
+	r, err := attempt(p.TauIn, baseWindow)
+	if err != nil {
+		var nre *topology.NoRouteError
+		if errors.As(err, &nre) {
+			rep.Outcome = RepairInfeasible
+			rep.Reason = nre.Error()
+			return rep, nil
+		}
+		return nil, err
+	}
+	if r != nil {
+		return finish(r, RepairRecomputed, p.TauIn, 1)
+	}
+
+	// Rung 3: widened windows (latency degrades, τout preserved).
+	for _, scale := range windowScales {
+		w := baseWindow * scale
+		if w > p.TauIn {
+			w = p.TauIn
+		}
+		r, err := attempt(p.TauIn, w)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return finish(r, RepairDegradedWindow, p.TauIn, w/baseWindow)
+		}
+	}
+
+	// Rung 4: reduced rate (τout degrades but stays constant).
+	for _, f := range rateFactors {
+		r, err := attempt(p.TauIn*f, baseWindow)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return finish(r, RepairDegradedRate, p.TauIn*f, 1)
+		}
+	}
+
+	rep.Outcome = RepairInfeasible
+	rep.Stage = lastStage
+	rep.Reason = "every repair rung rejected the degraded problem"
+	return rep, nil
+}
+
+// repairIncremental attempts rung 1: reroute only the affected messages
+// onto surviving paths chosen by a deterministic greedy peak-minimizing
+// sweep, re-allocate them against the residual capacity with the
+// unaffected rows pinned, and re-run interval scheduling. A nil Result
+// means this rung is infeasible; the chosen assignment and its peak are
+// still returned (when the peak clears 1) so the warm-start recompute
+// can reuse them. Only structural errors propagate (including
+// *topology.NoRouteError for disconnection).
+func repairIncremental(p Problem, opt Options, base *Result, fs *topology.FaultSet, affected []tfg.MessageID) (*Result, *PathAssignment, float64, error) {
+	top := p.Topology
+	ws := base.Windows
+	act := base.Activity
+	pa := base.Assignment.Clone()
+
+	// Surviving candidates per affected message.
+	cands := make(map[tfg.MessageID][]candidate, len(affected))
+	for _, mi := range affected {
+		m := p.Graph.Messages()[mi]
+		paths, err := top.SurvivingPaths(p.Assignment.Node(m.Src), p.Assignment.Node(m.Dst), opt.MaxPaths, fs)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		list := make([]candidate, 0, len(paths))
+		for _, pt := range paths {
+			links, err := pt.Links(top)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			list = append(list, candidate{path: pt, links: links})
+		}
+		cands[mi] = list
+	}
+
+	// Start every affected message on its first surviving path, then
+	// greedily sweep: each pass re-evaluates every affected message
+	// against all its candidates and keeps the peak-minimizing choice.
+	// Candidate order and message order are fixed, so the result is
+	// deterministic.
+	for _, mi := range affected {
+		c := cands[mi][0]
+		pa.SetPath(mi, c.path, c.links)
+	}
+	peak := ComputeUtilization(top, pa, ws, act).Peak
+	const sweeps = 2
+	for s := 0; s < sweeps; s++ {
+		improved := false
+		for _, mi := range affected {
+			list := cands[mi]
+			if len(list) < 2 {
+				continue
+			}
+			bestCI, bestPeak := -1, peak
+			for ci, c := range list {
+				if c.path.Equal(pa.Paths[mi]) {
+					continue
+				}
+				trial := pa.Clone()
+				trial.SetPath(mi, c.path, c.links)
+				if tp := ComputeUtilization(top, trial, ws, act).Peak; tp < bestPeak-timeEps {
+					bestCI, bestPeak = ci, tp
+				}
+			}
+			if bestCI >= 0 {
+				c := list[bestCI]
+				pa.SetPath(mi, c.path, c.links)
+				peak = bestPeak
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if peak > 1+timeEps {
+		return nil, nil, 0, nil
+	}
+
+	// Re-allocate with the unaffected rows pinned, then re-schedule.
+	isAffected := make(map[tfg.MessageID]bool, len(affected))
+	for _, mi := range affected {
+		isAffected[mi] = true
+	}
+	subsets := MaximalSubsets(pa, ws, act)
+	allocation, err := AllocateIntervalsPinned(subsets, pa, ws, act, base.Allocation,
+		func(mi tfg.MessageID) bool { return isAffected[mi] })
+	var allocFail *ErrAllocationInfeasible
+	if errors.As(err, &allocFail) {
+		return nil, pa, peak, nil
+	} else if err != nil {
+		return nil, nil, 0, err
+	}
+	res, err := assembleRepairedResult(p, opt, base, fs, pa, peak, allocation)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res, pa, peak, nil
+}
+
+// repairReschedule is the warm-start half of rung 2: keep the repaired
+// path assignment but solve the message-interval allocation jointly for
+// every message (no pinning) and re-run interval scheduling. A nil
+// Result means infeasible at this assignment.
+func repairReschedule(p Problem, opt Options, base *Result, fs *topology.FaultSet, pa *PathAssignment, peak float64) (*Result, error) {
+	ws, act := base.Windows, base.Activity
+	subsets := MaximalSubsets(pa, ws, act)
+	allocation, err := AllocateIntervals(subsets, pa, ws, act)
+	var allocFail *ErrAllocationInfeasible
+	if errors.As(err, &allocFail) {
+		return nil, nil
+	} else if err != nil {
+		return nil, err
+	}
+	return assembleRepairedResult(p, opt, base, fs, pa, peak, allocation)
+}
+
+// assembleRepairedResult runs interval scheduling over the repaired
+// allocation, rebuilds Ω with the base starts and latency, validates it
+// against the degraded topology, and packages the Result. A nil Result
+// means interval scheduling rejected the allocation.
+func assembleRepairedResult(p Problem, opt Options, base *Result, fs *topology.FaultSet, pa *PathAssignment, peak float64, allocation *Allocation) (*Result, error) {
+	top := p.Topology
+	ws, act := base.Windows, base.Activity
+	slices, err := ScheduleIntervals(allocation, pa, act, opt.Engine, 2*opt.SyncMargin)
+	var schedFail *ErrIntervalInfeasible
+	if errors.As(err, &schedFail) {
+		return nil, nil
+	} else if err != nil {
+		return nil, err
+	}
+
+	om := BuildOmega(slices, pa, ws, top.Nodes(), p.TauIn, base.Latency)
+	om.Starts = base.Omega.Starts
+	if err := om.Validate(top); err != nil {
+		return nil, fmt.Errorf("schedule: internal: repaired schedule failed validation: %w", err)
+	}
+	// Belt and braces: the repaired paths must avoid every failed
+	// element — guaranteed by construction, verified anyway.
+	for i := range pa.Paths {
+		if ws[i].Local || len(pa.Links[i]) == 0 {
+			continue
+		}
+		if err := pa.Paths[i].ValidateFault(top, fs); err != nil {
+			return nil, fmt.Errorf("schedule: internal: repaired message %d: %w", i, err)
+		}
+	}
+
+	return &Result{
+		Feasible:   true,
+		FailStage:  StageOK,
+		Windows:    ws,
+		Intervals:  base.Intervals,
+		Activity:   act,
+		PeakLSD:    base.PeakLSD,
+		Peak:       peak,
+		Assignment: pa,
+		Allocation: allocation,
+		Slices:     slices,
+		Omega:      om,
+		Latency:    base.Latency,
+	}, nil
+}

@@ -71,21 +71,32 @@ func (w Window) Slack() float64 { return w.Length - w.Xmit }
 // NoSlack reports whether the message must occupy its whole window.
 func (w Window) NoSlack() bool { return w.Slack() <= timeEps }
 
+// frameOffset returns the offset of frame instant t past the release
+// point. Interval arithmetic can place a slice start an epsilon before
+// its release, which fmod would wrap to almost a full period; offsets
+// within timeEps of tauIn are therefore treated as the release itself.
+func (w Window) frameOffset(t, tauIn float64) float64 {
+	off := fmod(t-w.Release, tauIn)
+	if off >= tauIn-timeEps {
+		off = 0
+	}
+	return off
+}
+
 // Contains reports whether frame instant t (taken mod τin) lies within
 // the window's frame image.
 func (w Window) Contains(t, tauIn float64) bool {
 	if w.Length >= tauIn-timeEps {
 		return true
 	}
-	off := fmod(t-w.Release, tauIn)
-	return off <= w.Length+timeEps
+	return w.frameOffset(t, tauIn) <= w.Length+timeEps
 }
 
 // AbsoluteTime maps a frame instant t inside the window to the absolute
 // time of invocation 0's occurrence: AbsRelease plus the offset of t
 // past the release point.
 func (w Window) AbsoluteTime(t, tauIn float64) float64 {
-	return w.AbsRelease + fmod(t-w.Release, tauIn)
+	return w.AbsRelease + w.frameOffset(t, tauIn)
 }
 
 // ComputeWindows derives the Section 4 time bounds for every message:

@@ -39,6 +39,23 @@ func (q *queue) Pop() any {
 	return it
 }
 
+// BadScheduleError reports an event scheduled at an invalid time —
+// in the past or at NaN — which always indicates a bug in the
+// simulation model driving the engine.
+type BadScheduleError struct {
+	// At is the invalid event time; Now is the engine clock when the
+	// event was scheduled.
+	At  float64
+	Now float64
+}
+
+func (e *BadScheduleError) Error() string {
+	if math.IsNaN(e.At) {
+		return fmt.Sprintf("sim: scheduling event at NaN (now %g)", e.Now)
+	}
+	return fmt.Sprintf("sim: scheduling event at %g before now %g", e.At, e.Now)
+}
+
 // Engine executes events in nondecreasing time order. Events scheduled
 // at identical times run in the order they were scheduled, which keeps
 // every simulation in this repository fully deterministic.
@@ -47,6 +64,7 @@ type Engine struct {
 	seq   uint64
 	q     queue
 	count uint64
+	err   error
 }
 
 // NewEngine creates an engine at time zero.
@@ -65,28 +83,35 @@ func (e *Engine) Processed() uint64 { return e.count }
 // Pending returns the number of events not yet executed.
 func (e *Engine) Pending() int { return len(e.q) }
 
-// At schedules fn at absolute time at; scheduling in the past panics,
-// since that is always a simulation bug.
+// At schedules fn at absolute time at. Scheduling in the past or at
+// NaN is always a simulation-model bug: the event is dropped, the
+// engine stops executing further events, and the typed
+// *BadScheduleError surfaces from Run, RunUntil, or Err. At keeps an
+// error-free signature because most scheduling happens inside event
+// callbacks, where a return value could not propagate anyway.
 func (e *Engine) At(at float64, fn Event) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, e.now))
-	}
-	if math.IsNaN(at) {
-		panic("sim: scheduling event at NaN")
+	if at < e.now || math.IsNaN(at) {
+		if e.err == nil {
+			e.err = &BadScheduleError{At: at, Now: e.now}
+		}
+		return
 	}
 	e.seq++
 	heap.Push(&e.q, &item{at: at, seq: e.seq, fn: fn})
 }
+
+// Err returns the first scheduling error observed, or nil.
+func (e *Engine) Err() error { return e.err }
 
 // After schedules fn delay time units from now.
 func (e *Engine) After(delay float64, fn Event) {
 	e.At(e.now+delay, fn)
 }
 
-// Step executes the single earliest pending event; it reports false when
-// the queue is empty.
+// Step executes the single earliest pending event; it reports false
+// when the queue is empty or a scheduling error has stopped the engine.
 func (e *Engine) Step() bool {
-	if len(e.q) == 0 {
+	if len(e.q) == 0 || e.err != nil {
 		return false
 	}
 	it := heap.Pop(&e.q).(*item)
@@ -98,28 +123,36 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue drains or maxEvents have run
 // (maxEvents <= 0 means no bound). It returns an error when the event
-// bound is hit, which usually signals a livelocked model.
+// bound is hit, which usually signals a livelocked model, or when an
+// event scheduled an invalid time (see At).
 func (e *Engine) Run(maxEvents uint64) error {
 	executed := uint64(0)
 	for e.Step() {
 		executed++
 		if maxEvents > 0 && executed >= maxEvents {
-			if len(e.q) > 0 {
-				return fmt.Errorf("sim: stopped after %d events with %d still pending", executed, len(e.q))
-			}
-			return nil
+			break
 		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if len(e.q) > 0 {
+		return fmt.Errorf("sim: stopped after %d events with %d still pending", executed, len(e.q))
 	}
 	return nil
 }
 
 // RunUntil executes events with time at or before deadline; events
 // beyond it stay queued and the clock advances to exactly deadline.
-func (e *Engine) RunUntil(deadline float64) {
-	for len(e.q) > 0 && e.q[0].at <= deadline {
-		e.Step()
+// It returns the first scheduling error, if any event misbehaved.
+func (e *Engine) RunUntil(deadline float64) error {
+	for len(e.q) > 0 && e.q[0].at <= deadline && e.Step() {
+	}
+	if e.err != nil {
+		return e.err
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -60,28 +61,52 @@ func TestAfterSchedulesRelative(t *testing.T) {
 	}
 }
 
-func TestPastSchedulingPanics(t *testing.T) {
+func TestPastSchedulingErrorStopsEngine(t *testing.T) {
 	e := NewEngine()
-	e.At(10, func(float64) {})
-	if !e.Step() {
-		t.Fatal("no event")
+	ran := 0
+	e.At(10, func(float64) {
+		ran++
+		e.At(5, func(float64) { ran++ }) // in the past — must not run
+		e.After(1, func(float64) { ran++ })
+	})
+	err := e.Run(0)
+	var bse *BadScheduleError
+	if !errors.As(err, &bse) {
+		t.Fatalf("Run = %v, want *BadScheduleError", err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("scheduling in the past should panic")
-		}
-	}()
-	e.At(5, func(float64) {})
+	if bse.At != 5 || bse.Now != 10 {
+		t.Errorf("error = %+v, want At=5 Now=10", bse)
+	}
+	if ran != 1 {
+		t.Errorf("%d events ran after the scheduling bug, want the engine to stop", ran-1)
+	}
+	if e.Err() == nil {
+		t.Error("Err must report the scheduling error")
+	}
 }
 
-func TestNaNPanics(t *testing.T) {
+func TestNaNSchedulingError(t *testing.T) {
 	e := NewEngine()
-	defer func() {
-		if recover() == nil {
-			t.Error("NaN time should panic")
-		}
-	}()
 	e.At(math.NaN(), func(float64) {})
+	err := e.Run(0)
+	var bse *BadScheduleError
+	if !errors.As(err, &bse) {
+		t.Fatalf("Run = %v, want *BadScheduleError", err)
+	}
+	if !math.IsNaN(bse.At) {
+		t.Errorf("error At = %g, want NaN", bse.At)
+	}
+	if err.Error() != "sim: scheduling event at NaN (now 0)" {
+		t.Errorf("message = %q", err.Error())
+	}
+}
+
+func TestRunUntilSurfacesSchedulingError(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func(float64) { e.At(0.5, func(float64) {}) })
+	if err := e.RunUntil(10); err == nil {
+		t.Error("RunUntil must surface the scheduling error")
+	}
 }
 
 func TestRunMaxEvents(t *testing.T) {
@@ -100,7 +125,9 @@ func TestRunUntil(t *testing.T) {
 	for i := 1; i <= 10; i++ {
 		e.At(float64(i), func(float64) { count++ })
 	}
-	e.RunUntil(5.5)
+	if err := e.RunUntil(5.5); err != nil {
+		t.Fatal(err)
+	}
 	if count != 5 {
 		t.Errorf("ran %d events, want 5", count)
 	}
@@ -110,7 +137,9 @@ func TestRunUntil(t *testing.T) {
 	if e.Pending() != 5 {
 		t.Errorf("pending = %d, want 5", e.Pending())
 	}
-	e.RunUntil(100)
+	if err := e.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
 	if count != 10 {
 		t.Errorf("total = %d", count)
 	}

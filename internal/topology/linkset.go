@@ -48,6 +48,17 @@ func (s *LinkSet) AddLinks(ls []LinkID) {
 	}
 }
 
+// Remove deletes l from the set; absent or negative IDs are a no-op.
+func (s *LinkSet) Remove(l LinkID) {
+	if l < 0 {
+		return
+	}
+	w := int(l) / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(l) % wordBits)
+	}
+}
+
 // Has reports whether l is in the set.
 func (s *LinkSet) Has(l LinkID) bool {
 	if l < 0 {

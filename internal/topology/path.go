@@ -80,6 +80,20 @@ func (p Path) Validate(t *Topology) error {
 	return nil
 }
 
+// ValidateFault checks the path against both the topology (Validate)
+// and a fault set: a path crossing a failed link or node fails with an
+// error naming the first failed element encountered walking source to
+// destination. A nil fault set degenerates to Validate.
+func (p Path) ValidateFault(t *Topology, fs *FaultSet) error {
+	if err := p.Validate(t); err != nil {
+		return err
+	}
+	if desc, blocked := fs.Blocks(t, p); blocked {
+		return fmt.Errorf("topology: path %s crosses %s", p, desc)
+	}
+	return nil
+}
+
 // LSDToMSD returns the deterministic dimension-order path from src to
 // dst: the source address is corrected one dimension at a time starting
 // from the least significant digit, exactly the deadlock-free route the

@@ -76,6 +76,10 @@ type Topology struct {
 	// shortest-path DAG. Cached slices are shared: callers must not
 	// mutate returned paths.
 	pathCache sync.Map // pathKey -> []Path
+
+	// faultCache memoizes SurvivingPaths enumerations keyed by fault
+	// epoch (see FaultSet.key); a nil value caches unreachability.
+	faultCache sync.Map // survivingKey -> []Path or nil
 }
 
 // pathKey identifies one memoized ShortestPaths enumeration.
