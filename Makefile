@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check race faults bench bench-parallel clean
+.PHONY: all build vet test check race faults bench bench-parallel bench-json clean
 
 all: check
 
@@ -32,6 +32,13 @@ faults:
 # Full figure-regeneration benchmark suite (see bench_test.go).
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Machine-readable perf trajectory: the headline pipeline benchmark,
+# the Fig. 5/7 panels, the serial sweep, and the CP-simulator replay,
+# rendered to JSON (ns/op, allocs/op, shape metrics) by cmd/benchjson.
+bench-json:
+	$(GO) test -run XXX -bench 'ScheduleComputeSixCube$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64' \
+		-benchmem -benchtime 2x . | $(GO) run ./cmd/benchjson > BENCH_schedule.json
 
 # Serial-vs-parallel sweep comparison plus the conflict-matrix
 # allocs/op delta recorded in docs/results-latest.txt.

@@ -50,6 +50,7 @@ func main() {
 	procs := flag.Int("procs", 0, "worker goroutines for the -best candidate search (0 = GOMAXPROCS, 1 = serial)")
 	failLink := flag.String("fail-link", "", "repair the schedule for a failed link, given as the node pair u-v")
 	failNode := flag.Int("fail-node", -1, "repair the schedule for a failed node")
+	stats := flag.Bool("stats", false, "report pipeline attempts, AssignPaths evaluations and per-stage wall-clock times")
 	flag.Parse()
 
 	g, err := cliutil.LoadGraph(*tfgSpec)
@@ -83,7 +84,7 @@ func main() {
 	}
 	opts := schedule.Options{
 		Seed: *seed, LSDOnly: *lsdOnly, SyncMargin: *margin, Retries: *retries,
-		AllowSharedNodes: *shared, Procs: *procs,
+		AllowSharedNodes: *shared, Procs: *procs, CollectStats: *stats,
 	}
 	var res *schedule.Result
 	if *best > 0 {
@@ -117,6 +118,12 @@ func main() {
 		tm.TauC(), tm.TauM(), period, tm.TauC()/period)
 	fmt.Printf("peak utilization: LSD-to-MSD %.4f, after AssignPaths %.4f\n",
 		res.PeakLSD, res.Peak)
+	if *stats {
+		st := res.Stats
+		fmt.Printf("stats: %d attempt(s), %d AssignPaths evaluations\n", st.Attempts, st.AssignIterations)
+		fmt.Printf("stats: windows %v, assign %v, allocate %v, schedule %v, omega %v\n",
+			st.WindowsTime, st.AssignTime, st.AllocateTime, st.ScheduleTime, st.OmegaTime)
+	}
 	if !res.Feasible {
 		fmt.Printf("INFEASIBLE at stage: %s\n", res.FailStage)
 		os.Exit(1)

@@ -165,14 +165,17 @@ func UtilizationSweep(c Config) (*UtilizationSeries, error) {
 	}
 	pts := Grid(tm.TauC())
 	points := make([]UtilizationPoint, len(pts))
+	// One solver serves all twelve load points, so path candidates and
+	// the LSD baseline are built once per sweep instead of per point.
+	solver := schedule.NewSolver(schedule.Problem{
+		Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
+	})
 	// The points are independent, so they run concurrently on cfg.Procs
 	// workers; each writes its ordered result slot and keeps the serial
 	// per-point seed, making the output identical to a serial run.
 	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
 		lp := pts[i]
-		res, err := schedule.Compute(schedule.Problem{
-			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: lp.TauIn,
-		}, schedule.Options{Seed: cfg.Seed})
+		res, err := solver.Solve(lp.TauIn, schedule.Options{Seed: cfg.Seed})
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}
@@ -225,6 +228,9 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 	cp, _ := g.CriticalPath(tm)
 	pts := Grid(tm.TauC())
 	points := make([]PerfPoint, len(pts))
+	solver := schedule.NewSolver(schedule.Problem{
+		Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
+	})
 	// Each load point runs its wormhole simulation and scheduled-routing
 	// pipeline independently on the worker pool; ordered result slots
 	// keep the series identical to a serial run.
@@ -254,9 +260,7 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 			pt.WROI = metrics.OutputInconsistent(lp.TauIn, ivs, 1e-6)
 		}
 
-		sres, err := schedule.Compute(schedule.Problem{
-			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: lp.TauIn,
-		}, schedule.Options{Seed: cfg.Seed})
+		sres, err := solver.Solve(lp.TauIn, schedule.Options{Seed: cfg.Seed})
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}

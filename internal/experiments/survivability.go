@@ -92,10 +92,14 @@ func SurvivabilitySweep(c Config) (*SurvivabilitySeries, error) {
 		}
 	}
 
-	// Stage 1: fault-free base schedule per load point.
+	// Stage 1: fault-free base schedule per load point, all through one
+	// solver so the perfect-machine candidates and baseline build once.
+	solver := schedule.NewSolver(schedule.Problem{
+		Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
+	})
 	base := make([]*schedule.Result, len(pts))
 	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
-		res, err := schedule.Compute(problem(pts[i].TauIn), opts)
+		res, err := solver.Solve(pts[i].TauIn, opts)
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, pts[i].Load, err)
 		}

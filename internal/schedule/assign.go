@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"fmt"
 	"math/rand"
 
 	"schedroute/internal/tfg"
@@ -22,6 +23,11 @@ type AssignPathsResult struct {
 	Iterations int
 }
 
+// assignCrossCheck, when set, makes AssignPaths verify the incremental
+// LoadState against a full ComputeUtilization after every outer round —
+// the debug hook that the property tests flip on.
+var assignCrossCheck = false
+
 // AssignPaths is the Fig. 4 iterative-improvement heuristic: starting
 // from the given assignment, repeatedly locate the peak link or
 // hot-spot, evaluate rerouting each multi-path message crossing it onto
@@ -30,6 +36,11 @@ type AssignPathsResult struct {
 // same peak elsewhere), and on convergence restart from a random
 // assignment to escape local minima. The best assignment ever seen is
 // returned. The computation is deterministic for a fixed seed.
+//
+// Candidate moves are scored through an incremental LoadState rather
+// than a from-scratch ComputeUtilization per trial; the delta scores
+// are bit-identical to full evaluation, so the move sequence — and
+// hence the result for a fixed seed — is unchanged.
 func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topology, ws []Window, act *Activity, seed int64, maxOuter, maxInner int) *AssignPathsResult {
 	if maxOuter < 1 {
 		maxOuter = 1
@@ -39,47 +50,50 @@ func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topol
 	}
 	rng := rand.New(rand.NewSource(seed))
 	evals := 0
-	util := func(pa *PathAssignment) *Utilization {
-		evals++
-		return ComputeUtilization(top, pa, ws, act)
-	}
 
 	current := initial.Clone()
 	best := current.Clone()
-	bestU := util(best)
+	ls := NewLoadState(top, current, ws, act)
+	evals++
+	bestU := ls.Utilization()
 
+	var msgBuf []tfg.MessageID
 	for outer := 0; outer < maxOuter; outer++ {
-		curU := util(current)
+		if outer > 0 {
+			ls.Reset(current)
+		}
+		evals++
+		curPeak, curLink, curInterval := ls.PeakPosition()
 		visited := map[assignPosition]bool{}
 		for inner := 0; inner < maxInner; inner++ {
-			pos := assignPosition{curU.PeakLink, curU.PeakInterval}
+			pos := assignPosition{curLink, curInterval}
 			visited[pos] = true
-			msgs := reroutable(current, cands, act, pos)
+			msgBuf = reroutable(current, cands, act, ls, pos, msgBuf[:0])
 			// Evaluate every alternative path of every peak message.
 			type move struct {
-				msg  tfg.MessageID
-				cand int
-				u    *Utilization
+				msg      tfg.MessageID
+				cand     int
+				peak     float64
+				link     topology.LinkID
+				interval int
 			}
 			var bestReduce, bestRepos *move
-			for _, mi := range msgs {
+			for _, mi := range msgBuf {
 				cur := current.Paths[mi]
 				for ci, c := range cands.PathsOf[mi] {
 					if c.path.Equal(cur) {
 						continue
 					}
-					trial := current.Clone()
-					trial.SetPath(mi, c.path, c.links)
-					tu := util(trial)
-					m := &move{msg: mi, cand: ci, u: tu}
-					if tu.Peak < curU.Peak-timeEps {
-						if bestReduce == nil || tu.Peak < bestReduce.u.Peak {
-							bestReduce = m
+					evals++
+					tp, tl, tk := ls.EvalReroute(mi, current.Links[mi], c.links)
+					if tp < curPeak-timeEps {
+						if bestReduce == nil || tp < bestReduce.peak {
+							bestReduce = &move{msg: mi, cand: ci, peak: tp, link: tl, interval: tk}
 						}
-					} else if tu.Peak <= curU.Peak+timeEps {
-						np := assignPosition{tu.PeakLink, tu.PeakInterval}
+					} else if tp <= curPeak+timeEps {
+						np := assignPosition{tl, tk}
 						if np != pos && !visited[np] && bestRepos == nil {
-							bestRepos = m
+							bestRepos = &move{msg: mi, cand: ci, peak: tp, link: tl, interval: tk}
 						}
 					}
 				}
@@ -92,12 +106,21 @@ func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topol
 				break // inner convergence: no reduction, no fresh reposition
 			}
 			c := cands.PathsOf[chosen.msg][chosen.cand]
+			ls.ApplyReroute(chosen.msg, current.Links[chosen.msg], c.links)
 			current.SetPath(chosen.msg, c.path, c.links)
-			curU = chosen.u
+			curPeak, curLink, curInterval = chosen.peak, chosen.link, chosen.interval
 		}
-		if curU.Peak < bestU.Peak-timeEps {
+		if assignCrossCheck {
+			full := ComputeUtilization(top, current, ws, act)
+			got := ls.Utilization()
+			if got.Peak != full.Peak || got.PeakLink != full.PeakLink || got.PeakInterval != full.PeakInterval {
+				panic(fmt.Sprintf("schedule: LoadState diverged from ComputeUtilization: incremental (%v, %v, %v) vs full (%v, %v, %v)",
+					got.Peak, got.PeakLink, got.PeakInterval, full.Peak, full.PeakLink, full.PeakInterval))
+			}
+		}
+		if curPeak < bestU.Peak-timeEps {
 			best = current.Clone()
-			bestU = curU
+			bestU = ls.Utilization()
 		}
 		if bestU.Peak <= timeEps {
 			break // cannot improve on zero
@@ -109,28 +132,20 @@ func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topol
 }
 
 // reroutable lists the multi-path messages that cross the peak link
-// (and, for a hot-spot peak, are active in the peak interval).
-func reroutable(pa *PathAssignment, cands *Candidates, act *Activity, pos assignPosition) []tfg.MessageID {
-	var out []tfg.MessageID
-	for i := range pa.Links {
+// (and, for a hot-spot peak, are active in the peak interval), reading
+// the peak link's membership set from the LoadState instead of scanning
+// every message's link list.
+func reroutable(pa *PathAssignment, cands *Candidates, act *Activity, ls *LoadState, pos assignPosition, buf []tfg.MessageID) []tfg.MessageID {
+	out := buf
+	ls.members[pos.link].forEach(func(i int) {
 		if len(cands.PathsOf[i]) < 2 {
-			continue
-		}
-		uses := false
-		for _, l := range pa.Links[i] {
-			if l == pos.link {
-				uses = true
-				break
-			}
-		}
-		if !uses {
-			continue
+			return
 		}
 		if pos.interval >= 0 && !act.Active[i][pos.interval] {
-			continue
+			return
 		}
 		out = append(out, tfg.MessageID(i))
-	}
+	})
 	return out
 }
 

@@ -1,7 +1,6 @@
 package schedule
 
 import (
-	"errors"
 	"fmt"
 
 	"schedroute/internal/alloc"
@@ -69,6 +68,10 @@ type Options struct {
 	// forces a serial run. Compute itself is single-threaded either way,
 	// and results are independent of Procs.
 	Procs int
+	// CollectStats fills the wall-clock stage timings of Result.Stats.
+	// Off by default so Results stay value-comparable across runs (the
+	// deterministic counters are filled either way).
+	CollectStats bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -142,143 +145,9 @@ type Result struct {
 
 	// Latency is the windowed pipeline latency Λ_w of every invocation.
 	Latency float64
-}
 
-// Compute runs the scheduled-routing pipeline of the paper's Fig. 3:
-// time bounds → path assignment → message-interval allocation →
-// interval scheduling → node switching schedules. Infeasibility at any
-// stage is reported in the Result; an error return signals invalid
-// input or an internal inconsistency.
-func Compute(p Problem, o Options) (*Result, error) {
-	opt := o.withDefaults()
-	if p.Graph == nil || p.Timing == nil || p.Topology == nil || p.Assignment == nil {
-		return nil, fmt.Errorf("schedule: incomplete problem")
-	}
-	// Without AP sharing, SR's static task starts assume one task per
-	// application processor.
-	if err := p.Assignment.Validate(p.Graph, p.Topology, !opt.AllowSharedNodes); err != nil {
-		return nil, err
-	}
-	window := opt.Window
-	if window == 0 {
-		window = p.Timing.TauC()
-	}
-	sameNode := func(m tfg.Message) bool {
-		return p.Assignment.Node(m.Src) == p.Assignment.Node(m.Dst)
-	}
-	var starts []float64
-	if opt.AllowSharedNodes {
-		nodeOf := make([]int, p.Graph.NumTasks())
-		for t := range nodeOf {
-			nodeOf[t] = int(p.Assignment.Node(tfg.TaskID(t)))
-		}
-		var err error
-		starts, err = p.Graph.PipelinedStartShared(p.Timing, window, nodeOf, p.TauIn)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		starts = p.Graph.PipelinedStart(p.Timing, window)
-	}
-	ws, err := ComputeWindowsFromStarts(p.Graph, p.Timing, p.TauIn, window, starts, sameNode)
-	if err != nil {
-		return nil, err
-	}
-	if opt.SyncMargin > 0 {
-		if err := applySyncMargin(ws, opt.SyncMargin, p.TauIn); err != nil {
-			return nil, err
-		}
-	}
-	set := BuildIntervals(ws, p.TauIn)
-	act := BuildActivity(ws, set)
-
-	res := &Result{
-		Windows:   ws,
-		Intervals: set,
-		Activity:  act,
-		Latency:   p.Graph.LatencyOf(p.Timing, starts),
-	}
-
-	lsd, err := FaultRouteAssignment(p.Graph, p.Topology, p.Assignment, ws, p.Faults)
-	if err != nil {
-		return nil, err
-	}
-	lsdU := ComputeUtilization(p.Topology, lsd, ws, act)
-	res.PeakLSD = lsdU.Peak
-
-	var cands *Candidates
-	if !opt.LSDOnly {
-		cands, err = BuildCandidatesFault(p.Graph, p.Topology, p.Assignment, ws, opt.MaxPaths, p.Faults)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// The Fig. 3 pipeline, with feedback: on a downstream rejection the
-	// path assignment is recomputed from a fresh seed and the later
-	// stages retried.
-	for attempt := 0; ; attempt++ {
-		pa, peak := lsd, lsdU.Peak
-		if !opt.LSDOnly {
-			ar := AssignPaths(lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner)
-			pa, peak = ar.Assignment, ar.Util.Peak
-			if peak > lsdU.Peak {
-				// AssignPaths starts from LSD, so it can never be worse.
-				pa, peak = lsd, lsdU.Peak
-			}
-		}
-		if attempt == 0 || peak < res.Peak {
-			res.Assignment = pa
-			res.Peak = peak
-		}
-
-		stage := StageOK
-		var allocation *Allocation
-		var slices []Slice
-		if peak > 1+timeEps {
-			stage = StageUtilization
-		} else {
-			subsets := MaximalSubsets(pa, ws, act)
-			allocation, err = AllocateIntervals(subsets, pa, ws, act)
-			var allocFail *ErrAllocationInfeasible
-			if errors.As(err, &allocFail) {
-				stage = StageAllocation
-			} else if err != nil {
-				return nil, err
-			}
-		}
-		if stage == StageOK {
-			slices, err = ScheduleIntervals(allocation, pa, act, opt.Engine, 2*opt.SyncMargin)
-			var schedFail *ErrIntervalInfeasible
-			if errors.As(err, &schedFail) {
-				stage = StageIntervalSchedule
-			} else if err != nil {
-				return nil, err
-			}
-		}
-
-		if stage != StageOK {
-			res.FailStage = stage
-			if attempt < opt.Retries && !opt.LSDOnly {
-				continue
-			}
-			return res, nil
-		}
-
-		res.Assignment = pa
-		res.Peak = peak
-		res.Allocation = allocation
-		res.Slices = slices
-		om := BuildOmega(slices, pa, ws, p.Topology.Nodes(), p.TauIn, res.Latency)
-		om.Starts = starts
-		if err := om.Validate(p.Topology); err != nil {
-			return nil, fmt.Errorf("schedule: internal: emitted schedule failed validation: %w", err)
-		}
-		res.Omega = om
-		res.Feasible = true
-		res.FailStage = StageOK
-		return res, nil
-	}
+	// Stats instruments the Solve call that produced this result.
+	Stats SolveStats
 }
 
 // applySyncMargin shrinks every non-local window by the Section 7

@@ -1,0 +1,273 @@
+package schedule
+
+import (
+	"math/bits"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// msgSet is a bitset over message IDs, the per-link membership record
+// that lets LoadState recompute a changed link's load exactly: members
+// iterate in ascending message order, so partial sums reproduce the
+// float-summation order of a from-scratch ComputeUtilization bit for
+// bit.
+type msgSet []uint64
+
+func newMsgSet(n int) msgSet { return make(msgSet, (n+63)/64) }
+
+func (s msgSet) add(i int)    { s[i/64] |= 1 << (uint(i) % 64) }
+func (s msgSet) remove(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+func (s msgSet) clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// forEach calls fn for every member in ascending order.
+func (s msgSet) forEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// LoadState maintains the Section 5.1 link-load accumulators of one
+// path assignment incrementally: per-(link, interval) active-message
+// and no-slack counts, per-link transmission sums and active lengths,
+// and a per-link peak score. ApplyReroute updates only the links a
+// reroute actually changes — O(|changed links| × (K + messages on
+// link)) instead of the O(M × L × K) full recompute — and every stored
+// float is recomputed from exact integer state in the same order a
+// from-scratch ComputeUtilization would sum it, so the incremental
+// peaks are bit-identical to full evaluation and Apply followed by
+// Undo restores the state exactly. This is what turns the Fig. 4
+// AssignPaths hill-climb from quadratic re-evaluation into cheap delta
+// scoring; ComputeUtilization remains as the one-shot reference and
+// debug cross-check.
+type LoadState struct {
+	ws  []Window
+	act *Activity
+	nl  int
+	K   int
+
+	members []msgSet  // members[j]: messages using link j
+	xmit    []float64 // xmit[j]: Σ Xmit over members[j], ascending message order
+	cnt     []int32   // cnt[j*K+k]: active messages on (j, k)
+	spot    []int32   // spot[j*K+k]: no-slack messages on (j, k)
+
+	activeLen []float64 // activeLen[j]: Σ interval lengths with cnt > 0
+	score     []float64 // score[j]: max(U_j, max_k spot[j][k])
+	scoreK    []int32   // interval attaining score[j], -1 for U_j
+}
+
+// NewLoadState builds the accumulators for pa from scratch.
+func NewLoadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *LoadState {
+	nl := top.Links()
+	K := act.Intervals.K()
+	ls := &LoadState{
+		ws:        ws,
+		act:       act,
+		nl:        nl,
+		K:         K,
+		members:   make([]msgSet, nl),
+		xmit:      make([]float64, nl),
+		cnt:       make([]int32, nl*K),
+		spot:      make([]int32, nl*K),
+		activeLen: make([]float64, nl),
+		score:     make([]float64, nl),
+		scoreK:    make([]int32, nl),
+	}
+	for j := range ls.members {
+		ls.members[j] = newMsgSet(len(ws))
+	}
+	ls.fill(pa)
+	return ls
+}
+
+// Reset rebuilds the accumulators for a new assignment, reusing every
+// backing array — the restart path of AssignPaths' random escapes.
+func (ls *LoadState) Reset(pa *PathAssignment) {
+	for j := range ls.members {
+		ls.members[j].clear()
+	}
+	for i := range ls.cnt {
+		ls.cnt[i] = 0
+		ls.spot[i] = 0
+	}
+	ls.fill(pa)
+}
+
+func (ls *LoadState) fill(pa *PathAssignment) {
+	for i := range ls.ws {
+		if ls.ws[i].Local || len(pa.Links[i]) == 0 {
+			continue
+		}
+		noSlack := ls.ws[i].NoSlack()
+		row := ls.act.Active[i]
+		for _, l := range pa.Links[i] {
+			ls.members[l].add(i)
+			base := int(l) * ls.K
+			for k := 0; k < ls.K; k++ {
+				if row[k] {
+					ls.cnt[base+k]++
+					if noSlack {
+						ls.spot[base+k]++
+					}
+				}
+			}
+		}
+	}
+	for j := 0; j < ls.nl; j++ {
+		ls.recomputeLink(j)
+	}
+}
+
+// recomputeLink refreshes link j's derived floats from the exact
+// integer/bitset state. The transmission sum iterates members in
+// ascending message order and the active length iterates intervals in
+// ascending order — the exact summation orders of ComputeUtilization —
+// so the derived values carry no incremental drift.
+func (ls *LoadState) recomputeLink(j int) {
+	sum := 0.0
+	ls.members[j].forEach(func(i int) {
+		sum += ls.ws[i].Xmit
+	})
+	ls.xmit[j] = sum
+
+	base := j * ls.K
+	al := 0.0
+	for k := 0; k < ls.K; k++ {
+		if ls.cnt[base+k] > 0 {
+			al += ls.act.Intervals.Length(k)
+		}
+	}
+	ls.activeLen[j] = al
+
+	u := 0.0
+	if al > 0 {
+		u = sum / al
+	}
+	best, bestK := u, int32(-1)
+	for k := 0; k < ls.K; k++ {
+		if s := float64(ls.spot[base+k]); s > best {
+			best, bestK = s, int32(k)
+		}
+	}
+	ls.score[j] = best
+	ls.scoreK[j] = bestK
+}
+
+func containsLink(links []topology.LinkID, l topology.LinkID) bool {
+	for _, x := range links {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyReroute moves message msg from oldLinks to newLinks, updating
+// only the links in their symmetric difference.
+func (ls *LoadState) ApplyReroute(msg tfg.MessageID, oldLinks, newLinks []topology.LinkID) {
+	noSlack := ls.ws[msg].NoSlack()
+	row := ls.act.Active[msg]
+	for _, l := range oldLinks {
+		if containsLink(newLinks, l) {
+			continue
+		}
+		ls.members[l].remove(int(msg))
+		base := int(l) * ls.K
+		for k := 0; k < ls.K; k++ {
+			if row[k] {
+				ls.cnt[base+k]--
+				if noSlack {
+					ls.spot[base+k]--
+				}
+			}
+		}
+		ls.recomputeLink(int(l))
+	}
+	for _, l := range newLinks {
+		if containsLink(oldLinks, l) {
+			continue
+		}
+		ls.members[l].add(int(msg))
+		base := int(l) * ls.K
+		for k := 0; k < ls.K; k++ {
+			if row[k] {
+				ls.cnt[base+k]++
+				if noSlack {
+					ls.spot[base+k]++
+				}
+			}
+		}
+		ls.recomputeLink(int(l))
+	}
+}
+
+// Undo reverses a previous ApplyReroute with the same arguments. All
+// counters are integers and every float is recomputed from them, so
+// the state after Undo is bit-identical to the state before Apply.
+func (ls *LoadState) Undo(msg tfg.MessageID, oldLinks, newLinks []topology.LinkID) {
+	ls.ApplyReroute(msg, newLinks, oldLinks)
+}
+
+// EvalReroute scores the reroute without leaving it applied: the move
+// is applied, the peak read, and the move undone. Exactness of
+// Apply/Undo makes this a pure what-if query.
+func (ls *LoadState) EvalReroute(msg tfg.MessageID, oldLinks, newLinks []topology.LinkID) (float64, topology.LinkID, int) {
+	ls.ApplyReroute(msg, oldLinks, newLinks)
+	peak, link, interval := ls.PeakPosition()
+	ls.Undo(msg, oldLinks, newLinks)
+	return peak, link, interval
+}
+
+// PeakPosition returns the current peak and where it sits, with the
+// same enumeration order (link ascending; link utilization before the
+// link's hot-spots; intervals ascending; strict improvement) as
+// ComputeUtilization, so ties break identically.
+func (ls *LoadState) PeakPosition() (float64, topology.LinkID, int) {
+	peak, link, interval := 0.0, topology.LinkID(0), int32(-1)
+	for j := 0; j < ls.nl; j++ {
+		if ls.score[j] > peak {
+			peak, link, interval = ls.score[j], topology.LinkID(j), ls.scoreK[j]
+		}
+	}
+	return peak, link, int(interval)
+}
+
+// Peak returns the current peak utilization.
+func (ls *LoadState) Peak() float64 {
+	p, _, _ := ls.PeakPosition()
+	return p
+}
+
+// MessagesOn returns the messages currently routed over link l in
+// ascending order, appended to buf — the delta-evaluation replacement
+// for scanning every message's link list.
+func (ls *LoadState) MessagesOn(l topology.LinkID, buf []tfg.MessageID) []tfg.MessageID {
+	ls.members[l].forEach(func(i int) {
+		buf = append(buf, tfg.MessageID(i))
+	})
+	return buf
+}
+
+// Utilization materializes the full Section 5.1 measures of the
+// current state; the result equals ComputeUtilization on the same
+// assignment bit for bit.
+func (ls *LoadState) Utilization() *Utilization {
+	u := &Utilization{LinkU: make([]float64, ls.nl), PeakInterval: -1}
+	for j := 0; j < ls.nl; j++ {
+		if ls.activeLen[j] > 0 {
+			u.LinkU[j] = ls.xmit[j] / ls.activeLen[j]
+		}
+	}
+	peak, link, interval := ls.PeakPosition()
+	u.Peak, u.PeakLink, u.PeakInterval = peak, link, interval
+	return u
+}

@@ -1,0 +1,138 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// checkLoadState asserts exact (bitwise, not within-epsilon) agreement
+// between the incremental state and a full recompute.
+func checkLoadState(t *testing.T, ls *LoadState, top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity, step string) {
+	t.Helper()
+	want := ComputeUtilization(top, pa, ws, act)
+	got := ls.Utilization()
+	if got.Peak != want.Peak || got.PeakLink != want.PeakLink || got.PeakInterval != want.PeakInterval {
+		t.Fatalf("%s: peak (%v, link %v, interval %v) != full recompute (%v, link %v, interval %v)",
+			step, got.Peak, got.PeakLink, got.PeakInterval, want.Peak, want.PeakLink, want.PeakInterval)
+	}
+	for j := range want.LinkU {
+		if got.LinkU[j] != want.LinkU[j] {
+			t.Fatalf("%s: LinkU[%d] = %v, full recompute %v", step, j, got.LinkU[j], want.LinkU[j])
+		}
+	}
+}
+
+// TestLoadStateMatchesFullRecompute drives randomized reroute /
+// eval / undo sequences over the DVB workload on the 6-cube and the
+// 8x8 torus, perfect and with a failed link, asserting after every
+// operation that the incremental accumulators equal ComputeUtilization
+// exactly.
+func TestLoadStateMatchesFullRecompute(t *testing.T) {
+	topos := []struct {
+		name  string
+		build func() (*topology.Topology, error)
+	}{
+		{"6cube", func() (*topology.Topology, error) { return topology.NewHypercube(6) }},
+		{"torus88", func() (*topology.Topology, error) { return topology.NewTorus(8, 8) }},
+	}
+	for _, tc := range topos {
+		for _, faulted := range []bool{false, true} {
+			name := tc.name
+			if faulted {
+				name += "-faulted"
+			}
+			t.Run(name, func(t *testing.T) {
+				top, err := tc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := dvbProblem(t, top, 64, gridTauIn(4))
+				var fs *topology.FaultSet
+				if faulted {
+					fs = topology.NewFaultSet(top.Links(), top.Nodes())
+					fs.FailLink(0)
+				}
+				sameNode := func(m tfg.Message) bool {
+					return p.Assignment.Node(m.Src) == p.Assignment.Node(m.Dst)
+				}
+				ws, err := ComputeWindows(p.Graph, p.Timing, p.TauIn, p.Timing.TauC(), sameNode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				set := BuildIntervals(ws, p.TauIn)
+				act := BuildActivity(ws, set)
+				pa, err := FaultRouteAssignment(p.Graph, top, p.Assignment, ws, fs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cands, err := BuildCandidatesFault(p.Graph, top, p.Assignment, ws, 24, fs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var multi []tfg.MessageID
+				for i, list := range cands.PathsOf {
+					if len(list) >= 2 {
+						multi = append(multi, tfg.MessageID(i))
+					}
+				}
+				if len(multi) == 0 {
+					t.Fatal("no multi-path messages in fixture")
+				}
+
+				ls := NewLoadState(top, pa, ws, act)
+				checkLoadState(t, ls, top, pa, ws, act, "initial")
+
+				rng := rand.New(rand.NewSource(7))
+				for step := 0; step < 200; step++ {
+					mi := multi[rng.Intn(len(multi))]
+					c := cands.PathsOf[mi][rng.Intn(len(cands.PathsOf[mi]))]
+					old := pa.Links[mi]
+					switch rng.Intn(3) {
+					case 0: // apply and keep
+						ls.ApplyReroute(mi, old, c.links)
+						pa.SetPath(mi, c.path, c.links)
+						checkLoadState(t, ls, top, pa, ws, act, "apply")
+					case 1: // apply then undo
+						ls.ApplyReroute(mi, old, c.links)
+						ls.Undo(mi, old, c.links)
+						checkLoadState(t, ls, top, pa, ws, act, "undo")
+					default: // pure what-if: peak must equal a cloned full eval
+						peak, link, interval := ls.EvalReroute(mi, old, c.links)
+						trial := pa.Clone()
+						trial.SetPath(mi, c.path, c.links)
+						want := ComputeUtilization(top, trial, ws, act)
+						if peak != want.Peak || link != want.PeakLink || interval != want.PeakInterval {
+							t.Fatalf("eval: (%v, %v, %v) != full trial recompute (%v, %v, %v)",
+								peak, link, interval, want.Peak, want.PeakLink, want.PeakInterval)
+						}
+						checkLoadState(t, ls, top, pa, ws, act, "eval")
+					}
+				}
+
+				// Reset onto a scrambled assignment must equal a fresh build.
+				randomize(pa, cands, rng)
+				ls.Reset(pa)
+				checkLoadState(t, ls, top, pa, ws, act, "reset")
+			})
+		}
+	}
+}
+
+// TestAssignPathsCrossCheck runs the heuristic with the debug
+// cross-check enabled: AssignPaths itself panics if the incremental
+// state ever diverges from the full recompute.
+func TestAssignPathsCrossCheck(t *testing.T) {
+	assignCrossCheck = true
+	defer func() { assignCrossCheck = false }()
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(2))
+	res, err := Compute(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak > res.PeakLSD {
+		t.Fatalf("AssignPaths peak %v worse than LSD %v", res.Peak, res.PeakLSD)
+	}
+}

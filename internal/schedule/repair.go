@@ -205,16 +205,17 @@ func Repair(p Problem, o Options, base *Result, fs *topology.FaultSet) (*RepairR
 		return rep, nil
 	}
 
-	// Rungs 2-4 all run the full pipeline on the residual topology.
+	// Rungs 2-4 all run the full pipeline on the residual topology; one
+	// Solver serves every rung, so the fault-aware candidates and LSD
+	// baseline are routed once instead of once per (window, rate) trial.
 	full := p
 	full.Faults = fs
+	solver := NewSolver(full)
 	lastStage := StageOK
 	attempt := func(tauIn, window float64) (*Result, error) {
-		fp := full
-		fp.TauIn = tauIn
 		fo := opt
 		fo.Window = window
-		r, err := Compute(fp, fo)
+		r, err := solver.Solve(tauIn, fo)
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +354,8 @@ func repairIncremental(p Problem, opt Options, base *Result, fs *topology.FaultS
 		c := cands[mi][0]
 		pa.SetPath(mi, c.path, c.links)
 	}
-	peak := ComputeUtilization(top, pa, ws, act).Peak
+	ls := NewLoadState(top, pa, ws, act)
+	peak := ls.Peak()
 	const sweeps = 2
 	for s := 0; s < sweeps; s++ {
 		improved := false
@@ -367,14 +369,13 @@ func repairIncremental(p Problem, opt Options, base *Result, fs *topology.FaultS
 				if c.path.Equal(pa.Paths[mi]) {
 					continue
 				}
-				trial := pa.Clone()
-				trial.SetPath(mi, c.path, c.links)
-				if tp := ComputeUtilization(top, trial, ws, act).Peak; tp < bestPeak-timeEps {
+				if tp, _, _ := ls.EvalReroute(mi, pa.Links[mi], c.links); tp < bestPeak-timeEps {
 					bestCI, bestPeak = ci, tp
 				}
 			}
 			if bestCI >= 0 {
 				c := list[bestCI]
+				ls.ApplyReroute(mi, pa.Links[mi], c.links)
 				pa.SetPath(mi, c.path, c.links)
 				peak = bestPeak
 				improved = true

@@ -37,7 +37,10 @@ func ComputeBestAllocation(p Problem, opt Options, candidates []*alloc.Assignmen
 		func(i int) (*Result, error) {
 			prob := p
 			prob.Assignment = candidates[i]
-			res, err := Compute(prob, opt)
+			// Each placement gets its own solver (candidates and the LSD
+			// baseline are placement-specific); a caller probing several
+			// periods per placement would share them through it.
+			res, err := NewSolver(prob).Solve(prob.TauIn, opt)
 			if err != nil {
 				return nil, fmt.Errorf("schedule: candidate %d: %w", i, err)
 			}

@@ -1,0 +1,316 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"schedroute/internal/tfg"
+)
+
+// SolveStats instruments one Solve call. The counters (Attempts,
+// AssignIterations) are deterministic and always filled; the wall-clock
+// stage timings are populated only when Options.CollectStats is set, so
+// results stay comparable across runs and worker counts (the
+// determinism suite DeepEquals whole Results).
+type SolveStats struct {
+	// Attempts is the number of Fig. 3 feedback iterations run (1 when
+	// the first path assignment survived the downstream stages).
+	Attempts int
+	// AssignIterations totals the utilization evaluations AssignPaths
+	// performed across all attempts.
+	AssignIterations int
+
+	// Per-stage wall-clock times; zero unless Options.CollectStats.
+	WindowsTime  time.Duration
+	AssignTime   time.Duration
+	AllocateTime time.Duration
+	ScheduleTime time.Duration
+	OmegaTime    time.Duration
+}
+
+// Solver runs the Fig. 3 pipeline repeatedly over one fixed problem
+// structure — (Graph, Timing, Topology, Assignment, Faults) — varying
+// only the invocation period and options per call. Everything
+// τin-independent is computed once and reused: the fault-aware LSD
+// baseline and candidate path sets (both depend on the windows only
+// through the Local flags, which are fixed by the placement), the
+// static task starts per window length, and the placement validation.
+// Sweeps that call Compute per load point rebuild all of this every
+// time; routing them through one Solver amortizes it.
+//
+// A Solver is safe for concurrent Solve calls, and Solve results are
+// identical to one-shot Compute on the same inputs.
+type Solver struct {
+	p Problem // TauIn ignored; supplied per Solve
+
+	mu sync.Mutex
+	// validated[exclusive] caches Assignment.Validate per strictness.
+	validated map[bool]*error
+	// starts caches PipelinedStart per window length; sharedStarts
+	// caches PipelinedStartShared per (window, τin) since AP-sharing
+	// layouts depend on the period too.
+	starts       map[float64][]float64
+	sharedStarts map[[2]float64]*sharedStartsEntry
+	// lsd caches the FaultRouteAssignment baseline; cands caches
+	// BuildCandidatesFault per MaxPaths.
+	lsdDone bool
+	lsd     *PathAssignment
+	lsdErr  error
+	cands   map[int]*candsEntry
+}
+
+type sharedStartsEntry struct {
+	starts []float64
+	err    error
+}
+
+type candsEntry struct {
+	c   *Candidates
+	err error
+}
+
+// NewSolver fixes the problem structure. p.TauIn is ignored — the
+// period is an argument to Solve.
+func NewSolver(p Problem) *Solver {
+	return &Solver{
+		p:            p,
+		validated:    map[bool]*error{},
+		starts:       map[float64][]float64{},
+		sharedStarts: map[[2]float64]*sharedStartsEntry{},
+		cands:        map[int]*candsEntry{},
+	}
+}
+
+// Compute runs the scheduled-routing pipeline of the paper's Fig. 3:
+// time bounds → path assignment → message-interval allocation →
+// interval scheduling → node switching schedules. Infeasibility at any
+// stage is reported in the Result; an error return signals invalid
+// input or an internal inconsistency. It is a one-shot wrapper over
+// Solver; callers evaluating many periods of one problem should build
+// the Solver once.
+func Compute(p Problem, o Options) (*Result, error) {
+	return NewSolver(p).Solve(p.TauIn, o)
+}
+
+// validate caches Assignment.Validate per strictness level.
+func (s *Solver) validate(exclusive bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.validated[exclusive]; ok {
+		return *e
+	}
+	err := s.p.Assignment.Validate(s.p.Graph, s.p.Topology, exclusive)
+	s.validated[exclusive] = &err
+	return err
+}
+
+// taskStarts returns the static task start times for the given window,
+// cached per window length (and per period when AP sharing is on).
+func (s *Solver) taskStarts(window, tauIn float64, shared bool) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if shared {
+		key := [2]float64{window, tauIn}
+		if e, ok := s.sharedStarts[key]; ok {
+			return e.starts, e.err
+		}
+		nodeOf := make([]int, s.p.Graph.NumTasks())
+		for t := range nodeOf {
+			nodeOf[t] = int(s.p.Assignment.Node(tfg.TaskID(t)))
+		}
+		starts, err := s.p.Graph.PipelinedStartShared(s.p.Timing, window, nodeOf, tauIn)
+		s.sharedStarts[key] = &sharedStartsEntry{starts: starts, err: err}
+		return starts, err
+	}
+	if st, ok := s.starts[window]; ok {
+		return st, nil
+	}
+	st := s.p.Graph.PipelinedStart(s.p.Timing, window)
+	s.starts[window] = st
+	return st, nil
+}
+
+// lsdBaseline returns the fault-aware deterministic assignment, built
+// once: FaultRouteAssignment reads the windows only through the Local
+// flags, which depend on the placement alone, so the baseline is the
+// same for every period and window.
+func (s *Solver) lsdBaseline(ws []Window) (*PathAssignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.lsdDone {
+		s.lsd, s.lsdErr = FaultRouteAssignment(s.p.Graph, s.p.Topology, s.p.Assignment, ws, s.p.Faults)
+		s.lsdDone = true
+	}
+	return s.lsd, s.lsdErr
+}
+
+// candidates returns the per-message equivalent-path sets, built once
+// per MaxPaths for the same reason as lsdBaseline. The Candidates are
+// immutable and shared across Solve calls.
+func (s *Solver) candidates(ws []Window, maxPaths int) (*Candidates, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cands[maxPaths]; ok {
+		return e.c, e.err
+	}
+	c, err := BuildCandidatesFault(s.p.Graph, s.p.Topology, s.p.Assignment, ws, maxPaths, s.p.Faults)
+	s.cands[maxPaths] = &candsEntry{c: c, err: err}
+	return c, err
+}
+
+// Solve runs the pipeline for one invocation period. The output is
+// identical — bit for bit — to Compute on the same problem and
+// options: the cached structures are exactly the values a fresh run
+// would rebuild.
+func (s *Solver) Solve(tauIn float64, o Options) (*Result, error) {
+	opt := o.withDefaults()
+	p := s.p
+	if p.Graph == nil || p.Timing == nil || p.Topology == nil || p.Assignment == nil {
+		return nil, fmt.Errorf("schedule: incomplete problem")
+	}
+	// Without AP sharing, SR's static task starts assume one task per
+	// application processor.
+	if err := s.validate(!opt.AllowSharedNodes); err != nil {
+		return nil, err
+	}
+	window := opt.Window
+	if window == 0 {
+		window = p.Timing.TauC()
+	}
+	sameNode := func(m tfg.Message) bool {
+		return p.Assignment.Node(m.Src) == p.Assignment.Node(m.Dst)
+	}
+
+	var stats SolveStats
+	stamp := func(d *time.Duration, from time.Time) time.Time {
+		if !opt.CollectStats {
+			return from
+		}
+		now := time.Now()
+		*d += now.Sub(from)
+		return now
+	}
+	t := time.Time{}
+	if opt.CollectStats {
+		t = time.Now()
+	}
+
+	starts, err := s.taskStarts(window, tauIn, opt.AllowSharedNodes)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := ComputeWindowsFromStarts(p.Graph, p.Timing, tauIn, window, starts, sameNode)
+	if err != nil {
+		return nil, err
+	}
+	if opt.SyncMargin > 0 {
+		if err := applySyncMargin(ws, opt.SyncMargin, tauIn); err != nil {
+			return nil, err
+		}
+	}
+	set := BuildIntervals(ws, tauIn)
+	act := BuildActivity(ws, set)
+	t = stamp(&stats.WindowsTime, t)
+
+	res := &Result{
+		Windows:   ws,
+		Intervals: set,
+		Activity:  act,
+		Latency:   p.Graph.LatencyOf(p.Timing, starts),
+	}
+
+	lsd, err := s.lsdBaseline(ws)
+	if err != nil {
+		return nil, err
+	}
+	// The baseline may end up in the Result (LSDOnly, or when no
+	// reroute improves on it); hand each Solve its own slice headers so
+	// callers can't alias each other through the cache.
+	lsd = lsd.Clone()
+	lsdU := ComputeUtilization(p.Topology, lsd, ws, act)
+	res.PeakLSD = lsdU.Peak
+
+	var cands *Candidates
+	if !opt.LSDOnly {
+		cands, err = s.candidates(ws, opt.MaxPaths)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The Fig. 3 pipeline, with feedback: on a downstream rejection the
+	// path assignment is recomputed from a fresh seed and the later
+	// stages retried.
+	for attempt := 0; ; attempt++ {
+		stats.Attempts = attempt + 1
+		pa, peak := lsd, lsdU.Peak
+		if !opt.LSDOnly {
+			ar := AssignPaths(lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner)
+			stats.AssignIterations += ar.Iterations
+			pa, peak = ar.Assignment, ar.Util.Peak
+			if peak > lsdU.Peak {
+				// AssignPaths starts from LSD, so it can never be worse.
+				pa, peak = lsd, lsdU.Peak
+			}
+		}
+		t = stamp(&stats.AssignTime, t)
+		if attempt == 0 || peak < res.Peak {
+			res.Assignment = pa
+			res.Peak = peak
+		}
+
+		stage := StageOK
+		var allocation *Allocation
+		var slices []Slice
+		if peak > 1+timeEps {
+			stage = StageUtilization
+		} else {
+			subsets := MaximalSubsets(pa, ws, act)
+			allocation, err = AllocateIntervals(subsets, pa, ws, act)
+			var allocFail *ErrAllocationInfeasible
+			if errors.As(err, &allocFail) {
+				stage = StageAllocation
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		t = stamp(&stats.AllocateTime, t)
+		if stage == StageOK {
+			slices, err = ScheduleIntervals(allocation, pa, act, opt.Engine, 2*opt.SyncMargin)
+			var schedFail *ErrIntervalInfeasible
+			if errors.As(err, &schedFail) {
+				stage = StageIntervalSchedule
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		t = stamp(&stats.ScheduleTime, t)
+
+		if stage != StageOK {
+			res.FailStage = stage
+			if attempt < opt.Retries && !opt.LSDOnly {
+				continue
+			}
+			res.Stats = stats
+			return res, nil
+		}
+
+		res.Assignment = pa
+		res.Peak = peak
+		res.Allocation = allocation
+		res.Slices = slices
+		om := BuildOmega(slices, pa, ws, p.Topology.Nodes(), tauIn, res.Latency)
+		om.Starts = starts
+		if err := om.Validate(p.Topology); err != nil {
+			return nil, fmt.Errorf("schedule: internal: emitted schedule failed validation: %w", err)
+		}
+		stamp(&stats.OmegaTime, t)
+		res.Omega = om
+		res.Feasible = true
+		res.FailStage = StageOK
+		res.Stats = stats
+		return res, nil
+	}
+}

@@ -1,0 +1,123 @@
+package schedule
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"schedroute/internal/parallel"
+	"schedroute/internal/topology"
+)
+
+// solverGoldenTopologies mirrors experiments.StandardConfigs (which
+// cannot be imported here without a cycle): every 64-node network of
+// the paper at both link bandwidths.
+func solverGoldenTopologies(t *testing.T) map[string]*topology.Topology {
+	t.Helper()
+	cube, err := topology.NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghc, err := topology.NewGHC(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t88, err := topology.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t444, err := topology.NewTorus(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*topology.Topology{"6cube": cube, "ghc444": ghc, "torus88": t88, "torus444": t444}
+}
+
+// TestSolverMatchesCompute is the golden equivalence test: a reused
+// Solver must produce, for every standard config, bandwidth, and load
+// point — perfect and faulted — a Result deeply equal to a fresh
+// one-shot Compute.
+func TestSolverMatchesCompute(t *testing.T) {
+	for name, top := range solverGoldenTopologies(t) {
+		for _, bw := range []float64{64, 128} {
+			p := dvbProblem(t, top, bw, 0)
+			var fs *topology.FaultSet
+			for _, faulted := range []bool{false, true} {
+				if faulted {
+					fs = topology.NewFaultSet(top.Links(), top.Nodes())
+					fs.FailLink(0)
+				}
+				prob := p
+				prob.Faults = fs
+				solver := NewSolver(prob)
+				for k := 0; k < 12; k++ {
+					tauIn := gridTauIn(k)
+					prob.TauIn = tauIn
+					want, err := Compute(prob, Options{Seed: 1})
+					if err != nil {
+						t.Fatalf("%s bw=%g faulted=%t k=%d: Compute: %v", name, bw, faulted, k, err)
+					}
+					got, err := solver.Solve(tauIn, Options{Seed: 1})
+					if err != nil {
+						t.Fatalf("%s bw=%g faulted=%t k=%d: Solve: %v", name, bw, faulted, k, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s bw=%g faulted=%t k=%d: Solver.Solve differs from Compute (peak %v vs %v, feasible %t vs %t)",
+							name, bw, faulted, k, got.Peak, want.Peak, got.Feasible, want.Feasible)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolverConcurrentReuse hammers one Solver from parallel workers —
+// the sweep usage pattern — and requires every result to match the
+// serial one-shot pipeline.
+func TestSolverConcurrentReuse(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, 0)
+	solver := NewSolver(p)
+	results, err := parallel.Map(context.Background(), 12, parallel.Workers(0), func(k int) (*Result, error) {
+		return solver.Solve(gridTauIn(k), Options{Seed: 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, got := range results {
+		prob := p
+		prob.TauIn = gridTauIn(k)
+		want, err := Compute(prob, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: concurrent Solve differs from serial Compute", k)
+		}
+	}
+}
+
+// TestSolverStats checks the instrumentation satellite: deterministic
+// counters are always filled, wall-clock timings only on request.
+func TestSolverStats(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(2))
+	plain, err := Compute(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Attempts != 1 || plain.Stats.AssignIterations <= 0 {
+		t.Fatalf("deterministic counters missing: %+v", plain.Stats)
+	}
+	if plain.Stats.AssignTime != 0 || plain.Stats.WindowsTime != 0 {
+		t.Fatalf("timings must stay zero without CollectStats: %+v", plain.Stats)
+	}
+	timed, err := Compute(p, Options{Seed: 1, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Stats.AssignTime <= 0 {
+		t.Fatalf("CollectStats left AssignTime empty: %+v", timed.Stats)
+	}
+	if timed.Stats.Attempts != plain.Stats.Attempts || timed.Stats.AssignIterations != plain.Stats.AssignIterations {
+		t.Fatalf("CollectStats changed deterministic counters: %+v vs %+v", timed.Stats, plain.Stats)
+	}
+}

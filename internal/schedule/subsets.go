@@ -32,27 +32,38 @@ func MaximalSubsets(pa *PathAssignment, ws []Window, act *Activity) [][]tfg.Mess
 		}
 	}
 
-	// Group messages by (link, interval) cell and union each group.
+	// Group messages by (link, interval) cell and union each group,
+	// indexing cells as link*K+k in one flat slice (-1 = empty).
 	K := act.Intervals.K()
-	type cell struct {
-		link int
-		k    int
-	}
-	firstIn := map[cell]int{}
+	maxLink := 0
 	for i := 0; i < n; i++ {
 		if ws[i].Local {
 			continue
 		}
 		for _, l := range pa.Links[i] {
+			if int(l) > maxLink {
+				maxLink = int(l)
+			}
+		}
+	}
+	firstIn := make([]int32, (maxLink+1)*K)
+	for c := range firstIn {
+		firstIn[c] = -1
+	}
+	for i := 0; i < n; i++ {
+		if ws[i].Local {
+			continue
+		}
+		for _, l := range pa.Links[i] {
+			base := int(l) * K
 			for k := 0; k < K; k++ {
 				if !act.Active[i][k] {
 					continue
 				}
-				c := cell{int(l), k}
-				if j, ok := firstIn[c]; ok {
-					union(j, i)
+				if j := firstIn[base+k]; j >= 0 {
+					union(int(j), i)
 				} else {
-					firstIn[c] = i
+					firstIn[base+k] = int32(i)
 				}
 			}
 		}
