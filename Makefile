@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check race faults bench bench-parallel bench-json clean
+.PHONY: all build vet test check race faults bench bench-parallel bench-json service-smoke clean
 
 all: check
 
@@ -28,6 +28,11 @@ race:
 # speed; drop -max-faults for the full panel).
 faults:
 	$(GO) run ./cmd/experiments -fig faults -config 6cube-b64 -max-faults 16
+
+# End-to-end smoke of the srschedd daemon: boot, hit every endpoint,
+# graceful shutdown (scripts/service_smoke.sh).
+service-smoke:
+	sh scripts/service_smoke.sh
 
 # Full figure-regeneration benchmark suite (see bench_test.go).
 bench:

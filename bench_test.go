@@ -10,6 +10,7 @@
 package schedroute
 
 import (
+	"context"
 	"testing"
 
 	"schedroute/internal/alloc"
@@ -46,7 +47,7 @@ func benchUtilization(b *testing.B, key string) {
 	var feasible int
 	var bestPeak float64
 	for i := 0; i < b.N; i++ {
-		s, err := experiments.UtilizationSweep(cfg)
+		s, err := experiments.UtilizationSweep(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func benchPerf(b *testing.B, key string) {
 	cfg := benchConfig(b, key)
 	var oi, srOK, both int
 	for i := 0; i < b.N; i++ {
-		s, err := experiments.PerfSweep(cfg)
+		s, err := experiments.PerfSweep(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -461,7 +462,7 @@ func benchUtilizationProcs(b *testing.B, key string, procs int) {
 	cfg := benchConfig(b, key)
 	cfg.Procs = procs
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.UtilizationSweep(cfg); err != nil {
+		if _, err := experiments.UtilizationSweep(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -471,7 +472,7 @@ func benchPerfProcs(b *testing.B, key string, procs int) {
 	cfg := benchConfig(b, key)
 	cfg.Procs = procs
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.PerfSweep(cfg); err != nil {
+		if _, err := experiments.PerfSweep(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -490,12 +491,12 @@ func BenchmarkParallelSweepFig9Torus88B128(b *testing.B) {
 // (rr + greedy + 6 random placements) on the worker pool.
 func benchBestAllocation(b *testing.B, procs int) {
 	p := dvbSixCubeProblem(b, 50*(1+4.0*5/11))
-	cands, err := schedule.DefaultCandidates(p, 2, 3, 4, 5, 6, 7)
+	cands, err := schedule.DefaultCandidates(context.Background(), p, 2, 3, 4, 5, 6, 7)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := schedule.ComputeBestAllocation(p, schedule.Options{Seed: 1, Procs: procs}, cands); err != nil {
+		if _, err := schedule.ComputeBestAllocation(context.Background(), p, schedule.Options{Seed: 1, Procs: procs}, cands); err != nil {
 			b.Fatal(err)
 		}
 	}

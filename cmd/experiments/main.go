@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -92,7 +93,7 @@ func main() {
 			cfg.Warmup = *warmup
 			cfg.Procs = *procs
 			if experiments.IsUtilizationFigure(id) {
-				s, err := experiments.UtilizationSweep(cfg)
+				s, err := experiments.UtilizationSweep(context.Background(), cfg)
 				if err != nil {
 					fatal(err)
 				}
@@ -104,7 +105,7 @@ func main() {
 					fatal(err)
 				}
 			} else {
-				s, err := experiments.PerfSweep(cfg)
+				s, err := experiments.PerfSweep(context.Background(), cfg)
 				if err != nil {
 					fatal(err)
 				}
@@ -145,7 +146,7 @@ func runFaults(cfgs map[string]experiments.Config, filter string, seed int64, pr
 		cfg.MaxFaults = maxFaults
 		cfg.VerifyFaults = verify
 		cfg.StrictRepair = strict
-		s, err := experiments.SurvivabilitySweep(cfg)
+		s, err := experiments.SurvivabilitySweep(context.Background(), cfg)
 		if err != nil {
 			cliutil.Fatal("experiments", err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,13 +32,8 @@ import (
 )
 
 func main() {
-	tfgSpec := flag.String("tfg", "dvb:4", "TFG: dvb:N, chain:N, fan:N or a JSON file")
-	topoSpec := flag.String("topo", "cube:6", "topology: cube:D, ghc:..., torus:..., mesh:...")
-	bw := flag.Float64("bw", 64, "link bandwidth in bytes/µs")
-	tauIn := flag.Float64("tauin", 0, "invocation period in µs (0 = τc, maximum load)")
-	speed := flag.Float64("speed", 0, "processor speed in ops/µs (0 = uniform τc=50µs tasks)")
-	allocName := flag.String("alloc", "rr", "task allocator: rr, greedy or random")
-	seed := flag.Int64("seed", 1, "seed for AssignPaths and random allocation")
+	pf := cliutil.AddProblemFlags(flag.CommandLine)
+	pf.AddFaultFlags(flag.CommandLine)
 	lsdOnly := flag.Bool("lsd", false, "skip AssignPaths, keep LSD-to-MSD paths")
 	dump := flag.Bool("dump", false, "print every node switching schedule")
 	margin := flag.Float64("margin", 0, "CP clock-skew margin in µs (Section 7)")
@@ -48,42 +44,20 @@ func main() {
 	shared := flag.Bool("shared", false, "allow several tasks per node (AP-sharing node schedule)")
 	best := flag.Int("best", 0, "search this many random placements (plus rr and greedy) in parallel and keep the best schedule")
 	procs := flag.Int("procs", 0, "worker goroutines for the -best candidate search (0 = GOMAXPROCS, 1 = serial)")
-	failLink := flag.String("fail-link", "", "repair the schedule for a failed link, given as the node pair u-v")
-	failNode := flag.Int("fail-node", -1, "repair the schedule for a failed node")
 	stats := flag.Bool("stats", false, "report pipeline attempts, AssignPaths evaluations and per-stage wall-clock times")
 	flag.Parse()
 
-	g, err := cliutil.LoadGraph(*tfgSpec)
+	ctx := context.Background()
+	b, fs, err := pf.ParseProblem()
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal("srsched", err)
 	}
-	top, err := cliutil.ParseTopology(*topoSpec)
-	if err != nil {
-		fatal(err)
-	}
-	var tm *tfg.Timing
-	if *speed > 0 {
-		tm, err = tfg.NewTiming(g, *speed, *bw)
-	} else {
-		tm, err = tfg.NewUniformTiming(g, 50, *bw)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	as, err := cliutil.ParseAllocator(*allocName, g, top, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	period := *tauIn
-	if period == 0 {
-		period = tm.TauC()
-	}
+	g, tm, top := b.Graph, b.Timing, b.Topology
+	period := b.TauIn
 
-	prob := schedule.Problem{
-		Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: period,
-	}
+	prob := b.ScheduleProblem()
 	opts := schedule.Options{
-		Seed: *seed, LSDOnly: *lsdOnly, SyncMargin: *margin, Retries: *retries,
+		Seed: pf.Seed, LSDOnly: *lsdOnly, SyncMargin: *margin, Retries: *retries,
 		AllowSharedNodes: *shared, Procs: *procs, CollectStats: *stats,
 	}
 	var res *schedule.Result
@@ -93,22 +67,22 @@ func main() {
 		// kept (deterministic for a fixed seed, any -procs value).
 		seeds := make([]int64, *best)
 		for i := range seeds {
-			seeds[i] = *seed + int64(i)
+			seeds[i] = pf.Seed + int64(i)
 		}
-		cands, err := schedule.DefaultCandidates(prob, seeds...)
+		cands, err := schedule.DefaultCandidates(ctx, prob, seeds...)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
-		sr, err := schedule.ComputeBestAllocation(prob, opts, cands)
+		sr, err := schedule.ComputeBestAllocation(ctx, prob, opts, cands)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 		res = sr.Result
 		fmt.Printf("candidate search: %d placements, best is #%d\n", len(cands), sr.Chosen)
 	} else {
 		res, err = schedule.Compute(prob, opts)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 	}
 
@@ -133,36 +107,19 @@ func main() {
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 		if err := schedule.EncodeOmega(f, res.Omega); err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 		fmt.Printf("Ω written to %s\n", *save)
 	}
-	var fs *topology.FaultSet
-	if *failLink != "" || *failNode >= 0 {
-		fs = topology.NewFaultSet(top.Links(), top.Nodes())
-		if *failLink != "" {
-			l, err := top.ParseLinkSpec(*failLink)
-			if err != nil {
-				fatal(err)
-			}
-			fs.FailLink(l)
-		}
-		if *failNode >= 0 {
-			if *failNode >= top.Nodes() {
-				fatal(fmt.Errorf("-fail-node %d out of range [0,%d)", *failNode, top.Nodes()))
-			}
-			fs.FailNode(topology.NodeID(*failNode))
-		}
-	}
 	var repaired *schedule.Omega
 	if fs != nil {
-		rep, err := schedule.Repair(prob, opts, res, fs)
+		rep, err := schedule.Repair(ctx, prob, opts, res, fs)
 		if err != nil {
 			cliutil.Fatal("srsched", err)
 		}
@@ -185,7 +142,7 @@ func main() {
 	if *packets > 0 {
 		cfg := cpsim.Config{
 			Omega: res.Omega, Graph: g, Topology: top,
-			PacketBytes: *packets, Bandwidth: *bw,
+			PacketBytes: *packets, Bandwidth: pf.BW,
 		}
 		if repaired != nil {
 			// Replay 2 healthy frames, fail the element, then hand over
@@ -195,7 +152,7 @@ func main() {
 		}
 		out, err := cpsim.Run(cfg)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 		fmt.Printf("packet-level CP simulation: %d packets delivered, %d violations, skew tolerance ±%.3g µs\n",
 			out.PacketsDelivered, len(out.Violations), out.MaxSkewTolerated)
@@ -212,11 +169,11 @@ func main() {
 	}
 	if *chart {
 		if err := gantt.Render(os.Stdout, res.Omega, top, 80); err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 		fmt.Println("legend:")
 		if err := gantt.Legend(os.Stdout, g); err != nil {
-			fatal(err)
+			cliutil.Fatal("srsched", err)
 		}
 	}
 	if *dump {
@@ -240,9 +197,4 @@ func dumpOmega(om *schedule.Omega, top *topology.Topology) {
 			fmt.Printf("  [%8.3f, %8.3f) msg %-3d %s -> %s\n", c.Start, c.End, c.Msg, c.In, c.Out)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "srsched:", err)
-	os.Exit(1)
 }

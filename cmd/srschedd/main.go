@@ -1,0 +1,76 @@
+// Command srschedd serves the scheduled-routing pipeline over HTTP:
+// schedule computation, fault repair with the degradation ladder, and
+// τin sweeps, with a solver cache that amortizes problem structure
+// across requests and coalescing of identical concurrent solves.
+//
+// Usage:
+//
+//	srschedd -listen :8080
+//	curl -s localhost:8080/v1/schedule -d '{"problem":{"tfg":"dvb:4","topology":"cube:6","tau_in":141}}'
+//
+// SIGINT/SIGTERM begin a graceful drain: in-flight solves finish,
+// queued and new requests get 503, and the listener closes once the
+// drain completes (or the -drain deadline expires).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"schedroute/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "requests allowed to wait for a worker before 503")
+	solvers := flag.Int("solvers", 32, "problem structures kept in the solver-cache LRU")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request solve deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := service.New(service.Config{
+		MaxSolvers:     *solvers,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		Logger:         log,
+	})
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Info("listening", "addr", *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Info("draining", "signal", sig.String(), "deadline", drain.String())
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "srschedd:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the solve pool first so queued work is shed immediately,
+	// then close the listener once the in-flight requests are done.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Error("drain incomplete", "err", err.Error())
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("listener shutdown", "err", err.Error())
+		os.Exit(1)
+	}
+	log.Info("stopped")
+}

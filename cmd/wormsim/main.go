@@ -14,18 +14,11 @@ import (
 
 	"schedroute/internal/cliutil"
 	"schedroute/internal/metrics"
-	"schedroute/internal/tfg"
 	"schedroute/internal/wormhole"
 )
 
 func main() {
-	tfgSpec := flag.String("tfg", "dvb:4", "TFG: dvb:N, chain:N, fan:N or a JSON file")
-	topoSpec := flag.String("topo", "cube:6", "topology: cube:D, ghc:..., torus:..., mesh:...")
-	bw := flag.Float64("bw", 64, "link bandwidth in bytes/µs")
-	tauIn := flag.Float64("tauin", 0, "invocation period in µs (0 = τc, maximum load)")
-	speed := flag.Float64("speed", 0, "processor speed in ops/µs (0 = uniform τc=50µs tasks)")
-	allocName := flag.String("alloc", "rr", "task allocator: rr, greedy or random")
-	seed := flag.Int64("seed", 1, "seed for random allocation")
+	pf := cliutil.AddProblemFlags(flag.CommandLine)
 	invocations := flag.Int("invocations", 40, "measured invocations")
 	warmup := flag.Int("warmup", 20, "warmup invocations excluded from measurement")
 	adaptive := flag.Bool("adaptive", false, "adaptive cut-through path selection instead of LSD-to-MSD")
@@ -33,34 +26,15 @@ func main() {
 	verbose := flag.Bool("v", false, "print every output interval")
 	flag.Parse()
 
-	g, err := cliutil.LoadGraph(*tfgSpec)
+	b, _, err := pf.ParseProblem()
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal("wormsim", err)
 	}
-	top, err := cliutil.ParseTopology(*topoSpec)
-	if err != nil {
-		fatal(err)
-	}
-	var tm *tfg.Timing
-	if *speed > 0 {
-		tm, err = tfg.NewTiming(g, *speed, *bw)
-	} else {
-		tm, err = tfg.NewUniformTiming(g, 50, *bw)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	as, err := cliutil.ParseAllocator(*allocName, g, top, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	period := *tauIn
-	if period == 0 {
-		period = tm.TauC()
-	}
+	g, tm, top := b.Graph, b.Timing, b.Topology
+	period := b.TauIn
 
 	res, err := wormhole.Simulate(wormhole.Config{
-		Graph: g, Timing: tm, Topology: top, Assignment: as,
+		Graph: g, Timing: tm, Topology: top, Assignment: b.Assignment,
 		TauIn: period, Invocations: *invocations, Warmup: *warmup,
 		Adaptive: *adaptive, StrictVC: *strictVC,
 	})
@@ -69,7 +43,7 @@ func main() {
 	}
 
 	fmt.Printf("TFG %s on %s, B=%g bytes/µs, τin=%g µs (load %.4f)\n",
-		g.Name(), top, *bw, period, tm.TauC()/period)
+		g.Name(), top, pf.BW, period, tm.TauC()/period)
 	if res.Deadlocked {
 		fmt.Println("DEADLOCK: undelivered messages remain (path-holding cycle)")
 		os.Exit(1)

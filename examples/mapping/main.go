@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,11 +54,11 @@ func main() {
 	// 3+4. Coupled allocation and routing: try round-robin, greedy and
 	// random placements, keep whichever schedules best (Section 7's
 	// suggested coupling).
-	cands, err := schedule.DefaultCandidates(prob, 3, 7, 11)
+	cands, err := schedule.DefaultCandidates(context.Background(), prob, 3, 7, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sr, err := schedule.ComputeBestAllocation(prob, schedule.Options{Seed: 1}, cands)
+	sr, err := schedule.ComputeBestAllocation(context.Background(), prob, schedule.Options{Seed: 1}, cands)
 	if err != nil {
 		log.Fatal(err)
 	}

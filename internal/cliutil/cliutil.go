@@ -1,47 +1,48 @@
-// Package cliutil holds the small parsing helpers shared by the
-// command-line tools: topology specifications like "ghc:4,4,4" or
-// "torus:8,8", allocator names, and TFG loading.
+// Package cliutil holds the helpers shared by the command-line tools:
+// the common problem flag set (-tfg/-topo/-bw/-tauin/-speed/-alloc/
+// -seed and the fault flags), spec parsing (delegated to the public
+// pkg/schedroute facade so CLIs and the srschedd service resolve specs
+// identically), and error-to-exit-status mapping driven by the
+// internal/errkind table.
 package cliutil
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"schedroute/internal/alloc"
-	"schedroute/internal/dvb"
+	"schedroute/internal/errkind"
 	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
+	"schedroute/pkg/schedroute"
 )
 
-// Exit statuses shared by the command-line tools. A repair that
+// Exit statuses shared by the command-line tools, derived from the
+// errkind table (see TestExitStatusesMatchErrkindTable). A repair that
 // exhausts every rung of the degradation ladder is an expected
 // operational outcome, not a tool malfunction, so scripts driving
 // fault sweeps get a distinct status to branch on.
 const (
 	ExitFailure          = 1 // generic error
-	ExitInfeasibleRepair = 3 // *schedule.InfeasibleRepairError anywhere in the chain
+	ExitUsage            = 2 // flag misuse (the flag package's own status)
+	ExitInfeasibleRepair = 3 // errkind.ErrInfeasibleRepair anywhere in the chain
 )
 
-// ExitStatus maps an error to the tool's process exit status.
+// ExitStatus maps an error to the tool's process exit status via the
+// errkind classification table.
 func ExitStatus(err error) int {
-	var ire *schedule.InfeasibleRepairError
-	if errors.As(err, &ire) {
-		return ExitInfeasibleRepair
-	}
-	return ExitFailure
+	return errkind.ExitStatus(err)
 }
 
 // WriteError renders err for the named tool, appending a remediation
 // hint when the error is an infeasible repair abort.
 func WriteError(w io.Writer, tool string, err error) {
 	fmt.Fprintf(w, "%s: %v\n", tool, err)
-	var ire *schedule.InfeasibleRepairError
-	if errors.As(err, &ire) {
+	if errors.Is(err, errkind.ErrInfeasibleRepair) {
 		fmt.Fprintf(w, "%s: hint: the fault disconnects or overloads the topology at this rate; retry at a lower load (larger -tauin), a richer topology, or drop the failed element from the fault set\n", tool)
 	}
 }
@@ -53,89 +54,105 @@ func Fatal(tool string, err error) {
 	os.Exit(ExitStatus(err))
 }
 
-// ParseTopology builds a topology from a spec string:
-//
-//	cube:D        binary hypercube of dimension D
-//	ghc:M1,M2,..  generalized hypercube
-//	torus:K1,K2,… k-ary n-cube torus
-//	mesh:K1,K2,…  mesh
+// ParseTopology builds a topology from a spec string like "cube:6",
+// "ghc:4,4,4", "torus:8,8" or "mesh:4,4".
 func ParseTopology(spec string) (*topology.Topology, error) {
-	kind, rest, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("topology spec %q: want kind:radices", spec)
-	}
-	var radices []int
-	for _, part := range strings.Split(rest, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("topology spec %q: %w", spec, err)
-		}
-		radices = append(radices, v)
-	}
-	switch kind {
-	case "cube":
-		if len(radices) != 1 {
-			return nil, fmt.Errorf("cube spec wants a single dimension, got %q", spec)
-		}
-		return topology.NewHypercube(radices[0])
-	case "ghc":
-		return topology.NewGHC(radices...)
-	case "torus":
-		return topology.NewTorus(radices...)
-	case "mesh":
-		return topology.NewMesh(radices...)
-	default:
-		return nil, fmt.Errorf("unknown topology kind %q", kind)
-	}
+	return schedroute.ParseTopology(spec)
 }
 
-// ParseAllocator places g on top using the named strategy: "rr"
-// (round-robin, the experiments' default), "greedy", "random" (with
-// the given seed), or "anneal" (simulated annealing on the link-load
-// proxy).
+// ParseAllocator places g on top using the named strategy: "rr",
+// "greedy", "random" (with the given seed), or "anneal".
 func ParseAllocator(name string, g *tfg.Graph, top *topology.Topology, seed int64) (*alloc.Assignment, error) {
-	switch name {
-	case "rr", "roundrobin":
-		return alloc.RoundRobin(g, top)
-	case "greedy":
-		return alloc.Greedy(g, top)
-	case "random":
-		return alloc.Random(g, top, seed)
-	case "anneal":
-		return alloc.Anneal(g, top, alloc.AnnealOptions{Seed: seed})
-	default:
-		return nil, fmt.Errorf("unknown allocator %q (want rr, greedy, random or anneal)", name)
-	}
+	return schedroute.ParseAllocator(name, g, top, seed)
 }
 
 // LoadGraph reads a TFG: either a built-in spec ("dvb:4", "chain:8",
 // "fan:6", "fft:3", "stencil:4") or a path to a JSON file produced by
 // tfggen.
 func LoadGraph(spec string) (*tfg.Graph, error) {
-	if kind, rest, ok := strings.Cut(spec, ":"); ok {
-		n, err := strconv.Atoi(rest)
-		if err != nil {
-			return nil, fmt.Errorf("graph spec %q: %w", spec, err)
-		}
-		switch kind {
-		case "dvb":
-			return dvb.New(n)
-		case "chain":
-			return tfg.Chain(n, 1925, 1536)
-		case "fan":
-			return tfg.FanOutIn(n, 1925, 1536)
-		case "fft":
-			return tfg.FFT(n, 1925, 1536)
-		case "stencil":
-			return tfg.Stencil(n, 1925, 1536, 384)
-		default:
-			return nil, fmt.Errorf("unknown graph kind %q", kind)
-		}
-	}
-	f, err := os.Open(spec)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return tfg.Decode(f)
+	return schedroute.LoadGraph(spec)
 }
+
+// ProblemFlags is the flag set every problem-driven tool shares. Use
+// AddProblemFlags (and AddFaultFlags for tools that repair) during flag
+// registration, then ParseProblem after flag.Parse.
+type ProblemFlags struct {
+	TFG   string
+	Topo  string
+	BW    float64
+	TauIn float64
+	Speed float64
+	Alloc string
+	Seed  int64
+
+	FailLink string
+	FailNode int
+	hasFault bool
+}
+
+// AddProblemFlags registers the common problem flags (-tfg, -topo,
+// -bw, -tauin, -speed, -alloc, -seed) on fs with the defaults every
+// tool has always used.
+func AddProblemFlags(fs *flag.FlagSet) *ProblemFlags {
+	f := &ProblemFlags{FailNode: -1}
+	fs.StringVar(&f.TFG, "tfg", "dvb:4", "TFG: dvb:N, chain:N, fan:N, fft:N, stencil:N or a JSON file")
+	fs.StringVar(&f.Topo, "topo", "cube:6", "topology: cube:D, ghc:..., torus:..., mesh:...")
+	fs.Float64Var(&f.BW, "bw", 64, "link bandwidth in bytes/µs")
+	fs.Float64Var(&f.TauIn, "tauin", 0, "invocation period in µs (0 = τc, maximum load)")
+	fs.Float64Var(&f.Speed, "speed", 0, "processor speed in ops/µs (0 = uniform τc=50µs tasks)")
+	fs.StringVar(&f.Alloc, "alloc", "rr", "task allocator: rr, greedy, random or anneal")
+	fs.Int64Var(&f.Seed, "seed", 1, "seed for AssignPaths and random allocation")
+	return f
+}
+
+// AddFaultFlags registers the fault flags (-fail-link, -fail-node) for
+// tools that repair schedules.
+func (f *ProblemFlags) AddFaultFlags(fs *flag.FlagSet) {
+	f.hasFault = true
+	fs.StringVar(&f.FailLink, "fail-link", "", "repair the schedule for a failed link, given as the node pair u-v")
+	fs.IntVar(&f.FailNode, "fail-node", -1, "repair the schedule for a failed node")
+}
+
+// Spec returns the wire-form problem the flags describe — the same
+// schedroute.Problem a service client would POST.
+func (f *ProblemFlags) Spec() schedroute.Problem {
+	return schedroute.Problem{
+		TFG: f.TFG, Topology: f.Topo, Bandwidth: f.BW, Speed: f.Speed,
+		TauIn: f.TauIn, Allocator: f.Alloc, AllocSeed: f.Seed,
+	}
+}
+
+// FaultSpec returns the wire form of the fault flags (empty when no
+// fault was requested).
+func (f *ProblemFlags) FaultSpec() schedroute.FaultSpec {
+	var spec schedroute.FaultSpec
+	if f.FailLink != "" {
+		spec.Links = []string{f.FailLink}
+	}
+	if f.FailNode >= 0 {
+		spec.Nodes = []int{f.FailNode}
+	}
+	return spec
+}
+
+// ParseProblem resolves the flags into the built problem (graph,
+// timing, topology, placement, resolved τin) and, when fault flags were
+// registered and set, the fault set to repair for.
+func (f *ProblemFlags) ParseProblem() (*schedroute.Built, *topology.FaultSet, error) {
+	b, err := f.Spec().Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	var fs *topology.FaultSet
+	if f.hasFault {
+		fs, err = f.FaultSpec().Build(b.Topology)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return b, fs, nil
+}
+
+// Ensure the facade's error families line up with the exit constants
+// (compile-time association; the real check is in cliutil_test).
+var _ = schedule.InfeasibleRepairError{}

@@ -2,12 +2,15 @@ package cliutil
 
 import (
 	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"schedroute/internal/errkind"
 	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
@@ -117,6 +120,60 @@ func TestLoadGraphFromFile(t *testing.T) {
 	}
 	if _, err := LoadGraph(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+// TestExitStatusesMatchErrkindTable pins that the CLIs take their exit
+// statuses from the same errkind table the service takes its HTTP
+// statuses from: one row per family, no drift between the surfaces.
+func TestExitStatusesMatchErrkindTable(t *testing.T) {
+	for _, row := range errkind.Table {
+		err := errkind.Mark(fmt.Errorf("synthetic %s", row.Name), row.Kind)
+		if got := ExitStatus(err); got != row.Exit {
+			t.Errorf("%s: ExitStatus = %d, table says %d", row.Name, got, row.Exit)
+		}
+	}
+	if got := ExitStatus(errors.New("unclassified")); got != errkind.Generic.Exit {
+		t.Errorf("generic: ExitStatus = %d, table says %d", got, errkind.Generic.Exit)
+	}
+	if ExitFailure != errkind.Generic.Exit {
+		t.Errorf("ExitFailure (%d) drifted from the table's generic exit (%d)", ExitFailure, errkind.Generic.Exit)
+	}
+}
+
+// TestParseProblemFlags: the shared flag bundle resolves the same
+// defaults in every tool and builds a solvable problem.
+func TestParseProblemFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	pf := AddProblemFlags(fs)
+	pf.AddFaultFlags(fs)
+	if err := fs.Parse([]string{"-topo", "torus:8,8", "-bw", "128", "-tauin", "150", "-fail-link", "0-1"}); err != nil {
+		t.Fatal(err)
+	}
+	b, fault, err := pf.ParseProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Topology.Nodes() != 64 || b.Spec.Bandwidth != 128 || b.TauIn != 150 {
+		t.Fatalf("flags not reflected in built problem: %+v", b.Spec)
+	}
+	if b.Graph.NumTasks() != 15 {
+		t.Fatalf("default -tfg dvb:4 not applied: %d tasks", b.Graph.NumTasks())
+	}
+	if fault == nil || fault.Empty() {
+		t.Fatal("-fail-link did not build a fault set")
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	pf = AddProblemFlags(fs)
+	pf.AddFaultFlags(fs)
+	if err := fs.Parse([]string{"-topo", "klein-bottle:6"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pf.ParseProblem(); !errors.Is(err, errkind.ErrBadInput) {
+		t.Fatalf("bad -topo spec: got %v, want ErrBadInput", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package cpsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -67,7 +68,7 @@ func TestFaultInjectionWithRepairVerifiesCleanly(t *testing.T) {
 	res, p := feasibleOmega(t)
 	fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
 	fs.FailLink(usedLink(t, res))
-	rep, err := schedule.Repair(p, schedule.Options{Seed: 1}, res, fs)
+	rep, err := schedule.Repair(context.Background(), p, schedule.Options{Seed: 1}, res, fs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,60 @@
+package errkind
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifyTableDerivations(t *testing.T) {
+	cases := []struct {
+		err  error
+		name string
+		exit int
+		http int
+	}{
+		{ErrInfeasibleRepair, "infeasible_repair", 3, 422},
+		{ErrUnknownVersion, "unknown_schema_version", 1, 400},
+		{ErrBadInput, "bad_input", 1, 400},
+		{ErrBadSchedule, "bad_schedule", 1, 500},
+		{errors.New("boom"), "internal", 1, 500},
+	}
+	for _, c := range cases {
+		if got := ExitStatus(c.err); got != c.exit {
+			t.Errorf("ExitStatus(%v) = %d, want %d", c.err, got, c.exit)
+		}
+		if got := HTTPStatus(c.err); got != c.http {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.http)
+		}
+		if got := Name(c.err); got != c.name {
+			t.Errorf("Name(%v) = %q, want %q", c.err, got, c.name)
+		}
+	}
+}
+
+func TestMarkPreservesChainAndMatchesKind(t *testing.T) {
+	base := errors.New("cube spec wants a single dimension")
+	m := Mark(fmt.Errorf("topology: %w", base), ErrBadInput)
+	if !errors.Is(m, ErrBadInput) {
+		t.Fatal("marked error must match its kind")
+	}
+	if !errors.Is(m, base) {
+		t.Fatal("marked error must keep the original chain")
+	}
+	if errors.Is(m, ErrInfeasibleRepair) {
+		t.Fatal("marked error must not match other kinds")
+	}
+	if Mark(nil, ErrBadInput) != nil {
+		t.Fatal("Mark(nil) must stay nil")
+	}
+}
+
+func TestWrappedClassification(t *testing.T) {
+	err := fmt.Errorf("sweep: %w", Mark(errors.New("no such link"), ErrBadInput))
+	if got := HTTPStatus(err); got != 400 {
+		t.Errorf("wrapped bad input HTTP = %d, want 400", got)
+	}
+	if got := ExitStatus(fmt.Errorf("outer: %w", ErrInfeasibleRepair)); got != 3 {
+		t.Errorf("wrapped infeasible exit = %d, want 3", got)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err observations — a deterministic stand-in for "the
+// caller cancels while the sweep is in flight". The sweep engine polls
+// ctx.Err before each load point, so the countdown cancels mid-sweep
+// regardless of timing.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func cancelConfig(t *testing.T) Config {
+	t.Helper()
+	cfgs, err := StandardConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgs["6cube-b64"]
+	cfg.Procs = 1 // serial: the countdown's cut point is deterministic
+	return cfg
+}
+
+// TestSweepCancelledBeforeStart: an already-cancelled context stops the
+// sweep before any load point runs.
+func TestSweepCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, sweep := range map[string]func() error{
+		"utilization": func() error { _, err := UtilizationSweep(ctx, cancelConfig(t)); return err },
+		"perf":        func() error { _, err := PerfSweep(ctx, cancelConfig(t)); return err },
+		"survivability": func() error {
+			cfg := cancelConfig(t)
+			cfg.MaxFaults = 1
+			_, err := SurvivabilitySweep(ctx, cfg)
+			return err
+		},
+	} {
+		if err := sweep(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s sweep under cancelled ctx: got %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestSweepCancelsMidway: cancellation that strikes after a few load
+// points aborts the remainder of the sweep and surfaces the context
+// error instead of a partial series.
+func TestSweepCancelsMidway(t *testing.T) {
+	// Let a handful of Err polls through: enough for the sweep to start
+	// working, far fewer than the twelve points need.
+	ctx := newCountdownCtx(3)
+	s, err := UtilizationSweep(ctx, cancelConfig(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancel: got %v, want context.Canceled", err)
+	}
+	if s != nil {
+		t.Fatal("cancelled sweep returned a partial series")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -32,12 +33,12 @@ func determinismConfig(t *testing.T, key string, procs int) Config {
 
 func TestUtilizationSweepParallelMatchesSerial(t *testing.T) {
 	for _, key := range determinismConfigs {
-		serial, err := UtilizationSweep(determinismConfig(t, key, 1))
+		serial, err := UtilizationSweep(context.Background(), determinismConfig(t, key, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, procs := range []int{0, 4} {
-			par, err := UtilizationSweep(determinismConfig(t, key, procs))
+			par, err := UtilizationSweep(context.Background(), determinismConfig(t, key, procs))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -50,11 +51,11 @@ func TestUtilizationSweepParallelMatchesSerial(t *testing.T) {
 
 func TestPerfSweepParallelMatchesSerial(t *testing.T) {
 	for _, key := range determinismConfigs {
-		serial, err := PerfSweep(determinismConfig(t, key, 1))
+		serial, err := PerfSweep(context.Background(), determinismConfig(t, key, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := PerfSweep(determinismConfig(t, key, 4))
+		par, err := PerfSweep(context.Background(), determinismConfig(t, key, 4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,18 +76,18 @@ func TestComputeBestAllocationParallelMatchesSerial(t *testing.T) {
 			Graph: g, Timing: tm, Topology: cfg.Topology,
 			TauIn: tm.TauC() * (1 + 4.0*5/11),
 		}
-		cands, err := schedule.DefaultCandidates(p, 3, 7)
+		cands, err := schedule.DefaultCandidates(context.Background(), p, 3, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(cands) != 4 {
 			t.Fatalf("got %d candidates", len(cands))
 		}
-		serial, err := schedule.ComputeBestAllocation(p, schedule.Options{Seed: cfg.Seed, Procs: 1}, cands)
+		serial, err := schedule.ComputeBestAllocation(context.Background(), p, schedule.Options{Seed: cfg.Seed, Procs: 1}, cands)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := schedule.ComputeBestAllocation(p, schedule.Options{Seed: cfg.Seed, Procs: 4}, cands)
+		par, err := schedule.ComputeBestAllocation(context.Background(), p, schedule.Options{Seed: cfg.Seed, Procs: 4}, cands)
 		if err != nil {
 			t.Fatal(err)
 		}

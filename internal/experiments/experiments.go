@@ -156,8 +156,9 @@ type UtilizationSeries struct {
 
 // UtilizationSweep reproduces one panel of Fig. 5/6: the minimum peak
 // utilization reached by AssignPaths versus the LSD-to-MSD baseline
-// across the twelve load points.
-func UtilizationSweep(c Config) (*UtilizationSeries, error) {
+// across the twelve load points. ctx cancels the fan-out: no new load
+// point starts after cancellation and the context error is returned.
+func UtilizationSweep(ctx context.Context, c Config) (*UtilizationSeries, error) {
 	cfg := c.withDefaults()
 	g, tm, as, err := workload(cfg)
 	if err != nil {
@@ -173,9 +174,9 @@ func UtilizationSweep(c Config) (*UtilizationSeries, error) {
 	// The points are independent, so they run concurrently on cfg.Procs
 	// workers; each writes its ordered result slot and keeps the serial
 	// per-point seed, making the output identical to a serial run.
-	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
+	err = parallel.ForEach(ctx, len(pts), parallel.Workers(cfg.Procs), func(i int) error {
 		lp := pts[i]
-		res, err := solver.Solve(lp.TauIn, schedule.Options{Seed: cfg.Seed})
+		res, err := solver.Solve(ctx, lp.TauIn, schedule.Options{Seed: cfg.Seed})
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}
@@ -218,8 +219,8 @@ type PerfSeries struct {
 // PerfSweep reproduces one panel of Figs. 7-10: wormhole routing is
 // simulated over many invocations (spikes mark output inconsistency)
 // and scheduled routing is computed and executed at each of the twelve
-// load points.
-func PerfSweep(c Config) (*PerfSeries, error) {
+// load points. ctx cancels the fan-out between load points.
+func PerfSweep(ctx context.Context, c Config) (*PerfSeries, error) {
 	cfg := c.withDefaults()
 	g, tm, as, err := workload(cfg)
 	if err != nil {
@@ -234,7 +235,7 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 	// Each load point runs its wormhole simulation and scheduled-routing
 	// pipeline independently on the worker pool; ordered result slots
 	// keep the series identical to a serial run.
-	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
+	err = parallel.ForEach(ctx, len(pts), parallel.Workers(cfg.Procs), func(i int) error {
 		lp := pts[i]
 		pt := PerfPoint{Load: lp.Load, TauIn: lp.TauIn}
 
@@ -260,7 +261,7 @@ func PerfSweep(c Config) (*PerfSeries, error) {
 			pt.WROI = metrics.OutputInconsistent(lp.TauIn, ivs, 1e-6)
 		}
 
-		sres, err := solver.Solve(lp.TauIn, schedule.Options{Seed: cfg.Seed})
+		sres, err := solver.Solve(ctx, lp.TauIn, schedule.Options{Seed: cfg.Seed})
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}

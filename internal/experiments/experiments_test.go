@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func TestUtilizationSweepSixCubeB64(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := UtilizationSweep(cfgs["6cube-b64"])
+	s, err := UtilizationSweep(context.Background(), cfgs["6cube-b64"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestUtilizationSweepToriB64AlwaysAboveOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"torus88-b64", "torus444-b64"} {
-		s, err := UtilizationSweep(cfgs[key])
+		s, err := UtilizationSweep(context.Background(), cfgs[key])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestPerfSweepSixCubeB64(t *testing.T) {
 	cfg := cfgs["6cube-b64"]
 	cfg.Invocations = 24
 	cfg.Warmup = 12
-	s, err := PerfSweep(cfg)
+	s, err := PerfSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestFig10Headline(t *testing.T) {
 	cfg := cfgs["torus444-b128"]
 	cfg.Invocations = 24
 	cfg.Warmup = 12
-	s, err := PerfSweep(cfg)
+	s, err := PerfSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestFig9AllocationFailuresPresent(t *testing.T) {
 	cfg := cfgs["torus88-b128"]
 	cfg.Invocations = 16
 	cfg.Warmup = 8
-	s, err := PerfSweep(cfg)
+	s, err := PerfSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

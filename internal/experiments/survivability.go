@@ -77,8 +77,9 @@ type faultOutcome struct {
 // windows, reduced rate — and, optionally, a packet-level mid-run
 // fault-injection verification of the repaired Ω. Both stages fan out
 // on cfg.Procs workers with ordered result slots, so the series is
-// byte-identical for every worker count.
-func SurvivabilitySweep(c Config) (*SurvivabilitySeries, error) {
+// byte-identical for every worker count. ctx cancels both fan-outs
+// between jobs and the repair ladder between rungs.
+func SurvivabilitySweep(ctx context.Context, c Config) (*SurvivabilitySeries, error) {
 	cfg := c.withDefaults()
 	g, tm, as, err := workload(cfg)
 	if err != nil {
@@ -98,8 +99,8 @@ func SurvivabilitySweep(c Config) (*SurvivabilitySeries, error) {
 		Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
 	})
 	base := make([]*schedule.Result, len(pts))
-	err = parallel.ForEach(context.Background(), len(pts), parallel.Workers(cfg.Procs), func(i int) error {
-		res, err := solver.Solve(pts[i].TauIn, opts)
+	err = parallel.ForEach(ctx, len(pts), parallel.Workers(cfg.Procs), func(i int) error {
+		res, err := solver.Solve(ctx, pts[i].TauIn, opts)
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, pts[i].Load, err)
 		}
@@ -129,10 +130,10 @@ func SurvivabilitySweep(c Config) (*SurvivabilitySeries, error) {
 			}
 		}
 	}
-	err = parallel.ForEach(context.Background(), len(jobs), parallel.Workers(cfg.Procs), func(j int) error {
+	err = parallel.ForEach(ctx, len(jobs), parallel.Workers(cfg.Procs), func(j int) error {
 		pi, si := jobs[j].pi, jobs[j].si
 		fs := scenarios[si].ActiveAt(cfg.Topology, 1)
-		rep, err := schedule.Repair(problem(pts[pi].TauIn), opts, base[pi], fs)
+		rep, err := schedule.Repair(ctx, problem(pts[pi].TauIn), opts, base[pi], fs)
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f fault %s: %w",
 				cfg.Name, pts[pi].Load, scenarios[si].Name, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"reflect"
@@ -16,13 +17,13 @@ func TestSurvivabilitySweepParallelMatchesSerial(t *testing.T) {
 	cfg := determinismConfig(t, "6cube-b64", 1)
 	cfg.MaxFaults = 8
 	cfg.VerifyFaults = true
-	serial, err := SurvivabilitySweep(cfg)
+	serial, err := SurvivabilitySweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, procs := range []int{0, 4} {
 		cfg.Procs = procs
-		par, err := SurvivabilitySweep(cfg)
+		par, err := SurvivabilitySweep(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestSurvivabilitySixCubeLowLoadAllRepaired(t *testing.T) {
 	}
 	cfg := determinismConfig(t, "6cube-b64", 0)
 	cfg.VerifyFaults = true
-	s, err := SurvivabilitySweep(cfg)
+	s, err := SurvivabilitySweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSurvivabilityStrictRepair(t *testing.T) {
 	cfg := determinismConfig(t, "6cube-b64", 0)
 	cfg.MaxFaults = 4
 	cfg.StrictRepair = true
-	s, err := SurvivabilitySweep(cfg)
+	s, err := SurvivabilitySweep(context.Background(), cfg)
 	if err != nil {
 		var ire *schedule.InfeasibleRepairError
 		if !errors.As(err, &ire) {

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"bytes"
 	"math"
 	"testing"
@@ -89,14 +90,14 @@ func TestRetriesRecoverAllocationFailure(t *testing.T) {
 
 func TestComputeBestAllocation(t *testing.T) {
 	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
-	cands, err := DefaultCandidates(p, 3, 7)
+	cands, err := DefaultCandidates(context.Background(), p, 3, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cands) != 4 {
 		t.Fatalf("got %d candidates", len(cands))
 	}
-	sr, err := ComputeBestAllocation(p, Options{Seed: 1}, cands)
+	sr, err := ComputeBestAllocation(context.Background(), p, Options{Seed: 1}, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestComputeBestAllocation(t *testing.T) {
 
 func TestComputeBestAllocationRejectsEmpty(t *testing.T) {
 	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
-	if _, err := ComputeBestAllocation(p, Options{}, nil); err == nil {
+	if _, err := ComputeBestAllocation(context.Background(), p, Options{}, nil); err == nil {
 		t.Error("empty candidate list should fail")
 	}
 }
@@ -191,7 +192,7 @@ func TestDefaultCandidatesRejectOversubscription(t *testing.T) {
 		t.Fatal(err)
 	}
 	small.Topology = tiny
-	if _, err := DefaultCandidates(small); err == nil {
+	if _, err := DefaultCandidates(context.Background(), small); err == nil {
 		t.Error("15 tasks on 4 nodes should fail")
 	}
 }

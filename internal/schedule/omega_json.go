@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"schedroute/internal/errkind"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
 )
@@ -13,13 +14,21 @@ import (
 // routing: a real multicomputer would compile it on the host and ship
 // each node's command list to that node's communication processor.
 
+// OmegaSchemaVersion is the schema_version written by EncodeOmega.
+// DecodeOmega accepts this version and 0 (artifacts saved before the
+// field existed, whose layout is identical); anything else is rejected
+// with an errkind.ErrUnknownVersion error so stale tools fail loudly
+// instead of misreading a future layout.
+const OmegaSchemaVersion = 1
+
 type omegaJSON struct {
-	TauIn   float64           `json:"tau_in"`
-	Latency float64           `json:"latency"`
-	Starts  []float64         `json:"starts,omitempty"`
-	Windows []windowJSON      `json:"windows"`
-	Slices  []sliceJSON       `json:"slices"`
-	Nodes   []nodeSchedule256 `json:"nodes"`
+	SchemaVersion int               `json:"schema_version"`
+	TauIn         float64           `json:"tau_in"`
+	Latency       float64           `json:"latency"`
+	Starts        []float64         `json:"starts,omitempty"`
+	Windows       []windowJSON      `json:"windows"`
+	Slices        []sliceJSON       `json:"slices"`
+	Nodes         []nodeSchedule256 `json:"nodes"`
 }
 
 type windowJSON struct {
@@ -71,7 +80,7 @@ func portFromJSON(s string) (Port, error) {
 
 // EncodeOmega writes Ω as JSON.
 func EncodeOmega(w io.Writer, om *Omega) error {
-	oj := omegaJSON{TauIn: om.TauIn, Latency: om.Latency, Starts: om.Starts}
+	oj := omegaJSON{SchemaVersion: OmegaSchemaVersion, TauIn: om.TauIn, Latency: om.Latency, Starts: om.Starts}
 	for _, win := range om.Windows {
 		oj.Windows = append(oj.Windows, windowJSON{
 			Release: win.Release, Length: win.Length,
@@ -105,6 +114,12 @@ func DecodeOmega(r io.Reader) (*Omega, error) {
 	var oj omegaJSON
 	if err := json.NewDecoder(r).Decode(&oj); err != nil {
 		return nil, fmt.Errorf("schedule: decode omega: %w", err)
+	}
+	if oj.SchemaVersion != 0 && oj.SchemaVersion != OmegaSchemaVersion {
+		return nil, errkind.Mark(
+			fmt.Errorf("schedule: decode omega: schema_version %d not supported (this build reads up to %d)",
+				oj.SchemaVersion, OmegaSchemaVersion),
+			errkind.ErrUnknownVersion)
 	}
 	if oj.TauIn <= 0 {
 		return nil, fmt.Errorf("schedule: decode omega: non-positive period %g", oj.TauIn)

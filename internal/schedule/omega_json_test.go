@@ -1,0 +1,105 @@
+package schedule
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"schedroute/internal/errkind"
+	"schedroute/internal/topology"
+)
+
+// TestOmegaJSONVersionedRoundTrip saves a computed Ω through the
+// versioned encoder and requires the load to reproduce it exactly,
+// field for field.
+func TestOmegaJSONVersionedRoundTrip(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
+	res, err := Compute(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("fixture infeasible at %v", res.FailStage)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeOmega(&buf, res.Omega); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version": 1`) {
+		t.Fatalf("encoded artifact missing schema_version 1:\n%.200s", buf.String())
+	}
+	got, err := DecodeOmega(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res.Omega) {
+		t.Fatal("decoded Ω differs from the encoded one")
+	}
+}
+
+// TestOmegaJSONVersions pins the version policy: 0 (legacy) and the
+// current version load, anything newer is refused via the
+// errkind.ErrUnknownVersion family.
+func TestOmegaJSONVersions(t *testing.T) {
+	base := `"tau_in": 100, "latency": 5, "windows": [], "slices": [], "nodes": []`
+	for _, v := range []string{`"schema_version": 0,`, ""} {
+		if _, err := DecodeOmega(strings.NewReader("{" + v + base + "}")); err != nil {
+			t.Fatalf("legacy artifact (%q) rejected: %v", v, err)
+		}
+	}
+	_, err := DecodeOmega(strings.NewReader(`{"schema_version": 99,` + base + `}`))
+	if err == nil {
+		t.Fatal("schema_version 99 accepted")
+	}
+	if !errors.Is(err, errkind.ErrUnknownVersion) {
+		t.Fatalf("unknown version not in ErrUnknownVersion family: %v", err)
+	}
+	if errkind.HTTPStatus(err) != 400 || errkind.ExitStatus(err) != 1 {
+		t.Fatalf("unexpected statuses for unknown version: http=%d exit=%d",
+			errkind.HTTPStatus(err), errkind.ExitStatus(err))
+	}
+}
+
+// TestSolveCancelled pins the context plumbing: a cancelled context
+// aborts Solve and Repair with the context's error.
+func TestSolveCancelled(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewSolver(p).Solve(ctx, p.TauIn, Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve under cancelled ctx: got %v, want context.Canceled", err)
+	}
+
+	base, err := Compute(p, Options{Seed: 1})
+	if err != nil || !base.Feasible {
+		t.Fatalf("fixture: %v feasible=%v", err, base != nil && base.Feasible)
+	}
+	fs := singleLinkFault(t, p)
+	if _, err := Repair(ctx, p, Options{Seed: 1}, base, fs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Repair under cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+// singleLinkFault fails the first link that carries scheduled traffic,
+// guaranteeing the repair ladder has real work to do.
+func singleLinkFault(t *testing.T, p Problem) *topology.FaultSet {
+	t.Helper()
+	base, err := Compute(p, Options{Seed: 1})
+	if err != nil || !base.Feasible {
+		t.Fatalf("fixture: %v", err)
+	}
+	for i := range base.Windows {
+		if base.Windows[i].Local || len(base.Assignment.Links[i]) == 0 {
+			continue
+		}
+		fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
+		fs.FailLink(base.Assignment.Links[i][0])
+		return fs
+	}
+	t.Fatal("no scheduled link traffic in fixture")
+	return nil
+}

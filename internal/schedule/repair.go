@@ -1,9 +1,11 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"schedroute/internal/errkind"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
 )
@@ -121,6 +123,13 @@ func (e *InfeasibleRepairError) Error() string {
 	return msg
 }
 
+// Is places the error in the errkind.ErrInfeasibleRepair family, so one
+// classification table can derive both the CLI exit status (3) and the
+// service HTTP status (422) without naming this concrete type.
+func (e *InfeasibleRepairError) Is(target error) bool {
+	return target == errkind.ErrInfeasibleRepair
+}
+
 // Repair attempts to restore a valid schedule after the fault set fs
 // strikes a machine running the feasible base schedule, descending the
 // ladder of the paper's Fig. 3 feedback arrows extended with graceful
@@ -137,8 +146,16 @@ func (e *InfeasibleRepairError) Error() string {
 //     (τout degrades but stays constant).
 //
 // Every outcome is a typed RepairReport; an error return signals
-// invalid input or an internal inconsistency, never mere infeasibility.
-func Repair(p Problem, o Options, base *Result, fs *topology.FaultSet) (*RepairReport, error) {
+// invalid input, cancellation, or an internal inconsistency, never mere
+// infeasibility. ctx cancels the ladder between rungs and inside the
+// full-recompute solves; a nil ctx is treated as context.Background().
+func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topology.FaultSet) (*RepairReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opt := o.withDefaults()
 	if base == nil || !base.Feasible || base.Omega == nil {
 		return nil, fmt.Errorf("schedule: repair needs a feasible base schedule")
@@ -215,7 +232,7 @@ func Repair(p Problem, o Options, base *Result, fs *topology.FaultSet) (*RepairR
 	attempt := func(tauIn, window float64) (*Result, error) {
 		fo := opt
 		fo.Window = window
-		r, err := solver.Solve(tauIn, fo)
+		r, err := solver.Solve(ctx, tauIn, fo)
 		if err != nil {
 			return nil, err
 		}
@@ -282,6 +299,9 @@ func Repair(p Problem, o Options, base *Result, fs *topology.FaultSet) (*RepairR
 
 	// Rung 3: widened windows (latency degrades, τout preserved).
 	for _, scale := range windowScales {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w := baseWindow * scale
 		if w > p.TauIn {
 			w = p.TauIn
@@ -297,6 +317,9 @@ func Repair(p Problem, o Options, base *Result, fs *topology.FaultSet) (*RepairR
 
 	// Rung 4: reduced rate (τout degrades but stays constant).
 	for _, f := range rateFactors {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := attempt(p.TauIn*f, baseWindow)
 		if err != nil {
 			return nil, err

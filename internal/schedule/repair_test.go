@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -80,7 +81,7 @@ func firstUsedLink(base *Result) topology.LinkID {
 
 func TestRepairEmptyFaultSetUnaffected(t *testing.T) {
 	p, o, base := repairFixture(t)
-	rep, err := Repair(p, o, base, nil)
+	rep, err := Repair(context.Background(), p, o, base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestRepairUnusedLinkUnaffected(t *testing.T) {
 	}
 	fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
 	fs.FailLink(unused)
-	rep, err := Repair(p, o, base, fs)
+	rep, err := Repair(context.Background(), p, o, base, fs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestRepairSingleLinkIncremental(t *testing.T) {
 	fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
 	fs.FailLink(failed)
 
-	rep, err := Repair(p, o, base, fs)
+	rep, err := Repair(context.Background(), p, o, base, fs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestRepairEverySingleLinkFault(t *testing.T) {
 	for l := 0; l < p.Topology.Links(); l++ {
 		fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
 		fs.FailLink(topology.LinkID(l))
-		rep, err := Repair(p, o, base, fs)
+		rep, err := Repair(context.Background(), p, o, base, fs)
 		if err != nil {
 			t.Fatalf("link %d: %v", l, err)
 		}
@@ -190,7 +191,7 @@ func TestRepairNodeFaultHostingTaskInfeasible(t *testing.T) {
 	p, o, base := repairFixture(t)
 	fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
 	fs.FailNode(2) // every node hosts a task in the fixture
-	rep, err := Repair(p, o, base, fs)
+	rep, err := Repair(context.Background(), p, o, base, fs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestRepairIntermediateNodeFaultSurvivable(t *testing.T) {
 	}
 	fs := topology.NewFaultSet(top.Links(), top.Nodes())
 	fs.FailNode(path.Nodes[1])
-	rep, err := Repair(p, o, base, fs)
+	rep, err := Repair(context.Background(), p, o, base, fs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestRepairDisconnectionInfeasible(t *testing.T) {
 	p, o, base := twoTaskProblem(t, top, 0, 1)
 	fs := topology.NewFaultSet(top.Links(), top.Nodes())
 	fs.FailLink(0)
-	rep, err := Repair(p, o, base, fs)
+	rep, err := Repair(context.Background(), p, o, base, fs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,11 +260,11 @@ func TestRepairDeterministic(t *testing.T) {
 	p, o, base := repairFixture(t)
 	fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
 	fs.FailLink(firstUsedLink(base))
-	a, err := Repair(p, o, base, fs)
+	a, err := Repair(context.Background(), p, o, base, fs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Repair(p, o, base, fs)
+	b, err := Repair(context.Background(), p, o, base, fs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,19 +28,21 @@ type SearchResult struct {
 // Candidates are evaluated concurrently on opt.Procs workers (0 =
 // GOMAXPROCS). Every candidate sees the same opt.Seed, exactly as the
 // serial loop did, and the winner is selected by a serial scan in
-// candidate order, so the outcome is identical to a serial run.
-func ComputeBestAllocation(p Problem, opt Options, candidates []*alloc.Assignment) (*SearchResult, error) {
+// candidate order, so the outcome is identical to a serial run. ctx
+// cancels the fan-out; no new candidates start after cancellation and
+// the context error is returned.
+func ComputeBestAllocation(ctx context.Context, p Problem, opt Options, candidates []*alloc.Assignment) (*SearchResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("schedule: no candidate allocations")
 	}
-	results, err := parallel.Map(context.Background(), len(candidates), parallel.Workers(opt.Procs),
+	results, err := parallel.Map(ctx, len(candidates), parallel.Workers(opt.Procs),
 		func(i int) (*Result, error) {
 			prob := p
 			prob.Assignment = candidates[i]
 			// Each placement gets its own solver (candidates and the LSD
 			// baseline are placement-specific); a caller probing several
 			// periods per placement would share them through it.
-			res, err := NewSolver(prob).Solve(prob.TauIn, opt)
+			res, err := NewSolver(prob).Solve(ctx, prob.TauIn, opt)
 			if err != nil {
 				return nil, fmt.Errorf("schedule: candidate %d: %w", i, err)
 			}
@@ -72,7 +74,7 @@ func better(a, b *Result) bool {
 // placements. The placements are independent, so they are built
 // concurrently; slot order (round-robin, greedy, randoms in seed order)
 // matches the serial construction.
-func DefaultCandidates(p Problem, randomSeeds ...int64) ([]*alloc.Assignment, error) {
+func DefaultCandidates(ctx context.Context, p Problem, randomSeeds ...int64) ([]*alloc.Assignment, error) {
 	builders := []func() (*alloc.Assignment, error){
 		func() (*alloc.Assignment, error) { return alloc.RoundRobin(p.Graph, p.Topology) },
 		func() (*alloc.Assignment, error) { return alloc.Greedy(p.Graph, p.Topology) },
@@ -83,7 +85,7 @@ func DefaultCandidates(p Problem, randomSeeds ...int64) ([]*alloc.Assignment, er
 			return alloc.Random(p.Graph, p.Topology, seed)
 		})
 	}
-	out, err := parallel.Map(context.Background(), len(builders), parallel.Workers(0),
+	out, err := parallel.Map(ctx, len(builders), parallel.Workers(0),
 		func(i int) (*alloc.Assignment, error) { return builders[i]() })
 	if err != nil {
 		return nil, err

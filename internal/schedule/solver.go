@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -59,6 +60,40 @@ type Solver struct {
 	lsd     *PathAssignment
 	lsdErr  error
 	cands   map[int]*candsEntry
+
+	// cacheStats counts Solve calls and actual structure builds, so
+	// callers (the scheduling service, tests) can verify the warm path:
+	// after the first Solve on a structure, the build counters stop
+	// moving while Solves keeps climbing. Kept out of Result on purpose —
+	// which Solve call performs a build depends on goroutine arrival
+	// order, and Results must stay value-comparable across worker counts.
+	cacheStats SolverCacheStats
+}
+
+// SolverCacheStats reports how much τin-independent structure a Solver
+// has actually rebuilt, against how many Solve calls it served.
+type SolverCacheStats struct {
+	// Solves is the number of Solve calls completed or started.
+	Solves int64
+	// BaselineBuilds counts FaultRouteAssignment runs (at most 1).
+	BaselineBuilds int64
+	// CandidateBuilds counts BuildCandidatesFault runs (one per distinct
+	// MaxPaths).
+	CandidateBuilds int64
+	// StartsBuilds counts static task-start computations (one per
+	// distinct window length, or per (window, τin) with AP sharing).
+	StartsBuilds int64
+	// ValidateBuilds counts Assignment.Validate runs (one per
+	// strictness level).
+	ValidateBuilds int64
+}
+
+// CacheStats snapshots the cache instrumentation. Safe to call
+// concurrently with Solve.
+func (s *Solver) CacheStats() SolverCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheStats
 }
 
 type sharedStartsEntry struct {
@@ -87,11 +122,12 @@ func NewSolver(p Problem) *Solver {
 // time bounds → path assignment → message-interval allocation →
 // interval scheduling → node switching schedules. Infeasibility at any
 // stage is reported in the Result; an error return signals invalid
-// input or an internal inconsistency. It is a one-shot wrapper over
-// Solver; callers evaluating many periods of one problem should build
-// the Solver once.
+// input or an internal inconsistency. It is a one-shot, uncancellable
+// wrapper over Solver; callers evaluating many periods of one problem
+// should build the Solver once, and callers needing cancellation should
+// use Solver.Solve with their context.
 func Compute(p Problem, o Options) (*Result, error) {
-	return NewSolver(p).Solve(p.TauIn, o)
+	return NewSolver(p).Solve(context.Background(), p.TauIn, o)
 }
 
 // validate caches Assignment.Validate per strictness level.
@@ -101,6 +137,7 @@ func (s *Solver) validate(exclusive bool) error {
 	if e, ok := s.validated[exclusive]; ok {
 		return *e
 	}
+	s.cacheStats.ValidateBuilds++
 	err := s.p.Assignment.Validate(s.p.Graph, s.p.Topology, exclusive)
 	s.validated[exclusive] = &err
 	return err
@@ -116,6 +153,7 @@ func (s *Solver) taskStarts(window, tauIn float64, shared bool) ([]float64, erro
 		if e, ok := s.sharedStarts[key]; ok {
 			return e.starts, e.err
 		}
+		s.cacheStats.StartsBuilds++
 		nodeOf := make([]int, s.p.Graph.NumTasks())
 		for t := range nodeOf {
 			nodeOf[t] = int(s.p.Assignment.Node(tfg.TaskID(t)))
@@ -127,6 +165,7 @@ func (s *Solver) taskStarts(window, tauIn float64, shared bool) ([]float64, erro
 	if st, ok := s.starts[window]; ok {
 		return st, nil
 	}
+	s.cacheStats.StartsBuilds++
 	st := s.p.Graph.PipelinedStart(s.p.Timing, window)
 	s.starts[window] = st
 	return st, nil
@@ -140,6 +179,7 @@ func (s *Solver) lsdBaseline(ws []Window) (*PathAssignment, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.lsdDone {
+		s.cacheStats.BaselineBuilds++
 		s.lsd, s.lsdErr = FaultRouteAssignment(s.p.Graph, s.p.Topology, s.p.Assignment, ws, s.p.Faults)
 		s.lsdDone = true
 	}
@@ -155,6 +195,7 @@ func (s *Solver) candidates(ws []Window, maxPaths int) (*Candidates, error) {
 	if e, ok := s.cands[maxPaths]; ok {
 		return e.c, e.err
 	}
+	s.cacheStats.CandidateBuilds++
 	c, err := BuildCandidatesFault(s.p.Graph, s.p.Topology, s.p.Assignment, ws, maxPaths, s.p.Faults)
 	s.cands[maxPaths] = &candsEntry{c: c, err: err}
 	return c, err
@@ -164,12 +205,25 @@ func (s *Solver) candidates(ws []Window, maxPaths int) (*Candidates, error) {
 // identical — bit for bit — to Compute on the same problem and
 // options: the cached structures are exactly the values a fresh run
 // would rebuild.
-func (s *Solver) Solve(tauIn float64, o Options) (*Result, error) {
+//
+// ctx cancels the solve between pipeline stages and between feedback
+// attempts; a cancelled call returns ctx.Err(). A nil ctx is treated as
+// context.Background().
+func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opt := o.withDefaults()
 	p := s.p
 	if p.Graph == nil || p.Timing == nil || p.Topology == nil || p.Assignment == nil {
 		return nil, fmt.Errorf("schedule: incomplete problem")
 	}
+	s.mu.Lock()
+	s.cacheStats.Solves++
+	s.mu.Unlock()
 	// Without AP sharing, SR's static task starts assume one task per
 	// application processor.
 	if err := s.validate(!opt.AllowSharedNodes); err != nil {
@@ -244,6 +298,9 @@ func (s *Solver) Solve(tauIn float64, o Options) (*Result, error) {
 	// path assignment is recomputed from a fresh seed and the later
 	// stages retried.
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats.Attempts = attempt + 1
 		pa, peak := lsd, lsdU.Peak
 		if !opt.LSDOnly {

@@ -57,7 +57,7 @@ func TestSolverMatchesCompute(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s bw=%g faulted=%t k=%d: Compute: %v", name, bw, faulted, k, err)
 					}
-					got, err := solver.Solve(tauIn, Options{Seed: 1})
+					got, err := solver.Solve(context.Background(), tauIn, Options{Seed: 1})
 					if err != nil {
 						t.Fatalf("%s bw=%g faulted=%t k=%d: Solve: %v", name, bw, faulted, k, err)
 					}
@@ -78,7 +78,7 @@ func TestSolverConcurrentReuse(t *testing.T) {
 	p := dvbProblem(t, sixCube(t), 64, 0)
 	solver := NewSolver(p)
 	results, err := parallel.Map(context.Background(), 12, parallel.Workers(0), func(k int) (*Result, error) {
-		return solver.Solve(gridTauIn(k), Options{Seed: 1})
+		return solver.Solve(context.Background(), gridTauIn(k), Options{Seed: 1})
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"schedroute/internal/schedule"
+	"schedroute/pkg/schedroute"
+)
+
+// solverEntry is one cached problem structure: the resolved machine
+// and workload plus the schedule.Solver amortizing every
+// τin-independent derivation (LSD baseline, path candidates, task
+// starts, validation) across requests.
+type solverEntry struct {
+	key string
+	// once guards the build so concurrent misses on one key build once.
+	once   sync.Once
+	built  *schedroute.Built
+	solver *schedule.Solver
+	err    error
+}
+
+// solverCache is an LRU of solverEntry keyed by
+// schedroute.Problem.StructureKey. A hit means a request skips spec
+// parsing, workload construction, and — through the Solver — the
+// τin-independent halves of the pipeline.
+type solverCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recent
+	ent map[string]*list.Element // key -> element whose Value is *solverEntry
+
+	hits   int64
+	misses int64
+}
+
+func newSolverCache(capacity int) *solverCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &solverCache{cap: capacity, ll: list.New(), ent: map[string]*list.Element{}}
+}
+
+// getOrCreate returns the entry for key, creating (and possibly
+// evicting) under the lock but building outside it, so a slow build
+// never serializes unrelated keys. The hit/miss counters record whether
+// the caller found an existing entry.
+func (c *solverCache) getOrCreate(key string, build func() (*schedroute.Built, error)) *solverEntry {
+	c.mu.Lock()
+	if el, ok := c.ent[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		e := el.Value.(*solverEntry)
+		c.mu.Unlock()
+		return e
+	}
+	c.misses++
+	e := &solverEntry{key: key}
+	el := c.ll.PushFront(e)
+	c.ent[key] = el
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.ent, old.Value.(*solverEntry).key)
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		b, err := build()
+		if err != nil {
+			e.err = err
+			c.evict(key, e)
+			return
+		}
+		e.built = b
+		e.solver = schedule.NewSolver(b.ScheduleProblem())
+	})
+	return e
+}
+
+// evict drops a failed entry so a corrected retry of the same key
+// rebuilds instead of replaying the cached error forever.
+func (c *solverCache) evict(key string, e *solverEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ent[key]; ok && el.Value.(*solverEntry) == e {
+		c.ll.Remove(el)
+		delete(c.ent, key)
+	}
+}
+
+func (c *solverCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schedroute/internal/schedule"
+)
+
+// Metrics aggregates the service counters exported on /metrics in the
+// Prometheus text exposition format. Everything is either atomic or
+// guarded by mu; handlers update it on every request.
+type Metrics struct {
+	mu sync.Mutex
+	// requests[endpoint][code] counts completed requests.
+	requests map[string]map[int]int64
+	// latSum/latCount accumulate request wall-clock per endpoint.
+	latSum   map[string]time.Duration
+	latCount map[string]int64
+	// stage times accumulated from solver stats across all solve runs.
+	stageNS map[string]int64
+
+	solveRuns int64 // solver executions (post-coalescing)
+	coalesced int64 // requests served by joining an in-flight solve
+	queued    atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		requests: map[string]map[int]int64{},
+		latSum:   map[string]time.Duration{},
+		latCount: map[string]int64{},
+		stageNS:  map[string]int64{},
+	}
+}
+
+func (m *Metrics) observeRequest(endpoint string, code int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	codes := m.requests[endpoint]
+	if codes == nil {
+		codes = map[int]int64{}
+		m.requests[endpoint] = codes
+	}
+	codes[code]++
+	m.latSum[endpoint] += dur
+	m.latCount[endpoint]++
+}
+
+func (m *Metrics) observeSolve(st schedule.SolveStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solveRuns++
+	m.stageNS["windows"] += int64(st.WindowsTime)
+	m.stageNS["assign"] += int64(st.AssignTime)
+	m.stageNS["allocate"] += int64(st.AllocateTime)
+	m.stageNS["schedule"] += int64(st.ScheduleTime)
+	m.stageNS["omega"] += int64(st.OmegaTime)
+}
+
+func (m *Metrics) observeCoalesced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.coalesced++
+}
+
+// Coalesced reports how many requests joined an in-flight solve.
+func (m *Metrics) Coalesced() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coalesced
+}
+
+// SolveRuns reports how many solver executions actually ran.
+func (m *Metrics) SolveRuns() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.solveRuns
+}
+
+// WriteText renders the metrics in the Prometheus text format. Label
+// sets are emitted in sorted order so the output is deterministic.
+func (m *Metrics) WriteText(w io.Writer, cache *solverCache) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP srschedd_requests_total Completed requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE srschedd_requests_total counter")
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for c := range m.requests[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "srschedd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.requests[ep][c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP srschedd_request_seconds Request wall-clock time by endpoint.")
+	fmt.Fprintln(w, "# TYPE srschedd_request_seconds summary")
+	eps := make([]string, 0, len(m.latCount))
+	for ep := range m.latCount {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "srschedd_request_seconds_sum{endpoint=%q} %g\n", ep, m.latSum[ep].Seconds())
+		fmt.Fprintf(w, "srschedd_request_seconds_count{endpoint=%q} %d\n", ep, m.latCount[ep])
+	}
+
+	hits, misses, size := cache.stats()
+	fmt.Fprintln(w, "# HELP srschedd_solver_cache_hits_total Requests that found their problem structure cached.")
+	fmt.Fprintln(w, "# TYPE srschedd_solver_cache_hits_total counter")
+	fmt.Fprintf(w, "srschedd_solver_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP srschedd_solver_cache_misses_total Requests that had to build a solver.")
+	fmt.Fprintln(w, "# TYPE srschedd_solver_cache_misses_total counter")
+	fmt.Fprintf(w, "srschedd_solver_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP srschedd_solver_cache_size Cached problem structures.")
+	fmt.Fprintln(w, "# TYPE srschedd_solver_cache_size gauge")
+	fmt.Fprintf(w, "srschedd_solver_cache_size %d\n", size)
+
+	fmt.Fprintln(w, "# HELP srschedd_coalesced_requests_total Requests served by joining an identical in-flight solve.")
+	fmt.Fprintln(w, "# TYPE srschedd_coalesced_requests_total counter")
+	fmt.Fprintf(w, "srschedd_coalesced_requests_total %d\n", m.coalesced)
+
+	fmt.Fprintln(w, "# HELP srschedd_solve_runs_total Solver executions (after coalescing).")
+	fmt.Fprintln(w, "# TYPE srschedd_solve_runs_total counter")
+	fmt.Fprintf(w, "srschedd_solve_runs_total %d\n", m.solveRuns)
+
+	fmt.Fprintln(w, "# HELP srschedd_queue_depth Requests waiting for a solve worker slot.")
+	fmt.Fprintln(w, "# TYPE srschedd_queue_depth gauge")
+	fmt.Fprintf(w, "srschedd_queue_depth %d\n", m.queued.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_solve_stage_seconds_total Cumulative pipeline time by stage across all solves.")
+	fmt.Fprintln(w, "# TYPE srschedd_solve_stage_seconds_total counter")
+	stages := make([]string, 0, len(m.stageNS))
+	for st := range m.stageNS {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, st := range stages {
+		fmt.Fprintf(w, "srschedd_solve_stage_seconds_total{stage=%q} %g\n", st, time.Duration(m.stageNS[st]).Seconds())
+	}
+}

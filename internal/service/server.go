@@ -1,0 +1,526 @@
+// Package service implements srschedd, the long-running scheduling
+// service: an HTTP JSON API over the scheduled-routing pipeline with a
+// solver cache (problem structures survive across requests, so repeated
+// τin queries skip every τin-independent derivation), request
+// coalescing (identical concurrent solves execute once), a bounded
+// worker pool with an admission queue, per-request deadlines, and
+// graceful draining shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/schedule  schedroute.ScheduleRequest → schedroute.ScheduleResult
+//	POST /v1/repair    schedroute.RepairRequest   → schedroute.RepairResult (422 on infeasible repair)
+//	POST /v1/sweep     schedroute.SweepRequest    → schedroute.SweepResult
+//	GET  /healthz      liveness + drain state
+//	GET  /metrics      Prometheus text metrics
+//
+// Error bodies are schedroute.ErrorResponse; the HTTP status comes from
+// the errkind classification table, the same table the CLIs derive
+// their exit codes from.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"schedroute/internal/errkind"
+	"schedroute/internal/metrics"
+	"schedroute/internal/parallel"
+	"schedroute/internal/schedule"
+	"schedroute/pkg/schedroute"
+)
+
+// Config tunes a Server. Zero values select the defaults.
+type Config struct {
+	// MaxSolvers caps the solver-cache LRU (default 32 structures).
+	MaxSolvers int
+	// Workers bounds concurrent solves (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; beyond it
+	// requests are rejected immediately with 503 (default 64).
+	QueueDepth int
+	// RequestTimeout is the per-request solve deadline (default 60s).
+	RequestTimeout time.Duration
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSolvers == 0 {
+		c.MaxSolvers = 32
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the srschedd request processor. Create with New, expose
+// via Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	cache   *solverCache
+	flights *flightGroup
+	metrics *Metrics
+
+	sem      chan struct{} // worker slots
+	stop     chan struct{} // closed when draining begins
+	inflight chan struct{} // tokens held by admitted requests (capacity = workers+queue)
+
+	// beforeSolve, when set, runs inside the flight leader right before
+	// the solver executes — the hook deterministic concurrency tests use
+	// to hold a solve open while duplicates pile up behind it.
+	beforeSolve func(flightKey string)
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		cache:    newSolverCache(cfg.MaxSolvers),
+		flights:  newFlightGroup(),
+		metrics:  newMetrics(),
+		sem:      make(chan struct{}, cfg.Workers),
+		stop:     make(chan struct{}),
+		inflight: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+	}
+}
+
+// Metrics exposes the server's counters (used by tests and /metrics).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+var errDraining = errkind.Mark(errors.New("service: shutting down"), errkind.ErrUnavailable)
+var errQueueFull = errkind.Mark(errors.New("service: solve queue full"), errkind.ErrUnavailable)
+
+// admit claims an in-flight token and a worker slot, queueing at most
+// QueueDepth requests. Draining, queue overflow, and deadline all
+// surface as ErrUnavailable (503); the caller must release() on nil
+// error.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case <-s.stop:
+		return errDraining
+	default:
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		return errQueueFull
+	}
+	s.metrics.queued.Add(1)
+	defer s.metrics.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-s.stop:
+		<-s.inflight
+		return errDraining
+	case <-ctx.Done():
+		<-s.inflight
+		return errkind.Mark(fmt.Errorf("service: queued past deadline: %w", ctx.Err()), errkind.ErrUnavailable)
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	<-s.inflight
+}
+
+// Shutdown begins draining: new and queued requests are refused with
+// 503 while admitted solves run to completion. It returns when every
+// in-flight request has finished or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if len(s.inflight) == 0 && len(s.sem) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service: drain incomplete: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/schedule", s.instrument("schedule", s.handleSchedule))
+	mux.Handle("/v1/repair", s.instrument("repair", s.handleRepair))
+	mux.Handle("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter records the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with method filtering, the per-request
+// deadline, request logging, and latency/status metrics.
+func (s *Server) instrument(name string, fn func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if r.Method != http.MethodPost {
+			sw.Header().Set("Allow", http.MethodPost)
+			http.Error(sw, "POST only", http.StatusMethodNotAllowed)
+		} else {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			fn(sw, r.WithContext(ctx))
+			cancel()
+		}
+		dur := time.Since(start)
+		s.metrics.observeRequest(name, sw.code, dur)
+		s.log.Info("request",
+			"endpoint", name,
+			"method", r.Method,
+			"status", sw.code,
+			"dur_ms", float64(dur.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	select {
+	case <-s.stop:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+	default:
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteText(w, s.cache)
+}
+
+// decode parses a strict JSON request body.
+func decode(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return errkind.Mark(fmt.Errorf("decode request: %w", err), errkind.ErrBadInput)
+	}
+	return nil
+}
+
+// writeJSON emits a 200 response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it in the connection.
+		return
+	}
+}
+
+// writeError maps err through the errkind table into a status code and
+// an ErrorResponse body. A non-nil rep rides along (the repair ladder's
+// report on a 422).
+func (s *Server) writeError(w http.ResponseWriter, err error, rep *schedroute.RepairResult) {
+	// A solve cut short by the per-request deadline or a dropped client
+	// is a capacity condition, not a server bug: report 503, not 500.
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		err = errkind.Mark(err, errkind.ErrUnavailable)
+	}
+	status := errkind.HTTPStatus(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body := schedroute.ErrorResponse{
+		SchemaVersion: schedroute.SchemaVersion,
+		Error:         err.Error(),
+		Kind:          errkind.Name(err),
+		Repair:        rep,
+	}
+	json.NewEncoder(w).Encode(body)
+}
+
+// solved is the shared outcome of one coalesced solve.
+type solved struct {
+	built *schedroute.Built
+	res   *schedule.Result
+}
+
+// flightKey identifies a coalescible solve: structure key + period +
+// the solve options with CollectStats cleared (the service always
+// collects stage times internally; whether the client wants them on the
+// wire doesn't change the computation — see TestSolverStats).
+func flightKey(p schedroute.Problem, tauIn float64, o schedroute.Options) string {
+	o.CollectStats = false
+	ob, _ := json.Marshal(o)
+	return fmt.Sprintf("%s|tauin=%g|opts=%s", p.StructureKey(), tauIn, ob)
+}
+
+// solve resolves the problem through the solver cache and runs one
+// pipeline solve, coalescing identical concurrent requests. The
+// returned Result is shared between coalesced callers and must be
+// treated as read-only.
+func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.Options) (*solved, error) {
+	opts, err := o.ToSchedule()
+	if err != nil {
+		return nil, err
+	}
+	opts.CollectStats = true
+
+	ent := s.cache.getOrCreate(p.StructureKey(), func() (*schedroute.Built, error) {
+		return p.Build()
+	})
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	tauIn := p.TauIn
+	if tauIn == 0 {
+		tauIn = ent.built.Timing.TauC()
+	}
+
+	key := flightKey(p, tauIn, o)
+	v, err, shared := s.flights.Do(key, func() (any, error) {
+		if s.beforeSolve != nil {
+			s.beforeSolve(key)
+		}
+		res, err := ent.solver.Solve(ctx, tauIn, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.observeSolve(res.Stats)
+		return &solved{built: ent.built, res: res}, nil
+	})
+	if shared {
+		s.metrics.observeCoalesced()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.(*solved), nil
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req schedroute.ScheduleRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	if err := s.admit(r.Context()); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	defer s.release()
+	sv, err := s.solve(r.Context(), req.Problem, req.Options)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	out, err := schedroute.NewScheduleResult(sv.built, sv.res, req.IncludeOmega, req.Options.CollectStats)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req schedroute.RepairRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	if req.Fault.Empty() {
+		s.writeError(w, errkind.Mark(errors.New("repair: fault must name at least one failed link or node"), errkind.ErrBadInput), nil)
+		return
+	}
+	if err := s.admit(r.Context()); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	defer s.release()
+	sv, err := s.solve(r.Context(), req.Problem, req.Options)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	if !sv.res.Feasible {
+		s.writeError(w, errkind.Mark(
+			fmt.Errorf("repair: base problem infeasible at stage %s; repair needs a feasible base schedule", sv.res.FailStage),
+			errkind.ErrBadInput), nil)
+		return
+	}
+	fs, err := req.Fault.Build(sv.built.Topology)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	opts, err := req.Options.ToSchedule()
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	rep, err := schedule.Repair(r.Context(), sv.built.ScheduleProblem(), opts, sv.res, fs)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	if rerr := rep.Err(); rerr != nil {
+		// The degradation ladder ran dry: an unprocessable problem, not a
+		// malformed request — 422, with the full ladder report attached.
+		wire, werr := schedroute.NewRepairResult(rep, false)
+		if werr != nil {
+			s.writeError(w, werr, nil)
+			return
+		}
+		s.writeError(w, rerr, wire)
+		return
+	}
+	out, err := schedroute.NewRepairResult(rep, req.IncludeOmega)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req schedroute.SweepRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	if err := s.admit(r.Context()); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	defer s.release()
+	out, err := s.sweep(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	writeJSON(w, out)
+}
+
+// sweep runs the τin sweep through one cached Solver on the parallel
+// fan-out engine: load points are independent, land in ordered slots,
+// and the series is identical to a serial run.
+func (s *Server) sweep(ctx context.Context, req schedroute.SweepRequest) (*schedroute.SweepResult, error) {
+	opts, err := req.Options.ToSchedule()
+	if err != nil {
+		return nil, err
+	}
+	opts.CollectStats = true
+	n := req.Points
+	if n == 0 {
+		n = 12
+	}
+	if n < 1 || n > 100000 {
+		return nil, errkind.Mark(fmt.Errorf("sweep: points %d out of range [1,100000]", n), errkind.ErrBadInput)
+	}
+	invocations := req.Invocations
+	if invocations == 0 {
+		invocations = 8
+	}
+
+	ent := s.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
+		return req.Problem.Build()
+	})
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	b := ent.built
+	tauC := b.Timing.TauC()
+	min, max := req.MinTauIn, req.MaxTauIn
+	if min == 0 {
+		min = tauC
+	}
+	if max == 0 {
+		max = 5 * tauC
+	}
+	if min <= 0 || max < min {
+		return nil, errkind.Mark(fmt.Errorf("sweep: bad period range [%g, %g]", min, max), errkind.ErrBadInput)
+	}
+
+	points := make([]schedroute.SweepPoint, n)
+	err = parallel.ForEach(ctx, n, 0, func(i int) error {
+		tauIn := min
+		if n > 1 {
+			tauIn = min + (max-min)*float64(i)/float64(n-1)
+		}
+		res, err := ent.solver.Solve(ctx, tauIn, opts)
+		if err != nil {
+			return err
+		}
+		s.metrics.observeSolve(res.Stats)
+		pt := schedroute.SweepPoint{
+			TauIn:   tauIn,
+			Load:    tauC / tauIn,
+			PeakLSD: res.PeakLSD,
+			Peak:    res.Peak,
+		}
+		if res.Feasible {
+			pt.Feasible = true
+			pt.Latency = res.Latency
+			if req.Execute {
+				exec, err := schedule.Execute(res.Omega, b.Graph, b.Timing, tauC, invocations)
+				if err != nil {
+					return fmt.Errorf("sweep: execute at τin=%g: %w", tauIn, err)
+				}
+				ivs := metrics.Intervals(exec.OutputCompletions)
+				th, err := metrics.NormalizedThroughput(tauIn, ivs)
+				if err != nil {
+					return fmt.Errorf("sweep: throughput at τin=%g: %w", tauIn, err)
+				}
+				pt.Executed = true
+				pt.ThroughputMid = th.Mid
+				pt.OI = metrics.OutputInconsistent(tauIn, ivs, 1e-6)
+			}
+		} else {
+			pt.FailStage = res.FailStage.String()
+		}
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &schedroute.SweepResult{
+		SchemaVersion: schedroute.SchemaVersion,
+		TauC:          tauC,
+		TauM:          b.Timing.TauM(),
+		Points:        points,
+	}, nil
+}

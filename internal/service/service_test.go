@@ -1,0 +1,456 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"schedroute/internal/schedule"
+	"schedroute/pkg/schedroute"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func testProblem(tauIn float64) schedroute.Problem {
+	return schedroute.Problem{TFG: "dvb:4", Topology: "cube:6", Bandwidth: 64, TauIn: tauIn}
+}
+
+// TestScheduleCoalescesIdenticalRequests is the coalescing acceptance
+// test: N identical concurrent requests must execute exactly one solver
+// run, and every response must be byte-identical.
+func TestScheduleCoalescesIdenticalRequests(t *testing.T) {
+	const n = 8
+	srv, ts := newTestServer(t, Config{Workers: n, QueueDepth: n})
+
+	// The flight leader holds its solve open until every duplicate has
+	// joined the in-flight call, so the test is deterministic: all n
+	// requests are provably concurrent when the solve finally runs.
+	srv.beforeSolve = func(key string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.flights.waiters(key) < n-1 {
+			if time.Now().After(deadline) {
+				t.Error("duplicates never joined the in-flight solve")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	req := schedroute.ScheduleRequest{Problem: testProblem(150), IncludeOmega: true}
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], bodies[i] = postJSON(t, ts, "/v1/schedule", req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d: response differs from request 0", i)
+		}
+	}
+	if runs := srv.metrics.SolveRuns(); runs != 1 {
+		t.Errorf("solver ran %d times for %d identical requests, want 1", runs, n)
+	}
+	if co := srv.metrics.Coalesced(); co != n-1 {
+		t.Errorf("coalesced %d requests, want %d", co, n-1)
+	}
+	ent := srv.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
+		t.Fatal("structure should already be cached")
+		return nil, nil
+	})
+	if st := ent.solver.CacheStats(); st.Solves != 1 {
+		t.Errorf("underlying solver served %d solves, want 1", st.Solves)
+	}
+}
+
+// TestSolverCacheWarmRepeat is the warm-path acceptance test: a repeat
+// request with a new τin reuses the cached Solver and skips every
+// τin-independent derivation (baseline, candidates, validation).
+func TestSolverCacheWarmRepeat(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	for _, tauIn := range []float64{141, 200} {
+		code, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(tauIn)})
+		if code != http.StatusOK {
+			t.Fatalf("τin=%g: status %d: %s", tauIn, code, body)
+		}
+	}
+
+	hits, misses, size := srv.cache.stats()
+	if misses != 1 || hits < 1 || size != 1 {
+		t.Errorf("cache hits=%d misses=%d size=%d, want 1 miss, ≥1 hit, 1 entry", hits, misses, size)
+	}
+	ent := srv.cache.getOrCreate(testProblem(0).StructureKey(), func() (*schedroute.Built, error) {
+		t.Fatal("structure should already be cached")
+		return nil, nil
+	})
+	st := ent.solver.CacheStats()
+	if st.Solves != 2 {
+		t.Fatalf("solver served %d solves, want 2", st.Solves)
+	}
+	if st.BaselineBuilds != 1 || st.CandidateBuilds != 1 || st.ValidateBuilds != 1 {
+		t.Errorf("structure rebuilt on the warm path: %+v", st)
+	}
+	if st.StartsBuilds != 1 {
+		// Same window (τc) both times: the static starts are shared too.
+		t.Errorf("starts rebuilt on the warm path: %+v", st)
+	}
+}
+
+// TestScheduleGoldenMatchesDirect is the golden acceptance test: for
+// the eight standard configurations the service response must be
+// byte-identical to the direct library path through the shared
+// pkg/schedroute wire types — the same conversion srsched-style tools
+// use.
+func TestScheduleGoldenMatchesDirect(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	topos := []string{"cube:6", "ghc:4,4,4", "torus:8,8", "torus:4,4,4"}
+	bands := []float64{64, 128}
+	for _, topo := range topos {
+		for _, bw := range bands {
+			req := schedroute.ScheduleRequest{
+				Problem:      schedroute.Problem{TFG: "dvb:4", Topology: topo, Bandwidth: bw, TauIn: 150},
+				IncludeOmega: true,
+			}
+			code, got := postJSON(t, ts, "/v1/schedule", req)
+			if code != http.StatusOK {
+				t.Fatalf("%s B=%g: status %d: %s", topo, bw, code, got)
+			}
+
+			b, err := req.Problem.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts, err := req.Options.ToSchedule()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := schedule.Compute(b.ScheduleProblem(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := schedroute.NewScheduleResult(b, res, true, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := json.NewEncoder(&want).Encode(wire); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Errorf("%s B=%g: service response differs from direct path\nservice: %.200s\ndirect:  %.200s",
+					topo, bw, got, want.Bytes())
+			}
+		}
+	}
+}
+
+func TestRepairEndpointOutcomes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// A single failed link at moderate load is survivable: 200 with a
+	// non-infeasible rung.
+	code, body := postJSON(t, ts, "/v1/repair", schedroute.RepairRequest{
+		Problem: testProblem(150),
+		Fault:   schedroute.FaultSpec{Links: []string{"0-1"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("link repair: status %d: %s", code, body)
+	}
+	var rep schedroute.RepairResult
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != schedroute.SchemaVersion || rep.Outcome == "" || rep.Outcome == "infeasible" {
+		t.Fatalf("bad repair result: %+v", rep)
+	}
+
+	// A failed node hosting a task is unsurvivable (no task migration):
+	// 422 with the full ladder report in the error body.
+	code, body = postJSON(t, ts, "/v1/repair", schedroute.RepairRequest{
+		Problem: testProblem(150),
+		Fault:   schedroute.FaultSpec{Nodes: []int{0}},
+	})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("node repair: status %d, want 422: %s", code, body)
+	}
+	var er schedroute.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "infeasible_repair" || er.Repair == nil {
+		t.Fatalf("422 body missing classification or report: %+v", er)
+	}
+	if er.Repair.Outcome != "infeasible" || !er.Repair.LostTasks {
+		t.Fatalf("ladder report wrong: %+v", er.Repair)
+	}
+
+	// Malformed and empty fault specs are client errors.
+	for _, fault := range []schedroute.FaultSpec{
+		{},
+		{Links: []string{"0~1"}},
+		{Nodes: []int{4096}},
+	} {
+		code, body = postJSON(t, ts, "/v1/repair", schedroute.RepairRequest{Problem: testProblem(150), Fault: fault})
+		if code != http.StatusBadRequest {
+			t.Fatalf("fault %+v: status %d, want 400: %s", fault, code, body)
+		}
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Kind != "bad_input" {
+			t.Fatalf("fault %+v: kind %q, want bad_input", fault, er.Kind)
+		}
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts, "/v1/sweep", schedroute.SweepRequest{
+		Problem:     schedroute.Problem{TFG: "dvb:4", Topology: "cube:6", Bandwidth: 64},
+		Execute:     true,
+		Invocations: 4,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var sw schedroute.SweepResult
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 12 {
+		t.Fatalf("default sweep has %d points, want the paper's 12", len(sw.Points))
+	}
+	if sw.TauC <= 0 || sw.Points[0].TauIn != sw.TauC ||
+		math.Abs(sw.Points[11].TauIn-5*sw.TauC) > 1e-9*sw.TauC {
+		t.Fatalf("grid bounds wrong: τc=%g first=%g last=%g", sw.TauC, sw.Points[0].TauIn, sw.Points[11].TauIn)
+	}
+	feasible := 0
+	for i, pt := range sw.Points {
+		if i > 0 && pt.Load >= sw.Points[i-1].Load {
+			t.Fatalf("loads not descending at %d", i)
+		}
+		if pt.Feasible {
+			feasible++
+			if !pt.Executed {
+				t.Fatalf("point %d feasible but not executed", i)
+			}
+			if pt.OI {
+				t.Fatalf("point %d: scheduled routing produced output inconsistency", i)
+			}
+			if pt.ThroughputMid <= 0 {
+				t.Fatalf("point %d: no throughput", i)
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible point in the sweep")
+	}
+
+	// All twelve points share one cached solver: structure built once.
+	if _, misses, _ := func() (int64, int64, int) { return srv.cache.stats() }(); misses != 1 {
+		t.Errorf("sweep built %d structures, want 1", misses)
+	}
+
+	// Degenerate ranges are client errors.
+	code, _ = postJSON(t, ts, "/v1/sweep", schedroute.SweepRequest{
+		Problem: testProblem(0), MinTauIn: 100, MaxTauIn: 50,
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("inverted range: status %d, want 400", code)
+	}
+}
+
+// TestGracefulShutdownUnderLoad is the drain acceptance test: the
+// in-flight solve completes with 200, the queued request is shed with
+// 503, new requests are refused, and Shutdown returns well within the
+// drain deadline.
+func TestGracefulShutdownUnderLoad(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	srv.beforeSolve = func(string) { <-release }
+
+	type reply struct {
+		code int
+		body []byte
+	}
+	inflight := make(chan reply, 1)
+	queued := make(chan reply, 1)
+	go func() {
+		c, b := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150)})
+		inflight <- reply{c, b}
+	}()
+	waitFor(t, "request to start solving", func() bool { return len(srv.sem) == 1 })
+	go func() {
+		// A different structure: must not coalesce with the in-flight
+		// solve; it queues behind the single worker slot.
+		c, b := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: schedroute.Problem{TFG: "chain:8", Topology: "cube:6"}})
+		queued <- reply{c, b}
+	}()
+	waitFor(t, "second request to queue", func() bool { return srv.metrics.queued.Load() == 1 })
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	// The queued request is shed promptly with 503.
+	q := <-queued
+	if q.code != http.StatusServiceUnavailable {
+		t.Fatalf("queued request: status %d, want 503: %s", q.code, q.body)
+	}
+	// New requests are refused while draining.
+	c, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150)})
+	if c != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503: %s", c, body)
+	}
+	// Health reports the drain.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight solve still completes.
+	close(release)
+	in := <-inflight
+	if in.code != http.StatusOK {
+		t.Fatalf("in-flight request: status %d, want 200: %s", in.code, in.body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+}
+
+func TestRequestHygiene(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// GET on a solve endpoint: 405.
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/schedule: %d, want 405", resp.StatusCode)
+	}
+
+	// Unknown schema version: 400 with the table's label.
+	p := testProblem(150)
+	p.SchemaVersion = 99
+	code, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: p})
+	var er schedroute.ErrorResponse
+	if code != http.StatusBadRequest || json.Unmarshal(body, &er) != nil || er.Kind != "unknown_schema_version" {
+		t.Fatalf("schema_version 99: status %d kind %q: %s", code, er.Kind, body)
+	}
+
+	// Unknown fields are rejected, not silently dropped.
+	resp, err = http.Post(ts.URL+"/v1/schedule", "application/json",
+		strings.NewReader(`{"problem":{"tfg":"dvb:4","topology":"cube:6"},"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", resp.StatusCode)
+	}
+
+	// Bad topology spec: 400 bad_input through the shared parser.
+	code, body = postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{
+		Problem: schedroute.Problem{TFG: "dvb:4", Topology: "klein-bottle:6"},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad topology: status %d: %s", code, body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tauIn := range []float64{141, 141, 200} {
+		postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(tauIn)})
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`srschedd_requests_total{endpoint="schedule",code="200"} 3`,
+		"srschedd_solver_cache_hits_total 2",
+		"srschedd_solver_cache_misses_total 1",
+		"srschedd_solver_cache_size 1",
+		"srschedd_solve_runs_total 3",
+		"srschedd_queue_depth 0",
+		`srschedd_solve_stage_seconds_total{stage="assign"}`,
+		"srschedd_request_seconds_count{endpoint=\"schedule\"} 3",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

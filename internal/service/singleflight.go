@@ -1,0 +1,63 @@
+package service
+
+import "sync"
+
+// flightCall is one in-flight (or just-completed) coalesced execution.
+type flightCall struct {
+	wg      sync.WaitGroup
+	val     any
+	err     error
+	joiners int64
+}
+
+// flightGroup coalesces duplicate concurrent work: Do with a key that
+// is already in flight waits for the running call and shares its
+// result instead of executing fn again. Unlike a cache, a completed
+// call is forgotten immediately — only concurrency is deduplicated,
+// so repeated sequential requests still observe fresh execution (and
+// the solver cache underneath provides the durable reuse).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[string]*flightCall{}}
+}
+
+// Do executes fn under key, coalescing with an identical in-flight
+// call. shared reports whether this caller joined an existing call
+// rather than executing fn itself.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.joiners++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}
+
+// waiters reports how many callers are currently waiting on the
+// in-flight call for key (0 when the key is idle). Test hooks use it
+// to release a blocked leader only after every duplicate has joined.
+func (g *flightGroup) waiters(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.joiners
+	}
+	return 0
+}

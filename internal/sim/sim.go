@@ -8,6 +8,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"schedroute/internal/errkind"
 )
 
 // Event is a callback scheduled at a point in simulated time.
@@ -54,6 +56,13 @@ func (e *BadScheduleError) Error() string {
 		return fmt.Sprintf("sim: scheduling event at NaN (now %g)", e.Now)
 	}
 	return fmt.Sprintf("sim: scheduling event at %g before now %g", e.At, e.Now)
+}
+
+// Is places the error in the errkind.ErrBadSchedule family, so the
+// shared classification table maps it to an exit status and HTTP status
+// without naming this concrete type.
+func (e *BadScheduleError) Is(target error) bool {
+	return target == errkind.ErrBadSchedule
 }
 
 // Engine executes events in nondecreasing time order. Events scheduled

@@ -1,0 +1,139 @@
+package schedroute
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/dvb"
+	"schedroute/internal/errkind"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// The spec parsers live in the facade so the CLIs (via
+// internal/cliutil) and the service resolve identical strings to
+// identical machines. Every rejection is an errkind.ErrBadInput, so the
+// shared table maps it to exit 1 on a CLI and HTTP 400 on the service.
+
+func badInput(format string, args ...any) error {
+	return errkind.Mark(fmt.Errorf(format, args...), errkind.ErrBadInput)
+}
+
+// ParseTopology builds a topology from a spec string:
+//
+//	cube:D        binary hypercube of dimension D
+//	ghc:M1,M2,..  generalized hypercube
+//	torus:K1,K2,… k-ary n-cube torus
+//	mesh:K1,K2,…  mesh
+func ParseTopology(spec string) (*topology.Topology, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, badInput("topology spec %q: want kind:radices", spec)
+	}
+	var radices []int
+	for _, part := range strings.Split(rest, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, badInput("topology spec %q: %v", spec, err)
+		}
+		radices = append(radices, v)
+	}
+	var top *topology.Topology
+	var err error
+	switch kind {
+	case "cube":
+		if len(radices) != 1 {
+			return nil, badInput("cube spec wants a single dimension, got %q", spec)
+		}
+		top, err = topology.NewHypercube(radices[0])
+	case "ghc":
+		top, err = topology.NewGHC(radices...)
+	case "torus":
+		top, err = topology.NewTorus(radices...)
+	case "mesh":
+		top, err = topology.NewMesh(radices...)
+	default:
+		return nil, badInput("unknown topology kind %q", kind)
+	}
+	if err != nil {
+		return nil, errkind.Mark(err, errkind.ErrBadInput)
+	}
+	return top, nil
+}
+
+// ParseAllocator places g on top using the named strategy: "rr"
+// (round-robin, the experiments' default), "greedy", "random" (with
+// the given seed), or "anneal" (simulated annealing on the link-load
+// proxy).
+func ParseAllocator(name string, g *tfg.Graph, top *topology.Topology, seed int64) (*alloc.Assignment, error) {
+	switch name {
+	case "rr", "roundrobin":
+		return alloc.RoundRobin(g, top)
+	case "greedy":
+		return alloc.Greedy(g, top)
+	case "random":
+		return alloc.Random(g, top, seed)
+	case "anneal":
+		return alloc.Anneal(g, top, alloc.AnnealOptions{Seed: seed})
+	default:
+		return nil, badInput("unknown allocator %q (want rr, greedy, random or anneal)", name)
+	}
+}
+
+// LoadGraph reads a TFG: either a built-in spec ("dvb:4", "chain:8",
+// "fan:6", "fft:3", "stencil:4") or a path to a JSON file produced by
+// tfggen.
+func LoadGraph(spec string) (*tfg.Graph, error) {
+	if kind, rest, ok := strings.Cut(spec, ":"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, badInput("graph spec %q: %v", spec, err)
+		}
+		switch kind {
+		case "dvb":
+			return dvb.New(n)
+		case "chain":
+			return tfg.Chain(n, 1925, 1536)
+		case "fan":
+			return tfg.FanOutIn(n, 1925, 1536)
+		case "fft":
+			return tfg.FFT(n, 1925, 1536)
+		case "stencil":
+			return tfg.Stencil(n, 1925, 1536, 384)
+		default:
+			return nil, badInput("unknown graph kind %q", kind)
+		}
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, errkind.Mark(err, errkind.ErrBadInput)
+	}
+	defer f.Close()
+	return tfg.Decode(f)
+}
+
+// Build resolves a FaultSpec against a topology into a FaultSet.
+// Returns nil when the spec is empty.
+func (f FaultSpec) Build(top *topology.Topology) (*topology.FaultSet, error) {
+	if f.Empty() {
+		return nil, nil
+	}
+	fs := topology.NewFaultSet(top.Links(), top.Nodes())
+	for _, spec := range f.Links {
+		l, err := top.ParseLinkSpec(spec)
+		if err != nil {
+			return nil, errkind.Mark(err, errkind.ErrBadInput)
+		}
+		fs.FailLink(l)
+	}
+	for _, n := range f.Nodes {
+		if n < 0 || n >= top.Nodes() {
+			return nil, badInput("fault node %d out of range [0,%d)", n, top.Nodes())
+		}
+		fs.FailNode(topology.NodeID(n))
+	}
+	return fs, nil
+}

@@ -1,0 +1,86 @@
+package schedroute
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"schedroute/internal/schedule"
+)
+
+// encodeOmega renders an Ω through the versioned artifact encoder into
+// a RawMessage, so service responses and -save files carry the same
+// bytes (schema_version included).
+func encodeOmega(om *schedule.Omega) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := schedule.EncodeOmega(&buf, om); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(bytes.TrimSpace(buf.Bytes())), nil
+}
+
+// NewScheduleResult converts a pipeline Result into the wire form.
+// The Ω artifact is embedded only when includeOmega is set and the
+// problem was feasible; wall-clock stats only when the request asked
+// for them (the deterministic counters are always present).
+func NewScheduleResult(b *Built, res *schedule.Result, includeOmega, includeStats bool) (*ScheduleResult, error) {
+	out := &ScheduleResult{
+		SchemaVersion: SchemaVersion,
+		Feasible:      res.Feasible,
+		TauC:          b.Timing.TauC(),
+		TauM:          b.Timing.TauM(),
+		TauIn:         b.TauIn,
+		Load:          b.Timing.TauC() / b.TauIn,
+		PeakLSD:       res.PeakLSD,
+		Peak:          res.Peak,
+		Latency:       res.Latency,
+	}
+	if !res.Feasible {
+		out.FailStage = res.FailStage.String()
+	} else {
+		out.Intervals = res.Intervals.K()
+		out.Slices = len(res.Slices)
+		out.Commands = res.Omega.NumCommands()
+		if includeOmega {
+			om, err := encodeOmega(res.Omega)
+			if err != nil {
+				return nil, err
+			}
+			out.Omega = om
+		}
+	}
+	st := statsToWire(res.Stats)
+	if !includeStats {
+		st.WindowsNS, st.AssignNS, st.AllocateNS, st.ScheduleNS, st.OmegaNS = 0, 0, 0, 0, 0
+	}
+	out.Stats = st
+	return out, nil
+}
+
+// NewRepairResult converts a RepairReport into the wire form. The
+// repaired Ω is embedded only when includeOmega is set and a repaired
+// schedule exists.
+func NewRepairResult(rep *schedule.RepairReport, includeOmega bool) (*RepairResult, error) {
+	out := &RepairResult{
+		SchemaVersion: SchemaVersion,
+		Outcome:       rep.Outcome.String(),
+		Faults:        rep.Faults,
+		Affected:      len(rep.Affected),
+		Rerouted:      rep.Rerouted,
+		NewPeak:       rep.NewPeak,
+		TauOut:        rep.TauOut,
+		WindowScale:   rep.WindowScale,
+		LostTasks:     rep.LostTasks,
+		Reason:        rep.Reason,
+	}
+	if rep.Outcome == schedule.RepairInfeasible {
+		out.Stage = rep.Stage.String()
+	}
+	if includeOmega && rep.Result != nil && rep.Result.Omega != nil {
+		om, err := encodeOmega(rep.Result.Omega)
+		if err != nil {
+			return nil, err
+		}
+		out.Omega = om
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+// Package schedroute is the stable public API facade of the
+// scheduled-routing reproduction: the wire-level request and response
+// types shared by the srschedd HTTP service and the command-line tools,
+// plus the spec parsers and builders that turn a wire Problem into the
+// internal solver inputs.
+//
+// Everything here carries explicit JSON tags and a schema_version, so a
+// saved request, a service response, and a CLI invocation all speak the
+// same versioned vocabulary. The internal packages stay free to evolve;
+// this package is the compatibility surface.
+package schedroute
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"schedroute/internal/errkind"
+	"schedroute/internal/schedule"
+)
+
+// SchemaVersion is the wire schema this build speaks. Requests may
+// carry 0 (meaning "current") or this exact value; responses always
+// carry it. Unknown versions are rejected with an
+// errkind.ErrUnknownVersion error.
+const SchemaVersion = 1
+
+// CheckSchemaVersion validates a request's schema_version field.
+func CheckSchemaVersion(v int) error {
+	if v != 0 && v != SchemaVersion {
+		return errkind.Mark(
+			fmt.Errorf("schedroute: schema_version %d not supported (this build speaks %d)", v, SchemaVersion),
+			errkind.ErrUnknownVersion)
+	}
+	return nil
+}
+
+// Problem is the wire form of a scheduling problem: the application,
+// the machine, and the invocation period, all as specs the builders in
+// this package resolve. The zero values select the defaults the CLIs
+// have always used (bandwidth 64 bytes/µs, uniform 50 µs tasks,
+// round-robin placement, τin = τc).
+type Problem struct {
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// TFG is a graph spec: "dvb:N", "chain:N", "fan:N", "fft:N",
+	// "stencil:N", or a path to a tfggen JSON file.
+	TFG string `json:"tfg,omitempty"`
+	// TFGInline carries the tfggen JSON document itself, for callers
+	// (e.g. remote service clients) with no shared filesystem. Exactly
+	// one of TFG and TFGInline must be set.
+	TFGInline json.RawMessage `json:"tfg_inline,omitempty"`
+	// Topology is a spec like "cube:6", "ghc:4,4,4", "torus:8,8",
+	// "mesh:4,4".
+	Topology string `json:"topology"`
+	// Bandwidth is the link bandwidth in bytes/µs (0 = 64).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Speed is the processor speed in ops/µs (0 = uniform 50 µs tasks).
+	Speed float64 `json:"speed,omitempty"`
+	// TauIn is the invocation period in µs (0 = τc, maximum load).
+	TauIn float64 `json:"tau_in,omitempty"`
+	// Allocator places tasks on nodes: "rr" (default), "greedy",
+	// "random", or "anneal".
+	Allocator string `json:"allocator,omitempty"`
+	// AllocSeed drives the "random" and "anneal" allocators.
+	AllocSeed int64 `json:"alloc_seed,omitempty"`
+}
+
+// Options is the wire form of schedule.Options (the per-solve tuning
+// knobs; zero values select the pipeline defaults).
+type Options struct {
+	Seed             int64   `json:"seed,omitempty"`
+	MaxPaths         int     `json:"max_paths,omitempty"`
+	MaxOuter         int     `json:"max_outer,omitempty"`
+	MaxInner         int     `json:"max_inner,omitempty"`
+	Engine           string  `json:"engine,omitempty"` // "auto", "greedy", "exact"
+	Window           float64 `json:"window,omitempty"`
+	LSDOnly          bool    `json:"lsd_only,omitempty"`
+	SyncMargin       float64 `json:"sync_margin,omitempty"`
+	Retries          int     `json:"retries,omitempty"`
+	AllowSharedNodes bool    `json:"allow_shared_nodes,omitempty"`
+	// CollectStats asks for wall-clock per-stage timings in the result
+	// stats (the deterministic counters are reported either way).
+	CollectStats bool `json:"collect_stats,omitempty"`
+}
+
+// ToSchedule resolves the wire options into schedule.Options.
+func (o Options) ToSchedule() (schedule.Options, error) {
+	out := schedule.Options{
+		Seed: o.Seed, MaxPaths: o.MaxPaths, MaxOuter: o.MaxOuter, MaxInner: o.MaxInner,
+		Window: o.Window, LSDOnly: o.LSDOnly, SyncMargin: o.SyncMargin, Retries: o.Retries,
+		AllowSharedNodes: o.AllowSharedNodes, CollectStats: o.CollectStats,
+	}
+	switch o.Engine {
+	case "", "auto":
+		out.Engine = schedule.EngineAuto
+	case "greedy":
+		out.Engine = schedule.EngineGreedy
+	case "exact":
+		out.Engine = schedule.EngineExact
+	default:
+		return out, errkind.Mark(
+			fmt.Errorf("schedroute: unknown engine %q (want auto, greedy or exact)", o.Engine),
+			errkind.ErrBadInput)
+	}
+	return out, nil
+}
+
+// FaultSpec names failed elements: links as "u-v" node pairs and nodes
+// by id.
+type FaultSpec struct {
+	Links []string `json:"links,omitempty"`
+	Nodes []int    `json:"nodes,omitempty"`
+}
+
+// Empty reports whether no fault is named.
+func (f FaultSpec) Empty() bool { return len(f.Links) == 0 && len(f.Nodes) == 0 }
+
+// ScheduleRequest asks for one schedule computation.
+type ScheduleRequest struct {
+	Problem Problem `json:"problem"`
+	Options Options `json:"options,omitempty"`
+	// IncludeOmega embeds the full Ω artifact (the versioned JSON the
+	// -save flag writes) in the response.
+	IncludeOmega bool `json:"include_omega,omitempty"`
+}
+
+// SolveStats is the wire form of schedule.SolveStats. The wall-clock
+// fields are nanoseconds and stay zero unless CollectStats was set.
+type SolveStats struct {
+	Attempts         int   `json:"attempts"`
+	AssignIterations int   `json:"assign_iterations"`
+	WindowsNS        int64 `json:"windows_ns,omitempty"`
+	AssignNS         int64 `json:"assign_ns,omitempty"`
+	AllocateNS       int64 `json:"allocate_ns,omitempty"`
+	ScheduleNS       int64 `json:"schedule_ns,omitempty"`
+	OmegaNS          int64 `json:"omega_ns,omitempty"`
+}
+
+func statsToWire(st schedule.SolveStats) *SolveStats {
+	return &SolveStats{
+		Attempts:         st.Attempts,
+		AssignIterations: st.AssignIterations,
+		WindowsNS:        int64(st.WindowsTime / time.Nanosecond),
+		AssignNS:         int64(st.AssignTime / time.Nanosecond),
+		AllocateNS:       int64(st.AllocateTime / time.Nanosecond),
+		ScheduleNS:       int64(st.ScheduleTime / time.Nanosecond),
+		OmegaNS:          int64(st.OmegaTime / time.Nanosecond),
+	}
+}
+
+// ScheduleResult is the stable outcome of one schedule computation.
+// An infeasible problem is a valid result (Feasible false, FailStage
+// naming the rejecting stage), not an error.
+type ScheduleResult struct {
+	SchemaVersion int    `json:"schema_version"`
+	Feasible      bool   `json:"feasible"`
+	FailStage     string `json:"fail_stage,omitempty"`
+
+	TauC  float64 `json:"tau_c"`
+	TauM  float64 `json:"tau_m"`
+	TauIn float64 `json:"tau_in"`
+	Load  float64 `json:"load"`
+
+	PeakLSD float64 `json:"peak_lsd"`
+	Peak    float64 `json:"peak"`
+	Latency float64 `json:"latency,omitempty"`
+
+	Intervals int `json:"intervals,omitempty"`
+	Slices    int `json:"slices,omitempty"`
+	Commands  int `json:"commands,omitempty"`
+
+	// Omega is the versioned Ω JSON artifact (present only when the
+	// request set IncludeOmega and the problem was feasible).
+	Omega json.RawMessage `json:"omega,omitempty"`
+	Stats *SolveStats     `json:"stats,omitempty"`
+}
+
+// RepairRequest asks for a schedule and its repair under a fault: the
+// base schedule is computed (or recalled from the service's solver
+// cache) for the fault-free problem, then the degradation ladder runs
+// against the fault.
+type RepairRequest struct {
+	Problem Problem   `json:"problem"`
+	Options Options   `json:"options,omitempty"`
+	Fault   FaultSpec `json:"fault"`
+	// IncludeOmega embeds the repaired Ω in the response.
+	IncludeOmega bool `json:"include_omega,omitempty"`
+}
+
+// RepairResult is the wire form of schedule.RepairReport.
+type RepairResult struct {
+	SchemaVersion int `json:"schema_version"`
+	// Outcome is the repair-ladder rung: "unaffected", "incremental",
+	// "recomputed", "degraded-window", "degraded-rate", "infeasible".
+	Outcome string `json:"outcome"`
+	// Stage names the pipeline stage that rejected the final attempt
+	// when Outcome is "infeasible".
+	Stage       string  `json:"stage,omitempty"`
+	Faults      string  `json:"faults"`
+	Affected    int     `json:"affected"`
+	Rerouted    int     `json:"rerouted"`
+	NewPeak     float64 `json:"new_peak"`
+	TauOut      float64 `json:"tau_out"`
+	WindowScale float64 `json:"window_scale"`
+	LostTasks   bool    `json:"lost_tasks,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+	// Omega is the repaired Ω (present only when the request set
+	// IncludeOmega and the repair succeeded).
+	Omega json.RawMessage `json:"omega,omitempty"`
+}
+
+// SweepRequest asks for a τin sweep: the solver runs once per load
+// point over [MinTauIn, MaxTauIn] through one cached Solver, fanned out
+// on the parallel sweep engine.
+type SweepRequest struct {
+	Problem Problem `json:"problem"`
+	Options Options `json:"options,omitempty"`
+	// Points is the number of load points (0 = 12, the paper's grid).
+	Points int `json:"points,omitempty"`
+	// MinTauIn and MaxTauIn bound the sweep (0 = τc and 5τc).
+	MinTauIn float64 `json:"min_tau_in,omitempty"`
+	MaxTauIn float64 `json:"max_tau_in,omitempty"`
+	// Execute replays each feasible Ω through the deterministic executor
+	// and reports throughput and output-inconsistency per point.
+	Execute bool `json:"execute,omitempty"`
+	// Invocations is the executor run length (0 = 8; only with Execute).
+	Invocations int `json:"invocations,omitempty"`
+}
+
+// SweepPoint is one load point of a sweep.
+type SweepPoint struct {
+	TauIn     float64 `json:"tau_in"`
+	Load      float64 `json:"load"`
+	Feasible  bool    `json:"feasible"`
+	FailStage string  `json:"fail_stage,omitempty"`
+	PeakLSD   float64 `json:"peak_lsd"`
+	Peak      float64 `json:"peak"`
+	Latency   float64 `json:"latency,omitempty"`
+	// Executed marks that the emitted Ω was replayed; ThroughputMid is
+	// the mid normalized throughput and OI flags output inconsistency.
+	Executed      bool    `json:"executed,omitempty"`
+	ThroughputMid float64 `json:"throughput_mid,omitempty"`
+	OI            bool    `json:"oi,omitempty"`
+}
+
+// SweepResult is the outcome of a τin sweep.
+type SweepResult struct {
+	SchemaVersion int          `json:"schema_version"`
+	TauC          float64      `json:"tau_c"`
+	TauM          float64      `json:"tau_m"`
+	Points        []SweepPoint `json:"points"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx service response.
+type ErrorResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Error         string `json:"error"`
+	// Kind is the errkind table label ("bad_input",
+	// "infeasible_repair", "unknown_schema_version", "internal", ...).
+	Kind string `json:"kind"`
+	// Repair carries the full degradation-ladder report when an
+	// infeasible repair is the reason for the failure status.
+	Repair *RepairResult `json:"repair,omitempty"`
+}
