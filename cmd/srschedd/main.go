@@ -34,6 +34,7 @@ func main() {
 	queue := flag.Int("queue", 64, "requests allowed to wait for a worker before 503")
 	solvers := flag.Int("solvers", 32, "problem structures kept in the solver-cache LRU")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request solve deadline")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
 		Logger:         log,
 	})
 	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}

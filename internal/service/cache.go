@@ -14,7 +14,8 @@ import (
 // starts, validation) across requests.
 type solverEntry struct {
 	key string
-	// once guards the build so concurrent misses on one key build once.
+	// once guards the build: the first caller runs it, every other
+	// caller (hit or concurrent miss) waits on it before reading.
 	once   sync.Once
 	built  *schedroute.Built
 	solver *schedule.Solver
@@ -45,24 +46,26 @@ func newSolverCache(capacity int) *solverCache {
 // getOrCreate returns the entry for key, creating (and possibly
 // evicting) under the lock but building outside it, so a slow build
 // never serializes unrelated keys. The hit/miss counters record whether
-// the caller found an existing entry.
+// the caller found an existing entry. Every caller — hit or miss —
+// funnels through the entry's once.Do, so a hit on an entry still
+// mid-build blocks until the build finishes instead of observing a
+// half-initialized entry (nil built/solver with nil err).
 func (c *solverCache) getOrCreate(key string, build func() (*schedroute.Built, error)) *solverEntry {
 	c.mu.Lock()
+	var e *solverEntry
 	if el, ok := c.ent[key]; ok {
 		c.hits++
 		c.ll.MoveToFront(el)
-		e := el.Value.(*solverEntry)
-		c.mu.Unlock()
-		return e
-	}
-	c.misses++
-	e := &solverEntry{key: key}
-	el := c.ll.PushFront(e)
-	c.ent[key] = el
-	for c.ll.Len() > c.cap {
-		old := c.ll.Back()
-		c.ll.Remove(old)
-		delete(c.ent, old.Value.(*solverEntry).key)
+		e = el.Value.(*solverEntry)
+	} else {
+		c.misses++
+		e = &solverEntry{key: key}
+		c.ent[key] = c.ll.PushFront(e)
+		for c.ll.Len() > c.cap {
+			old := c.ll.Back()
+			c.ll.Remove(old)
+			delete(c.ent, old.Value.(*solverEntry).key)
+		}
 	}
 	c.mu.Unlock()
 

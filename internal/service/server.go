@@ -47,6 +47,10 @@ type Config struct {
 	QueueDepth int
 	// RequestTimeout is the per-request solve deadline (default 60s).
 	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body size (default 8 MiB), so an
+	// oversized tfg_inline payload is cut off at the reader instead of
+	// being buffered into memory.
+	MaxBodyBytes int64
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -63,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -144,6 +151,30 @@ func (s *Server) release() {
 	<-s.inflight
 }
 
+// claimExtraWorkers grabs up to max additional worker slots without
+// blocking, so a single admitted request that fans out internally (the
+// sweep) stays inside the server-wide Workers bound: its own admission
+// slot covers the first lane, and extra lanes exist only while the
+// pool has idle capacity. The returned func releases every claimed
+// slot.
+func (s *Server) claimExtraWorkers(max int) (int, func()) {
+	n := 0
+	for n < max {
+		select {
+		case s.sem <- struct{}{}:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	return n, func() {
+		for i := 0; i < n; i++ {
+			<-s.sem
+		}
+	}
+}
+
 // Shutdown begins draining: new and queued requests are refused with
 // 503 while admitted solves run to completion. It returns when every
 // in-flight request has finished or ctx expires.
@@ -199,6 +230,7 @@ func (s *Server) instrument(name string, fn func(http.ResponseWriter, *http.Requ
 			sw.Header().Set("Allow", http.MethodPost)
 			http.Error(sw, "POST only", http.StatusMethodNotAllowed)
 		} else {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			fn(sw, r.WithContext(ctx))
 			cancel()
@@ -231,11 +263,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WriteText(w, s.cache)
 }
 
-// decode parses a strict JSON request body.
+// decode parses a strict JSON request body. The body reader is already
+// capped by MaxBytesReader, so an oversized payload surfaces here as a
+// bad_input rejection instead of an unbounded buffer.
 func decode(r *http.Request, into any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errkind.Mark(fmt.Errorf("decode request: body exceeds %d bytes", mbe.Limit), errkind.ErrBadInput)
+		}
 		return errkind.Mark(fmt.Errorf("decode request: %w", err), errkind.ErrBadInput)
 	}
 	return nil
@@ -272,9 +310,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error, rep *schedroute.Re
 	json.NewEncoder(w).Encode(body)
 }
 
-// solved is the shared outcome of one coalesced solve.
+// solved is the shared outcome of one coalesced solve. tauIn is the
+// effective invocation period of THIS request — the cached Built's
+// TauIn belongs to whichever request first created the structure entry
+// and must not leak into responses or repairs.
 type solved struct {
 	built *schedroute.Built
+	tauIn float64
 	res   *schedule.Result
 }
 
@@ -311,16 +353,21 @@ func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.O
 	}
 
 	key := flightKey(p, tauIn, o)
-	v, err, shared := s.flights.Do(key, func() (any, error) {
+	v, err, shared := s.flights.Do(ctx, key, func(fctx context.Context) (any, error) {
+		// fctx is detached from every individual request, so the solve
+		// gets its own deadline: joiners must not lose a shared result
+		// because the flight leader's client vanished or timed out first.
+		fctx, cancel := context.WithTimeout(fctx, s.cfg.RequestTimeout)
+		defer cancel()
 		if s.beforeSolve != nil {
 			s.beforeSolve(key)
 		}
-		res, err := ent.solver.Solve(ctx, tauIn, opts)
+		res, err := ent.solver.Solve(fctx, tauIn, opts)
 		if err != nil {
 			return nil, err
 		}
 		s.metrics.observeSolve(res.Stats)
-		return &solved{built: ent.built, res: res}, nil
+		return &solved{built: ent.built, tauIn: tauIn, res: res}, nil
 	})
 	if shared {
 		s.metrics.observeCoalesced()
@@ -347,7 +394,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, nil)
 		return
 	}
-	out, err := schedroute.NewScheduleResult(sv.built, sv.res, req.IncludeOmega, req.Options.CollectStats)
+	out, err := schedroute.NewScheduleResult(sv.built, sv.res, sv.tauIn, req.IncludeOmega, req.Options.CollectStats)
 	if err != nil {
 		s.writeError(w, err, nil)
 		return
@@ -391,7 +438,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, nil)
 		return
 	}
-	rep, err := schedule.Repair(r.Context(), sv.built.ScheduleProblem(), opts, sv.res, fs)
+	rep, err := schedule.Repair(r.Context(), sv.built.ScheduleProblemAt(sv.tauIn), opts, sv.res, fs)
 	if err != nil {
 		s.writeError(w, err, nil)
 		return
@@ -474,8 +521,14 @@ func (s *Server) sweep(ctx context.Context, req schedroute.SweepRequest) (*sched
 		return nil, errkind.Mark(fmt.Errorf("sweep: bad period range [%g, %g]", min, max), errkind.ErrBadInput)
 	}
 
+	// The sweep's fan-out borrows idle worker slots instead of spawning
+	// GOMAXPROCS goroutines per request: concurrent sweeps share the
+	// same Workers bound as every other solve.
+	extra, releaseExtra := s.claimExtraWorkers(s.cfg.Workers - 1)
+	defer releaseExtra()
+
 	points := make([]schedroute.SweepPoint, n)
-	err = parallel.ForEach(ctx, n, 0, func(i int) error {
+	err = parallel.ForEach(ctx, n, 1+extra, func(i int) error {
 		tauIn := min
 		if n > 1 {
 			tauIn = min + (max-min)*float64(i)/float64(n-1)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"log/slog"
@@ -174,7 +175,7 @@ func TestScheduleGoldenMatchesDirect(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			wire, err := schedroute.NewScheduleResult(b, res, true, false)
+			wire, err := schedroute.NewScheduleResult(b, res, b.TauIn, true, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -441,6 +442,229 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("metrics missing %q\n%s", want, text)
 		}
+	}
+}
+
+// TestCachedStructureUsesRequestTauIn pins the period plumbing around
+// the structure cache: StructureKey deliberately excludes τin, so the
+// cached Built's own TauIn belongs to whichever request created it —
+// later requests at other periods must see THEIR period in schedule
+// responses and must repair at THEIR period, not the cached one.
+func TestCachedStructureUsesRequestTauIn(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	// Populate the structure cache at one period.
+	code, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150)})
+	if code != http.StatusOK {
+		t.Fatalf("seed request: status %d: %s", code, body)
+	}
+
+	// A hit at another period reports that period, not the cached one.
+	code, body = postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(250)})
+	if code != http.StatusOK {
+		t.Fatalf("warm request: status %d: %s", code, body)
+	}
+	var out schedroute.ScheduleResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TauIn != 250 {
+		t.Errorf("warm response τin=%g, want the request's 250", out.TauIn)
+	}
+	if math.Abs(out.Load-out.TauC/250) > 1e-12 {
+		t.Errorf("warm response load=%g, want τc/250=%g", out.Load, out.TauC/250)
+	}
+
+	// Repair against the cached structure runs at the request's period:
+	// its output period starts from THIS request's τin, so a repair at
+	// the cached 150 would betray itself with τout < 250.
+	code, body = postJSON(t, ts, "/v1/repair", schedroute.RepairRequest{
+		Problem: testProblem(250),
+		Fault:   schedroute.FaultSpec{Links: []string{"0-1"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("warm repair: status %d: %s", code, body)
+	}
+	var rep schedroute.RepairResult
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TauOut < 250 {
+		t.Errorf("repair ran at the cached period: τout=%g, want ≥ the request's 250", rep.TauOut)
+	}
+
+	if _, misses, _ := srv.cache.stats(); misses != 1 {
+		t.Errorf("structure rebuilt: %d misses, want 1", misses)
+	}
+}
+
+// TestCacheHitWaitsForBuild pins the mid-build synchronization: a hit
+// on an entry whose build is still running must block until the build
+// finishes instead of observing nil built/solver with nil err.
+func TestCacheHitWaitsForBuild(t *testing.T) {
+	c := newSolverCache(4)
+	key := testProblem(150).StructureKey()
+	release := make(chan struct{})
+	build := func() (*schedroute.Built, error) {
+		<-release
+		return testProblem(150).Build()
+	}
+
+	const n = 8
+	entries := make([]*solverEntry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries[i] = c.getOrCreate(key, build)
+		}(i)
+	}
+	// Every caller has registered (hit or miss) and is parked on the
+	// in-progress build before it is released.
+	waitFor(t, "all callers to reach the entry", func() bool {
+		h, m, _ := c.stats()
+		return h+m == n
+	})
+	close(release)
+	wg.Wait()
+
+	for i, e := range entries {
+		if e.err != nil {
+			t.Fatalf("caller %d: build error %v", i, e.err)
+		}
+		if e.built == nil || e.solver == nil {
+			t.Fatalf("caller %d observed a half-built entry: built=%v solver=%v", i, e.built, e.solver)
+		}
+	}
+}
+
+// TestFlightSurvivesLeaderCancel pins the coalescing cancellation
+// contract: the shared run is detached from the leader's context, so a
+// leader whose client vanishes gets its own ctx.Err while joiners with
+// live contexts still receive the result; only when the last waiter
+// abandons the call is the shared context canceled.
+func TestFlightSurvivesLeaderCancel(t *testing.T) {
+	g := newFlightGroup()
+	type out struct {
+		v      any
+		err    error
+		shared bool
+	}
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var runCtx context.Context
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+
+	leaderDone := make(chan out, 1)
+	go func() {
+		v, err, shared := g.Do(leaderCtx, "k", func(ctx context.Context) (any, error) {
+			runCtx = ctx
+			close(started)
+			<-release
+			return 42, nil
+		})
+		leaderDone <- out{v, err, shared}
+	}()
+	<-started
+
+	joinerDone := make(chan out, 1)
+	go func() {
+		v, err, shared := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			t.Error("joiner re-executed a coalesced call")
+			return nil, nil
+		})
+		joinerDone <- out{v, err, shared}
+	}()
+	waitFor(t, "joiner to join the flight", func() bool { return g.waiters("k") == 1 })
+
+	// The leader's client goes away: the leader returns its own error
+	// promptly, the shared run keeps going for the joiner.
+	cancelLeader()
+	l := <-leaderDone
+	if !errors.Is(l.err, context.Canceled) {
+		t.Fatalf("canceled leader returned %v, want context.Canceled", l.err)
+	}
+	if runCtx.Err() != nil {
+		t.Fatal("shared run canceled while a joiner still waits")
+	}
+	close(release)
+	j := <-joinerDone
+	if j.err != nil || j.v != 42 || !j.shared {
+		t.Fatalf("joiner got (%v, %v, shared=%v), want (42, nil, true)", j.v, j.err, j.shared)
+	}
+
+	// A run abandoned by every waiter is canceled so it stops burning a
+	// solver on a result nobody will read.
+	started2 := make(chan struct{})
+	var runCtx2 context.Context
+	soloCtx, cancelSolo := context.WithCancel(context.Background())
+	soloDone := make(chan out, 1)
+	go func() {
+		v, err, shared := g.Do(soloCtx, "k2", func(ctx context.Context) (any, error) {
+			runCtx2 = ctx
+			close(started2)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		soloDone <- out{v, err, shared}
+	}()
+	<-started2
+	cancelSolo()
+	if s := <-soloDone; !errors.Is(s.err, context.Canceled) {
+		t.Fatalf("abandoning caller returned %v, want context.Canceled", s.err)
+	}
+	waitFor(t, "abandoned run to be canceled", func() bool { return runCtx2.Err() != nil })
+}
+
+// TestSweepBoundedByWorkerPool pins the sweep's concurrency source:
+// its fan-out borrows only idle worker slots, so concurrent sweeps
+// cannot multiply past the server-wide Workers bound.
+func TestSweepBoundedByWorkerPool(t *testing.T) {
+	srv := New(Config{Workers: 3, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	srv.sem <- struct{}{} // the admitted sweep request's own slot
+
+	extra, release := srv.claimExtraWorkers(srv.cfg.Workers - 1)
+	if extra != 2 {
+		t.Fatalf("claimed %d extra slots with 2 idle, want 2", extra)
+	}
+	if len(srv.sem) != 3 {
+		t.Fatalf("pool at %d/3 after claim", len(srv.sem))
+	}
+	// A second sweep arriving at a saturated pool gets no extra lanes
+	// and runs serially on its own slot.
+	extra2, release2 := srv.claimExtraWorkers(srv.cfg.Workers - 1)
+	if extra2 != 0 {
+		t.Fatalf("claimed %d extra slots from a full pool, want 0", extra2)
+	}
+	release()
+	release2()
+	if len(srv.sem) != 1 {
+		t.Fatalf("pool at %d/3 after release, want the request's 1", len(srv.sem))
+	}
+}
+
+// TestBodySizeLimit pins the request-size cap: an oversized payload is
+// rejected as bad input instead of being buffered into memory.
+func TestBodySizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	code, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{
+		Problem: schedroute.Problem{
+			TFGInline: json.RawMessage(`"` + strings.Repeat("x", 4096) + `"`),
+			Topology:  "cube:6",
+		},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400: %s", code, body)
+	}
+	var er schedroute.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "bad_input" || !strings.Contains(er.Error, "exceeds") {
+		t.Fatalf("oversized body classified as %q (%s), want bad_input size error", er.Kind, er.Error)
 	}
 }
 

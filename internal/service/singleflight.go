@@ -1,21 +1,31 @@
 package service
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightCall is one in-flight (or just-completed) coalesced execution.
 type flightCall struct {
-	wg      sync.WaitGroup
+	done    chan struct{} // closed after val/err are set
 	val     any
 	err     error
-	joiners int64
+	joiners int64 // callers that joined after the leader (metrics/tests)
+	waiting int   // callers still waiting; the run is canceled at zero
+	cancel  context.CancelFunc
 }
 
 // flightGroup coalesces duplicate concurrent work: Do with a key that
 // is already in flight waits for the running call and shares its
-// result instead of executing fn again. Unlike a cache, a completed
-// call is forgotten immediately — only concurrency is deduplicated,
-// so repeated sequential requests still observe fresh execution (and
-// the solver cache underneath provides the durable reuse).
+// result instead of executing fn again. The execution runs on its own
+// context, detached from any single caller's cancellation: the
+// leader's client disconnecting or hitting its deadline does not kill
+// the solve for the joiners still waiting on it. Only when every
+// coalesced caller has abandoned the call is the shared context
+// canceled. Unlike a cache, a completed call is forgotten immediately
+// — only concurrency is deduplicated, so repeated sequential requests
+// still observe fresh execution (and the solver cache underneath
+// provides the durable reuse).
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
@@ -26,28 +36,54 @@ func newFlightGroup() *flightGroup {
 }
 
 // Do executes fn under key, coalescing with an identical in-flight
-// call. shared reports whether this caller joined an existing call
-// rather than executing fn itself.
-func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+// call. fn receives a context carrying ctx's values but not its
+// cancellation or deadline; it is canceled once every coalesced caller
+// has gone away. Each caller waits no longer than its own ctx allows —
+// an expiring caller gets its ctx.Err() while the shared run continues
+// for the others. shared reports whether this caller joined an
+// existing call rather than starting fn itself.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (v any, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		c.joiners++
+		c.waiting++
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		return g.wait(ctx, c, true)
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &flightCall{done: make(chan struct{}), waiting: 1, cancel: cancel}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	go func() {
+		v, err := fn(runCtx)
+		g.mu.Lock()
+		c.val, c.err = v, err
+		delete(g.m, key)
+		g.mu.Unlock()
+		cancel()
+		close(c.done)
+	}()
+	return g.wait(ctx, c, false)
+}
 
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	c.wg.Done()
-	return c.val, c.err, false
+// wait blocks until the call completes or the caller's own ctx ends.
+// An abandoning caller decrements the waiter count and cancels the
+// shared run when it was the last one left.
+func (g *flightGroup) wait(ctx context.Context, c *flightCall, shared bool) (any, error, bool) {
+	select {
+	case <-c.done:
+		return c.val, c.err, shared
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiting--
+		last := c.waiting == 0
+		g.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, ctx.Err(), shared
+	}
 }
 
 // waiters reports how many callers are currently waiting on the

@@ -109,9 +109,18 @@ func (p Problem) Build() (*Built, error) {
 // ScheduleProblem packages the built inputs for the scheduling
 // pipeline (fault-free; repairs construct their own degraded problems).
 func (b *Built) ScheduleProblem() schedule.Problem {
+	return b.ScheduleProblemAt(b.TauIn)
+}
+
+// ScheduleProblemAt packages the built inputs at an explicit invocation
+// period. This is the form a structure cache needs: one Built is keyed
+// by StructureKey — which deliberately excludes τin — so a cached
+// Built's own TauIn belongs to whichever request created it, and every
+// later request must supply its own period here rather than inherit it.
+func (b *Built) ScheduleProblemAt(tauIn float64) schedule.Problem {
 	return schedule.Problem{
 		Graph: b.Graph, Timing: b.Timing, Topology: b.Topology,
-		Assignment: b.Assignment, TauIn: b.TauIn,
+		Assignment: b.Assignment, TauIn: tauIn,
 	}
 }
 

@@ -19,17 +19,20 @@ func encodeOmega(om *schedule.Omega) (json.RawMessage, error) {
 }
 
 // NewScheduleResult converts a pipeline Result into the wire form.
+// tauIn is the effective invocation period the solve actually ran at —
+// passed explicitly because a structure-cached Built's own TauIn
+// belongs to whichever request built it, not necessarily this one.
 // The Ω artifact is embedded only when includeOmega is set and the
 // problem was feasible; wall-clock stats only when the request asked
 // for them (the deterministic counters are always present).
-func NewScheduleResult(b *Built, res *schedule.Result, includeOmega, includeStats bool) (*ScheduleResult, error) {
+func NewScheduleResult(b *Built, res *schedule.Result, tauIn float64, includeOmega, includeStats bool) (*ScheduleResult, error) {
 	out := &ScheduleResult{
 		SchemaVersion: SchemaVersion,
 		Feasible:      res.Feasible,
 		TauC:          b.Timing.TauC(),
 		TauM:          b.Timing.TauM(),
-		TauIn:         b.TauIn,
-		Load:          b.Timing.TauC() / b.TauIn,
+		TauIn:         tauIn,
+		Load:          b.Timing.TauC() / tauIn,
 		PeakLSD:       res.PeakLSD,
 		Peak:          res.Peak,
 		Latency:       res.Latency,

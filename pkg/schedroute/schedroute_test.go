@@ -140,7 +140,7 @@ func TestScheduleResultWire(t *testing.T) {
 	if !res.Feasible {
 		t.Fatalf("fixture infeasible at %v", res.FailStage)
 	}
-	out, err := NewScheduleResult(b, res, true, false)
+	out, err := NewScheduleResult(b, res, b.TauIn, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestScheduleResultWire(t *testing.T) {
 		t.Fatalf("embedded Ω period %g", om.TauIn)
 	}
 
-	lean, err := NewScheduleResult(b, res, false, false)
+	lean, err := NewScheduleResult(b, res, b.TauIn, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
