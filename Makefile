@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check race faults bench bench-parallel bench-json service-smoke clean
+.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare service-smoke trace-smoke clean
 
 all: check
 
@@ -34,6 +34,12 @@ faults:
 service-smoke:
 	sh scripts/service_smoke.sh
 
+# End-to-end smoke of the tracing layer: srsched -trace/-trace-out,
+# ?debug=trace through traceview, /v1/version, stage histograms, and
+# the isolated pprof listener (scripts/trace_smoke.sh).
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 # Full figure-regeneration benchmark suite (see bench_test.go).
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
@@ -44,6 +50,14 @@ bench:
 bench-json:
 	$(GO) test -run XXX -bench 'ScheduleComputeSixCube$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64' \
 		-benchmem -benchtime 2x . | $(GO) run ./cmd/benchjson > BENCH_schedule.json
+
+# Perf gate: rerun the bench-json suite and fail on a >10% ns/op
+# regression against the committed BENCH_schedule.json baseline. Each
+# benchmark runs three times and the fastest is compared (min-of-N
+# filters scheduler noise; a real regression slows every run).
+bench-compare:
+	$(GO) test -run XXX -bench 'ScheduleComputeSixCube$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64' \
+		-benchmem -benchtime 2x -count 3 . | $(GO) run ./cmd/benchjson | $(GO) run ./cmd/benchjson -compare BENCH_schedule.json
 
 # Serial-vs-parallel sweep comparison plus the conflict-matrix
 # allocs/op delta recorded in docs/results-latest.txt.

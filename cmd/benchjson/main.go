@@ -8,13 +8,22 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchmem . | benchjson > BENCH_schedule.json
+//	benchjson -compare BENCH_schedule.json NEW.json          # exit 1 on >10% ns/op regression
+//	benchjson -compare BENCH_schedule.json -threshold 0.05 NEW.json
+//
+// In compare mode both inputs are benchjson documents; every benchmark
+// present in both is checked on ns/op, and the tool fails if any
+// regresses past the threshold. Benchmarks present on only one side
+// are reported but never fail the run (the suite is allowed to grow).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +51,14 @@ type Report struct {
 }
 
 func main() {
+	baseline := flag.String("compare", "", "compare a baseline benchjson document against the current one (positional arg or stdin) instead of converting")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op regression in -compare mode")
+	flag.Parse()
+
+	if *baseline != "" {
+		os.Exit(compare(*baseline, flag.Arg(0), *threshold))
+	}
+
 	rep := Report{Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -101,4 +118,116 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, len(b.Metrics) > 0
+}
+
+// compare checks current ns/op against a baseline document and returns
+// the process exit status: 0 when no shared benchmark regressed past
+// the threshold, 1 otherwise.
+func compare(basePath, curPath string, threshold float64) int {
+	base, err := loadReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	cur, err := loadReport(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	baseNS := nsPerOp(base)
+	curNS := nsPerOp(cur)
+
+	names := make([]string, 0, len(curNS))
+	for name := range curNS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		now := curNS[name]
+		was, ok := baseNS[name]
+		if !ok {
+			fmt.Printf("NEW      %-50s %12.0f ns/op\n", name, now)
+			continue
+		}
+		delta := (now - was) / was
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-8s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, was, now, 100*delta)
+	}
+	for name := range baseNS {
+		if _, ok := curNS[name]; !ok {
+			fmt.Printf("GONE     %-50s\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% threshold\n", 100*threshold)
+		return 1
+	}
+	return 0
+}
+
+// loadReport reads a benchjson document from a file, or stdin when the
+// path is empty (so CI can pipe the fresh run straight in).
+func loadReport(path string) (*Report, error) {
+	var raw []byte
+	var err error
+	if path == "" {
+		raw, err = readAllStdin()
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", orStdin(path), err)
+	}
+	return &rep, nil
+}
+
+func orStdin(path string) string {
+	if path == "" {
+		return "stdin"
+	}
+	return path
+}
+
+func readAllStdin() ([]byte, error) {
+	var sb strings.Builder
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), sc.Err()
+}
+
+// nsPerOp indexes a report's ns/op metric by benchmark name (with the
+// -procs suffix folded back in when it isn't the default). Repeated
+// runs of the same benchmark (`go test -count N`) collapse to the
+// fastest: min-of-N is what makes a short-benchtime comparison stable
+// enough to gate on, since scheduling noise only ever slows a run down.
+func nsPerOp(rep *Report) map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		name := b.Name
+		if b.Procs != 1 {
+			name = fmt.Sprintf("%s-%d", b.Name, b.Procs)
+		}
+		if old, seen := out[name]; !seen || ns < old {
+			out[name] = ns
+		}
+	}
+	return out
 }

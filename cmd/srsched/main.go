@@ -8,6 +8,7 @@
 //	srsched -tfg dvb:4 -topo cube:6 -bw 64 -tauin 141
 //	srsched -tfg graph.json -topo torus:8,8 -bw 128 -tauin 75 -dump
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 141 -fail-link 0-1 -verify-packets 64
+//	srsched -tfg dvb:4 -topo cube:6 -tauin 141 -trace -trace-out trace.json
 //
 // With -fail-link u-v the computed schedule is repaired for the named
 // link fault through the degradation ladder (incremental reroute, full
@@ -29,6 +30,7 @@ import (
 	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
+	"schedroute/internal/trace"
 )
 
 func main() {
@@ -45,6 +47,8 @@ func main() {
 	best := flag.Int("best", 0, "search this many random placements (plus rr and greedy) in parallel and keep the best schedule")
 	procs := flag.Int("procs", 0, "worker goroutines for the -best candidate search (0 = GOMAXPROCS, 1 = serial)")
 	stats := flag.Bool("stats", false, "report pipeline attempts, AssignPaths evaluations and per-stage wall-clock times")
+	showTrace := flag.Bool("trace", false, "record the solve pipeline as a span tree and render it after the run")
+	traceOut := flag.String("trace-out", "", "write the recorded trace as Chrome trace_event JSON to this file (implies tracing)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -59,6 +63,13 @@ func main() {
 	opts := schedule.Options{
 		Seed: pf.Seed, LSDOnly: *lsdOnly, SyncMargin: *margin, Retries: *retries,
 		AllowSharedNodes: *shared, Procs: *procs, CollectStats: *stats,
+	}
+	// The root spans the whole invocation (solve, repair, candidate
+	// search); every pipeline stage records underneath it.
+	var root *trace.Span
+	if *showTrace || *traceOut != "" {
+		root = trace.Start("srsched")
+		opts.Trace = root
 	}
 	var res *schedule.Result
 	if *best > 0 {
@@ -100,6 +111,7 @@ func main() {
 	}
 	if !res.Feasible {
 		fmt.Printf("INFEASIBLE at stage: %s\n", res.FailStage)
+		emitTrace(root, *showTrace, *traceOut)
 		os.Exit(1)
 	}
 	fmt.Printf("FEASIBLE: %d intervals, %d slices, %d switching commands, latency %g µs (%.4f× critical path)\n",
@@ -179,6 +191,38 @@ func main() {
 	if *dump {
 		dumpOmega(res.Omega, top)
 	}
+	emitTrace(root, *showTrace, *traceOut)
+}
+
+// emitTrace renders and/or exports the recorded span tree. The root is
+// ended here, so unfinished subtrees (from an early exit) still show
+// with their time-so-far.
+func emitTrace(root *trace.Span, render bool, out string) {
+	if root == nil {
+		return
+	}
+	root.End()
+	tree := root.Tree()
+	if render {
+		fmt.Println("trace:")
+		if err := tree.Render(os.Stdout); err != nil {
+			cliutil.Fatal("srsched", err)
+		}
+	}
+	if out == "" {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	if err := trace.WriteChromeTrace(f, tree); err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	if err := f.Close(); err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	fmt.Printf("trace written to %s\n", out)
 }
 
 func normLatency(res *schedule.Result, g *tfg.Graph, tm *tfg.Timing) float64 {

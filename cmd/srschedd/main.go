@@ -6,7 +6,10 @@
 // Usage:
 //
 //	srschedd -listen :8080
+//	srschedd -listen :8080 -pprof-addr localhost:6060
+//	srschedd -version
 //	curl -s localhost:8080/v1/schedule -d '{"problem":{"tfg":"dvb:4","topology":"cube:6","tau_in":141}}'
+//	curl -s 'localhost:8080/v1/schedule?debug=trace' -d '...' | traceview -text
 //
 // SIGINT/SIGTERM begin a graceful drain: in-flight solves finish,
 // queued and new requests get 503, and the listener closes once the
@@ -20,12 +23,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"schedroute/internal/service"
+	"schedroute/pkg/schedroute"
 )
 
 func main() {
@@ -36,7 +41,19 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request solve deadline")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); never exposed on the serving port")
+	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+
+	if *version {
+		v := schedroute.Version()
+		fmt.Printf("srschedd %s (schema %d, %s)\n", v.ModuleVersion, v.SchemaVersion, v.GoVersion)
+		return
+	}
+	if *pprofAddr != "" && *pprofAddr == *listen {
+		fmt.Fprintln(os.Stderr, "srschedd: -pprof-addr must differ from -listen; the profiler is never served on the API port")
+		os.Exit(2)
+	}
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := service.New(service.Config{
@@ -52,6 +69,26 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Info("listening", "addr", *listen)
+
+	// The profiler gets its own listener and its own mux: registering
+	// pprof on the API mux (or on http.DefaultServeMux by side effect)
+	// would expose heap dumps to every client that can reach the API.
+	var ps *http.Server
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps = &http.Server{Addr: *pprofAddr, Handler: pm}
+		go func() {
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof listener", "err", err.Error())
+			}
+		}()
+		log.Info("pprof listening", "addr", *pprofAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -73,6 +110,9 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Error("listener shutdown", "err", err.Error())
 		os.Exit(1)
+	}
+	if ps != nil {
+		ps.Shutdown(ctx)
 	}
 	log.Info("stopped")
 }

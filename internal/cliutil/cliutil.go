@@ -139,7 +139,7 @@ func (f *ProblemFlags) FaultSpec() schedroute.FaultSpec {
 // timing, topology, placement, resolved τin) and, when fault flags were
 // registered and set, the fault set to repair for.
 func (f *ProblemFlags) ParseProblem() (*schedroute.Built, *topology.FaultSet, error) {
-	b, err := f.Spec().Build()
+	b, err := schedroute.NewProblem(f.Spec())
 	if err != nil {
 		return nil, nil, err
 	}

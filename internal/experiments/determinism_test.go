@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"schedroute/internal/schedule"
+	"schedroute/internal/trace"
 )
 
 // The parallel sweep engine must be invisible in the results: for any
@@ -65,6 +66,88 @@ func TestPerfSweepParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// Traced determinism: with tracing enabled, the sweep results must
+// still match the serial run exactly, and the span tree structure
+// (names in depth-first order) must be independent of the worker
+// count — spans from pool workers merge deterministically because the
+// per-point spans are pre-created serially. Timings and cache attrs
+// (which point builds the shared baseline) legitimately vary, so only
+// the structure is compared.
+func TestUtilizationSweepTracedParallelMatchesSerial(t *testing.T) {
+	for _, key := range determinismConfigs {
+		run := func(procs int) (*UtilizationSeries, []string) {
+			cfg := determinismConfig(t, key, procs)
+			root := trace.Start("test")
+			cfg.Trace = root
+			s, err := UtilizationSweep(context.Background(), cfg)
+			root.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s, root.Tree().Names()
+		}
+		serial, serialNames := run(1)
+		par, parNames := run(4)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("%s: traced parallel utilization sweep diverged from serial run", key)
+		}
+		if !reflect.DeepEqual(serialNames, parNames) {
+			t.Errorf("%s: traced span structure depends on worker count:\nserial: %v\nparallel: %v",
+				key, serialNames, parNames)
+		}
+		if n := len(serialNames); n < 1+NumLoadPoints*2 {
+			t.Errorf("%s: traced sweep recorded only %d spans", key, n)
+		}
+	}
+}
+
+func TestPerfSweepTracedParallelMatchesSerial(t *testing.T) {
+	key := determinismConfigs[0]
+	run := func(procs int) (*PerfSeries, []string) {
+		cfg := determinismConfig(t, key, procs)
+		root := trace.Start("test")
+		cfg.Trace = root
+		s, err := PerfSweep(context.Background(), cfg)
+		root.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, root.Tree().Names()
+	}
+	serial, serialNames := run(1)
+	par, parNames := run(4)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("%s: traced parallel perf sweep diverged from serial run", key)
+	}
+	if !reflect.DeepEqual(serialNames, parNames) {
+		t.Errorf("%s: traced span structure depends on worker count", key)
+	}
+}
+
+func TestSurvivabilitySweepTracedParallelMatchesSerial(t *testing.T) {
+	key := determinismConfigs[0]
+	run := func(procs int) (*SurvivabilitySeries, []string) {
+		cfg := determinismConfig(t, key, procs)
+		cfg.MaxFaults = 4
+		root := trace.Start("test")
+		cfg.Trace = root
+		s, err := SurvivabilitySweep(context.Background(), cfg)
+		root.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, root.Tree().Names()
+	}
+	serial, serialNames := run(1)
+	par, parNames := run(4)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("%s: traced parallel survivability sweep diverged from serial run", key)
+	}
+	if !reflect.DeepEqual(serialNames, parNames) {
+		t.Errorf("%s: traced span structure depends on worker count", key)
+	}
+}
+
 func TestComputeBestAllocationParallelMatchesSerial(t *testing.T) {
 	for _, key := range determinismConfigs {
 		cfg := determinismConfig(t, key, 0)
@@ -96,6 +179,21 @@ func TestComputeBestAllocationParallelMatchesSerial(t *testing.T) {
 		}
 		if !reflect.DeepEqual(serial.Result, par.Result) {
 			t.Errorf("%s: parallel search result diverged from serial run", key)
+		}
+		// Traced runs: the candidate spans are pre-created in index order,
+		// so the structure must not depend on the worker count either.
+		tracedNames := func(procs int) []string {
+			root := trace.Start("test")
+			_, err := schedule.ComputeBestAllocation(context.Background(), p,
+				schedule.Options{Seed: cfg.Seed, Procs: procs, Trace: root}, cands)
+			root.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return root.Tree().Names()
+		}
+		if !reflect.DeepEqual(tracedNames(1), tracedNames(4)) {
+			t.Errorf("%s: traced search span structure depends on worker count", key)
 		}
 	}
 }

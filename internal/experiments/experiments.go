@@ -22,11 +22,33 @@ import (
 	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
+	"schedroute/internal/trace"
 	"schedroute/internal/wormhole"
 )
 
 // NumLoadPoints is the paper's twelve input periods per sweep.
 const NumLoadPoints = 12
+
+// Span names the sweeps record under Config.Trace.
+const (
+	SpanUtilizationSweep   = "utilization_sweep"
+	SpanPerfSweep          = "perf_sweep"
+	SpanSurvivabilitySweep = "survivability_sweep"
+	SpanPoint              = "point"
+	SpanFault              = "fault"
+)
+
+// pointSpans pre-creates one child span per load point, serially in
+// index order, so a traced fan-out has the same structure no matter how
+// the workers interleave; each worker records only into its own span.
+func pointSpans(parent *trace.Span, pts []LoadPoint) []*trace.Span {
+	spans := make([]*trace.Span, len(pts))
+	for i := range pts {
+		spans[i] = parent.Start(SpanPoint,
+			trace.Int("index", i), trace.Float64("tau_in", pts[i].TauIn))
+	}
+	return spans
+}
 
 // LoadPoint is one x-axis position: input period τin and normalized
 // load τc/τin.
@@ -79,6 +101,12 @@ type Config struct {
 	// (0 = every link); the scenarios kept are the first in link order,
 	// so a capped sweep is a prefix of the full one.
 	MaxFaults int
+	// Trace, when non-nil, is the parent span the sweep records under:
+	// one "point" child per load point (pre-created serially in index
+	// order, so the traced structure is identical for every Procs value)
+	// with the per-point solves nested beneath. Series values carry no
+	// trace — they stay value-comparable across runs.
+	Trace *trace.Span
 }
 
 func (c *Config) withDefaults() Config {
@@ -171,12 +199,16 @@ func UtilizationSweep(ctx context.Context, c Config) (*UtilizationSeries, error)
 	solver := schedule.NewSolver(schedule.Problem{
 		Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
 	})
+	sweep := cfg.Trace.Start(SpanUtilizationSweep, trace.String("config", cfg.Name))
+	defer sweep.End()
+	spans := pointSpans(sweep, pts)
 	// The points are independent, so they run concurrently on cfg.Procs
 	// workers; each writes its ordered result slot and keeps the serial
 	// per-point seed, making the output identical to a serial run.
 	err = parallel.ForEach(ctx, len(pts), parallel.Workers(cfg.Procs), func(i int) error {
 		lp := pts[i]
-		res, err := solver.Solve(ctx, lp.TauIn, schedule.Options{Seed: cfg.Seed})
+		res, err := solver.Solve(ctx, lp.TauIn, schedule.Options{Seed: cfg.Seed, Trace: spans[i]})
+		spans[i].End()
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}
@@ -232,13 +264,18 @@ func PerfSweep(ctx context.Context, c Config) (*PerfSeries, error) {
 	solver := schedule.NewSolver(schedule.Problem{
 		Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
 	})
+	sweep := cfg.Trace.Start(SpanPerfSweep, trace.String("config", cfg.Name))
+	defer sweep.End()
+	spans := pointSpans(sweep, pts)
 	// Each load point runs its wormhole simulation and scheduled-routing
 	// pipeline independently on the worker pool; ordered result slots
 	// keep the series identical to a serial run.
 	err = parallel.ForEach(ctx, len(pts), parallel.Workers(cfg.Procs), func(i int) error {
 		lp := pts[i]
+		defer spans[i].End()
 		pt := PerfPoint{Load: lp.Load, TauIn: lp.TauIn}
 
+		wh := spans[i].Start("wormhole")
 		wres, err := wormhole.Simulate(wormhole.Config{
 			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
 			TauIn: lp.TauIn, Invocations: cfg.Invocations, Warmup: cfg.Warmup,
@@ -260,8 +297,9 @@ func PerfSweep(ctx context.Context, c Config) (*PerfSeries, error) {
 			}
 			pt.WROI = metrics.OutputInconsistent(lp.TauIn, ivs, 1e-6)
 		}
+		wh.End()
 
-		sres, err := solver.Solve(ctx, lp.TauIn, schedule.Options{Seed: cfg.Seed})
+		sres, err := solver.Solve(ctx, lp.TauIn, schedule.Options{Seed: cfg.Seed, Trace: spans[i]})
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, lp.Load, err)
 		}
@@ -269,6 +307,7 @@ func PerfSweep(ctx context.Context, c Config) (*PerfSeries, error) {
 		pt.SRStage = sres.FailStage
 		pt.SRPeak = sres.Peak
 		if sres.Feasible {
+			ex := spans[i].Start("execute")
 			exec, err := schedule.Execute(sres.Omega, g, tm, tm.TauC(), cfg.Invocations)
 			if err != nil {
 				return fmt.Errorf("experiments: %s load %.4f: SR execution: %w", cfg.Name, lp.Load, err)
@@ -282,6 +321,7 @@ func PerfSweep(ctx context.Context, c Config) (*PerfSeries, error) {
 			if err != nil {
 				return fmt.Errorf("experiments: %s load %.4f: SR latency: %w", cfg.Name, lp.Load, err)
 			}
+			ex.End()
 		}
 		points[i] = pt
 		return nil

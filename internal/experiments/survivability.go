@@ -10,6 +10,7 @@ import (
 	"schedroute/internal/faults"
 	"schedroute/internal/parallel"
 	"schedroute/internal/schedule"
+	"schedroute/internal/trace"
 )
 
 // SurvivabilityPoint summarizes, for one load point, how the schedule
@@ -92,15 +93,20 @@ func SurvivabilitySweep(ctx context.Context, c Config) (*SurvivabilitySeries, er
 			Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as, TauIn: tauIn,
 		}
 	}
+	sweep := cfg.Trace.Start(SpanSurvivabilitySweep, trace.String("config", cfg.Name))
+	defer sweep.End()
 
 	// Stage 1: fault-free base schedule per load point, all through one
 	// solver so the perfect-machine candidates and baseline build once.
 	solver := schedule.NewSolver(schedule.Problem{
 		Graph: g, Timing: tm, Topology: cfg.Topology, Assignment: as,
 	})
+	spans := pointSpans(sweep, pts)
 	base := make([]*schedule.Result, len(pts))
 	err = parallel.ForEach(ctx, len(pts), parallel.Workers(cfg.Procs), func(i int) error {
-		res, err := solver.Solve(ctx, pts[i].TauIn, opts)
+		po := opts
+		po.Trace = spans[i]
+		res, err := solver.Solve(ctx, pts[i].TauIn, po)
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f: %w", cfg.Name, pts[i].Load, err)
 		}
@@ -121,19 +127,28 @@ func SurvivabilitySweep(ctx context.Context, c Config) (*SurvivabilitySeries, er
 	// pair, each writing its ordered slot.
 	type job struct{ pi, si int }
 	var jobs []job
+	var jobSpans []*trace.Span
 	outcomes := make([][]faultOutcome, len(pts))
 	for pi := range pts {
 		if base[pi].Feasible {
 			outcomes[pi] = make([]faultOutcome, len(scenarios))
 			for si := range scenarios {
 				jobs = append(jobs, job{pi, si})
+				// Fault spans are pre-created here, serially in job order
+				// under their point span, for the same determinism reason
+				// as pointSpans.
+				jobSpans = append(jobSpans, spans[pi].Start(SpanFault,
+					trace.String("fault", scenarios[si].Name)))
 			}
 		}
 	}
 	err = parallel.ForEach(ctx, len(jobs), parallel.Workers(cfg.Procs), func(j int) error {
 		pi, si := jobs[j].pi, jobs[j].si
+		defer jobSpans[j].End()
 		fs := scenarios[si].ActiveAt(cfg.Topology, 1)
-		rep, err := schedule.Repair(ctx, problem(pts[pi].TauIn), opts, base[pi], fs)
+		ro := opts
+		ro.Trace = jobSpans[j]
+		rep, err := schedule.Repair(ctx, problem(pts[pi].TauIn), ro, base[pi], fs)
 		if err != nil {
 			return fmt.Errorf("experiments: %s load %.4f fault %s: %w",
 				cfg.Name, pts[pi].Load, scenarios[si].Name, err)
@@ -163,6 +178,9 @@ func SurvivabilitySweep(ctx context.Context, c Config) (*SurvivabilitySeries, er
 		outcomes[pi][si] = out
 		return nil
 	})
+	for _, ps := range spans {
+		ps.End()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"schedroute/internal/alloc"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
+	"schedroute/internal/trace"
 )
 
 // Problem bundles the inputs fixed before scheduled routing runs:
@@ -72,6 +73,13 @@ type Options struct {
 	// Off by default so Results stay value-comparable across runs (the
 	// deterministic counters are filled either way).
 	CollectStats bool
+	// Trace, when non-nil, is the parent span the solve records itself
+	// under: one child span per pipeline stage (see PipelineStages),
+	// carrying durations and small typed attributes. The finished solve
+	// subtree is also snapshotted onto Result.Trace. A nil Trace is the
+	// disabled tracer — every span site is a nil-receiver no-op, so the
+	// hot path pays ~nothing.
+	Trace *trace.Span
 }
 
 func (o *Options) withDefaults() Options {
@@ -86,6 +94,34 @@ func (o *Options) withDefaults() Options {
 		out.MaxInner = 60
 	}
 	return out
+}
+
+// Span names used by the tracer for the Fig. 3 pipeline and its
+// supporting computations. The five PipelineStages are the paper's
+// pipeline proper — time bounds (§4) → path assignment (§5.1, Fig. 4)
+// → message-interval allocation (§5.2) → interval scheduling (§5.3) →
+// Ω emission (§5.4) — and a traced feasible first-attempt solve names
+// each exactly once (see DESIGN §7).
+const (
+	SpanSolve         = "solve"
+	SpanTimeBounds    = "time_bounds"
+	SpanLSDBaseline   = "lsd_baseline"
+	SpanCandidates    = "candidate_search"
+	SpanAttempt       = "attempt"
+	SpanAssignPaths   = "assign_paths"
+	SpanSubsets       = "maximal_subsets"
+	SpanAllocation    = "interval_allocation"
+	SpanIntervalSched = "interval_scheduling"
+	SpanOmega         = "omega_emission"
+	SpanRepair        = "repair"
+	SpanRung          = "rung"
+	SpanAllocSearch   = "allocation_search"
+	SpanCandidate     = "candidate"
+)
+
+// PipelineStages lists the Fig. 3 stage span names in pipeline order.
+var PipelineStages = []string{
+	SpanTimeBounds, SpanAssignPaths, SpanAllocation, SpanIntervalSched, SpanOmega,
 }
 
 // Stage identifies where the pipeline stopped.
@@ -148,6 +184,12 @@ type Result struct {
 
 	// Stats instruments the Solve call that produced this result.
 	Stats SolveStats
+
+	// Trace is the solve's span tree, set only when Options.Trace was
+	// non-nil. Wall-clock spans are inherently run-dependent, so traced
+	// Results are not value-comparable; the determinism suite compares
+	// Trace structurally (span names) and DeepEquals the rest.
+	Trace *trace.Tree
 }
 
 // applySyncMargin shrinks every non-local window by the Section 7

@@ -8,6 +8,7 @@ import (
 	"schedroute/internal/errkind"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
+	"schedroute/internal/trace"
 )
 
 // RepairOutcome names the rung of the repair ladder that produced (or
@@ -169,6 +170,11 @@ func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topolog
 		TauOut:      p.TauIn,
 		WindowScale: 1,
 	}
+	rsp := opt.Trace.Start(SpanRepair, trace.String("faults", rep.Faults))
+	defer func() {
+		rsp.SetAttrs(trace.String("outcome", rep.Outcome.String()), trace.Int("rerouted", rep.Rerouted))
+		rsp.End()
+	}()
 	if fs.Empty() {
 		rep.Outcome = RepairUnaffected
 		rep.Result = base
@@ -202,7 +208,10 @@ func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topolog
 	}
 
 	// Rung 1: incremental repair with unaffected reservations pinned.
+	r1 := rsp.Start(SpanRung, trace.String("rung", "incremental"), trace.Int("affected", len(rep.Affected)))
 	res, incPA, incPeak, err := repairIncremental(p, opt, base, fs, rep.Affected)
+	r1.SetAttrs(trace.Bool("feasible", err == nil && res != nil))
+	r1.End()
 	if err != nil {
 		var nre *topology.NoRouteError
 		if errors.As(err, &nre) {
@@ -229,17 +238,23 @@ func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topolog
 	full.Faults = fs
 	solver := NewSolver(full)
 	lastStage := StageOK
-	attempt := func(tauIn, window float64) (*Result, error) {
+	attempt := func(rung string, tauIn, window float64) (*Result, error) {
+		rg := rsp.Start(SpanRung, trace.String("rung", rung),
+			trace.Float64("tau_out", tauIn), trace.Float64("window", window))
+		defer rg.End()
 		fo := opt
 		fo.Window = window
+		fo.Trace = rg
 		r, err := solver.Solve(ctx, tauIn, fo)
 		if err != nil {
 			return nil, err
 		}
 		if !r.Feasible {
 			lastStage = r.FailStage
+			rg.SetAttrs(trace.Bool("feasible", false), trace.String("fail_stage", r.FailStage.String()))
 			return nil, nil
 		}
+		rg.SetAttrs(trace.Bool("feasible", true))
 		return r, nil
 	}
 	countRerouted := func(r *Result) int {
@@ -275,7 +290,10 @@ func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topolog
 	// message; this rescues the cases where the pinned base allocation
 	// boxed a no-slack detour in. Then the from-scratch pipeline.
 	if incPA != nil {
+		warm := rsp.Start(SpanRung, trace.String("rung", "recompute-warm"))
 		r, err := repairReschedule(p, opt, base, fs, incPA, incPeak)
+		warm.SetAttrs(trace.Bool("feasible", err == nil && r != nil))
+		warm.End()
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +301,7 @@ func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topolog
 			return finish(r, RepairRecomputed, p.TauIn, 1)
 		}
 	}
-	r, err := attempt(p.TauIn, baseWindow)
+	r, err := attempt("recompute", p.TauIn, baseWindow)
 	if err != nil {
 		var nre *topology.NoRouteError
 		if errors.As(err, &nre) {
@@ -306,7 +324,7 @@ func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topolog
 		if w > p.TauIn {
 			w = p.TauIn
 		}
-		r, err := attempt(p.TauIn, w)
+		r, err := attempt("degraded-window", p.TauIn, w)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +338,7 @@ func Repair(ctx context.Context, p Problem, o Options, base *Result, fs *topolog
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r, err := attempt(p.TauIn*f, baseWindow)
+		r, err := attempt("degraded-rate", p.TauIn*f, baseWindow)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"schedroute/internal/alloc"
 	"schedroute/internal/parallel"
+	"schedroute/internal/trace"
 )
 
 // SearchResult reports which allocation candidate won the coupled
@@ -35,20 +36,32 @@ func ComputeBestAllocation(ctx context.Context, p Problem, opt Options, candidat
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("schedule: no candidate allocations")
 	}
+	// Per-candidate spans are created serially in index order before the
+	// fan-out and each worker records only into its own, so the traced
+	// structure is independent of goroutine interleaving.
+	search := opt.Trace.Start(SpanAllocSearch, trace.Int("candidates", len(candidates)))
+	spans := make([]*trace.Span, len(candidates))
+	for i := range spans {
+		spans[i] = search.Start(SpanCandidate, trace.Int("index", i))
+	}
 	results, err := parallel.Map(ctx, len(candidates), parallel.Workers(opt.Procs),
 		func(i int) (*Result, error) {
 			prob := p
 			prob.Assignment = candidates[i]
+			co := opt
+			co.Trace = spans[i]
 			// Each placement gets its own solver (candidates and the LSD
 			// baseline are placement-specific); a caller probing several
 			// periods per placement would share them through it.
-			res, err := NewSolver(prob).Solve(ctx, prob.TauIn, opt)
+			res, err := NewSolver(prob).Solve(ctx, prob.TauIn, co)
+			spans[i].End()
 			if err != nil {
 				return nil, fmt.Errorf("schedule: candidate %d: %w", i, err)
 			}
 			return res, nil
 		})
 	if err != nil {
+		search.End()
 		return nil, err
 	}
 	var best *SearchResult
@@ -57,6 +70,8 @@ func ComputeBestAllocation(ctx context.Context, p Problem, opt Options, candidat
 			best = &SearchResult{Result: res, Chosen: i}
 		}
 	}
+	search.SetAttrs(trace.Int("chosen", best.Chosen))
+	search.End()
 	return best, nil
 }
 

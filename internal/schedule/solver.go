@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"schedroute/internal/tfg"
+	"schedroute/internal/trace"
 )
 
 // SolveStats instruments one Solve call. The counters (Attempts,
@@ -175,30 +176,34 @@ func (s *Solver) taskStarts(window, tauIn float64, shared bool) ([]float64, erro
 // once: FaultRouteAssignment reads the windows only through the Local
 // flags, which depend on the placement alone, so the baseline is the
 // same for every period and window.
-func (s *Solver) lsdBaseline(ws []Window) (*PathAssignment, error) {
+// The boolean reports whether this call performed the build (false on a
+// cache hit), feeding the trace span's "cached" attribute.
+func (s *Solver) lsdBaseline(ws []Window) (*PathAssignment, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	built := false
 	if !s.lsdDone {
 		s.cacheStats.BaselineBuilds++
 		s.lsd, s.lsdErr = FaultRouteAssignment(s.p.Graph, s.p.Topology, s.p.Assignment, ws, s.p.Faults)
 		s.lsdDone = true
+		built = true
 	}
-	return s.lsd, s.lsdErr
+	return s.lsd, built, s.lsdErr
 }
 
 // candidates returns the per-message equivalent-path sets, built once
 // per MaxPaths for the same reason as lsdBaseline. The Candidates are
 // immutable and shared across Solve calls.
-func (s *Solver) candidates(ws []Window, maxPaths int) (*Candidates, error) {
+func (s *Solver) candidates(ws []Window, maxPaths int) (*Candidates, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.cands[maxPaths]; ok {
-		return e.c, e.err
+		return e.c, false, e.err
 	}
 	s.cacheStats.CandidateBuilds++
 	c, err := BuildCandidatesFault(s.p.Graph, s.p.Topology, s.p.Assignment, ws, maxPaths, s.p.Faults)
 	s.cands[maxPaths] = &candsEntry{c: c, err: err}
-	return c, err
+	return c, true, err
 }
 
 // Solve runs the pipeline for one invocation period. The output is
@@ -251,6 +256,10 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 		t = time.Now()
 	}
 
+	sp := opt.Trace.Start(SpanSolve, trace.Float64("tau_in", tauIn), trace.Int64("seed", opt.Seed))
+	defer sp.End()
+
+	tb := sp.Start(SpanTimeBounds)
 	starts, err := s.taskStarts(window, tauIn, opt.AllowSharedNodes)
 	if err != nil {
 		return nil, err
@@ -266,6 +275,8 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 	}
 	set := BuildIntervals(ws, tauIn)
 	act := BuildActivity(ws, set)
+	tb.SetAttrs(trace.Int("windows", len(ws)))
+	tb.End()
 	t = stamp(&stats.WindowsTime, t)
 
 	res := &Result{
@@ -275,7 +286,8 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 		Latency:   p.Graph.LatencyOf(p.Timing, starts),
 	}
 
-	lsd, err := s.lsdBaseline(ws)
+	ls := sp.Start(SpanLSDBaseline)
+	lsd, lsdBuilt, err := s.lsdBaseline(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -285,13 +297,19 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 	lsd = lsd.Clone()
 	lsdU := ComputeUtilization(p.Topology, lsd, ws, act)
 	res.PeakLSD = lsdU.Peak
+	ls.SetAttrs(trace.Bool("cached", !lsdBuilt), trace.Float64("peak", lsdU.Peak))
+	ls.End()
 
 	var cands *Candidates
 	if !opt.LSDOnly {
-		cands, err = s.candidates(ws, opt.MaxPaths)
+		cs := sp.Start(SpanCandidates, trace.Int("max_paths", opt.MaxPaths))
+		var candsBuilt bool
+		cands, candsBuilt, err = s.candidates(ws, opt.MaxPaths)
 		if err != nil {
 			return nil, err
 		}
+		cs.SetAttrs(trace.Bool("cached", !candsBuilt))
+		cs.End()
 	}
 
 	// The Fig. 3 pipeline, with feedback: on a downstream rejection the
@@ -302,6 +320,8 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 			return nil, err
 		}
 		stats.Attempts = attempt + 1
+		asp := sp.Start(SpanAttempt, trace.Int("attempt", attempt))
+		ap := asp.Start(SpanAssignPaths)
 		pa, peak := lsd, lsdU.Peak
 		if !opt.LSDOnly {
 			ar := AssignPaths(lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner)
@@ -311,7 +331,10 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 				// AssignPaths starts from LSD, so it can never be worse.
 				pa, peak = lsd, lsdU.Peak
 			}
+			ap.SetAttrs(trace.Int("iterations", ar.Iterations))
 		}
+		ap.SetAttrs(trace.Float64("peak", peak))
+		ap.End()
 		t = stamp(&stats.AssignTime, t)
 		if attempt == 0 || peak < res.Peak {
 			res.Assignment = pa
@@ -324,7 +347,10 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 		if peak > 1+timeEps {
 			stage = StageUtilization
 		} else {
+			ms := asp.Start(SpanSubsets)
 			subsets := MaximalSubsets(pa, ws, act)
+			ms.End()
+			al := asp.Start(SpanAllocation)
 			allocation, err = AllocateIntervals(subsets, pa, ws, act)
 			var allocFail *ErrAllocationInfeasible
 			if errors.As(err, &allocFail) {
@@ -332,9 +358,12 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 			} else if err != nil {
 				return nil, err
 			}
+			al.SetAttrs(trace.Bool("feasible", stage == StageOK))
+			al.End()
 		}
 		t = stamp(&stats.AllocateTime, t)
 		if stage == StageOK {
+			is := asp.Start(SpanIntervalSched)
 			slices, err = ScheduleIntervals(allocation, pa, act, opt.Engine, 2*opt.SyncMargin)
 			var schedFail *ErrIntervalInfeasible
 			if errors.As(err, &schedFail) {
@@ -342,15 +371,21 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 			} else if err != nil {
 				return nil, err
 			}
+			is.SetAttrs(trace.Bool("feasible", stage == StageOK), trace.Int("slices", len(slices)))
+			is.End()
 		}
 		t = stamp(&stats.ScheduleTime, t)
 
 		if stage != StageOK {
 			res.FailStage = stage
+			asp.SetAttrs(trace.String("fail_stage", stage.String()))
+			asp.End()
 			if attempt < opt.Retries && !opt.LSDOnly {
 				continue
 			}
 			res.Stats = stats
+			sp.End()
+			res.Trace = sp.Tree()
 			return res, nil
 		}
 
@@ -358,16 +393,22 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 		res.Peak = peak
 		res.Allocation = allocation
 		res.Slices = slices
-		om := BuildOmega(slices, pa, ws, p.Topology.Nodes(), tauIn, res.Latency)
-		om.Starts = starts
-		if err := om.Validate(p.Topology); err != nil {
+		om := asp.Start(SpanOmega)
+		omega := BuildOmega(slices, pa, ws, p.Topology.Nodes(), tauIn, res.Latency)
+		omega.Starts = starts
+		if err := omega.Validate(p.Topology); err != nil {
 			return nil, fmt.Errorf("schedule: internal: emitted schedule failed validation: %w", err)
 		}
+		om.SetAttrs(trace.Int("commands", omega.NumCommands()))
+		om.End()
+		asp.End()
 		stamp(&stats.OmegaTime, t)
-		res.Omega = om
+		res.Omega = omega
 		res.Feasible = true
 		res.FailStage = StageOK
 		res.Stats = stats
+		sp.End()
+		res.Trace = sp.Tree()
 		return res, nil
 	}
 }

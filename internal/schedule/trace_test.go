@@ -1,0 +1,154 @@
+package schedule
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"schedroute/internal/topology"
+	"schedroute/internal/trace"
+)
+
+// A traced feasible first-attempt solve must name every DESIGN Fig. 3
+// pipeline stage exactly once — the golden contract for everything that
+// consumes trace output (srsched -trace, cmd/traceview, ?debug=trace).
+func TestTracedSolveNamesEveryPipelineStageOnce(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
+	root := trace.Start("test")
+	res, err := Compute(p, Options{Seed: 1, Trace: root})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("fixture must be feasible, failed at %v", res.FailStage)
+	}
+	if res.Trace == nil {
+		t.Fatal("traced solve returned no Result.Trace")
+	}
+	if res.Trace.Name != SpanSolve {
+		t.Fatalf("Result.Trace root is %q, want %q", res.Trace.Name, SpanSolve)
+	}
+	for _, stage := range PipelineStages {
+		if n := res.Trace.Count(stage); n != 1 {
+			t.Errorf("stage %q appears %d times, want exactly 1\nspans: %v", stage, n, res.Trace.Names())
+		}
+	}
+	// Supporting spans of a fresh, non-LSD solve.
+	for _, name := range []string{SpanLSDBaseline, SpanCandidates, SpanAttempt, SpanSubsets} {
+		if n := res.Trace.Count(name); n != 1 {
+			t.Errorf("span %q appears %d times, want 1", name, n)
+		}
+	}
+	// The solve also lands as a subtree of the caller's root.
+	if got := root.Tree().Count(SpanSolve); got != 1 {
+		t.Errorf("parent span holds %d solve subtrees, want 1", got)
+	}
+}
+
+// Tracing must not perturb the solve: a traced Result equals the
+// untraced Result once the Trace field is cleared.
+func TestTracedSolveMatchesUntraced(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
+	plain, err := Compute(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := trace.Start("test")
+	traced, err := Compute(p, Options{Seed: 1, Trace: root})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced solve grew a Trace")
+	}
+	traced.Trace = nil
+	if !reflect.DeepEqual(plain, traced) {
+		t.Error("tracing changed the solve result")
+	}
+}
+
+// An infeasible traced solve still snapshots its tree, with the attempt
+// span carrying the failing stage.
+func TestTracedInfeasibleSolveRecordsFailStage(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, 50) // load 1.0: utilization rejects
+	root := trace.Start("test")
+	res, err := Compute(p, Options{Seed: 1, Trace: root})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("fixture must be infeasible")
+	}
+	if res.Trace == nil {
+		t.Fatal("infeasible traced solve returned no Result.Trace")
+	}
+	if res.Trace.Count(SpanAttempt) == 0 {
+		t.Error("no attempt span recorded")
+	}
+	if res.Trace.Count(SpanOmega) != 0 {
+		t.Error("infeasible solve must not reach omega emission")
+	}
+}
+
+// A traced repair emits one repair span with one rung span per ladder
+// rung tried, and the nested full-recompute solves hang off their rung.
+func TestTracedRepairEmitsRungSpans(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
+	base, err := Compute(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Feasible {
+		t.Fatal("base must be feasible")
+	}
+	fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
+	// Fail the first link some scheduled message actually crosses so the
+	// repair has real work to do.
+	var failed topology.LinkID
+	found := false
+	for i := range base.Windows {
+		if base.Windows[i].Local || len(base.Assignment.Links[i]) == 0 {
+			continue
+		}
+		failed = base.Assignment.Links[i][0]
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no routed message in base schedule")
+	}
+	fs.FailLink(failed)
+
+	root := trace.Start("test")
+	o := Options{Seed: 1, Trace: root}
+	rep, err := Repair(context.Background(), p, o, base, fs)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := root.Tree()
+	if tr.Count(SpanRepair) != 1 {
+		t.Fatalf("want 1 repair span, spans: %v", tr.Names())
+	}
+	if tr.Count(SpanRung) == 0 {
+		t.Error("repair recorded no rung spans")
+	}
+	if rep.Outcome == RepairInfeasible {
+		t.Fatalf("single-link fault on a 6-cube must be survivable, got %v", rep.Outcome)
+	}
+	// Untraced repair on the same inputs must match once traces are
+	// stripped from the results.
+	plain, err := Repair(context.Background(), p, Options{Seed: 1}, base, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result != nil {
+		rep.Result.Trace = nil
+	}
+	if !reflect.DeepEqual(plain, rep) {
+		t.Error("tracing changed the repair outcome")
+	}
+}

@@ -46,15 +46,19 @@ func newSolverCache(capacity int) *solverCache {
 // getOrCreate returns the entry for key, creating (and possibly
 // evicting) under the lock but building outside it, so a slow build
 // never serializes unrelated keys. The hit/miss counters record whether
-// the caller found an existing entry. Every caller — hit or miss —
-// funnels through the entry's once.Do, so a hit on an entry still
-// mid-build blocks until the build finishes instead of observing a
-// half-initialized entry (nil built/solver with nil err).
-func (c *solverCache) getOrCreate(key string, build func() (*schedroute.Built, error)) *solverEntry {
+// the caller found an existing entry; the returned hit flag reports the
+// same per-call, feeding the request trace's cache_hit attribute. Every
+// caller — hit or miss — funnels through the entry's once.Do, so a hit
+// on an entry still mid-build blocks until the build finishes instead
+// of observing a half-initialized entry (nil built/solver with nil
+// err).
+func (c *solverCache) getOrCreate(key string, build func() (*schedroute.Built, error)) (*solverEntry, bool) {
 	c.mu.Lock()
 	var e *solverEntry
+	hit := false
 	if el, ok := c.ent[key]; ok {
 		c.hits++
+		hit = true
 		c.ll.MoveToFront(el)
 		e = el.Value.(*solverEntry)
 	} else {
@@ -79,7 +83,7 @@ func (c *solverCache) getOrCreate(key string, build func() (*schedroute.Built, e
 		e.built = b
 		e.solver = schedule.NewSolver(b.ScheduleProblem())
 	})
-	return e
+	return e, hit
 }
 
 // evict drops a failed entry so a corrected retry of the same key

@@ -23,18 +23,56 @@ type Metrics struct {
 	latCount map[string]int64
 	// stage times accumulated from solver stats across all solve runs.
 	stageNS map[string]int64
+	// stageHist is the per-stage latency distribution over individual
+	// solves (the totals above only show averages; the histogram shows
+	// whether a slow stage is uniformly slow or has a long tail).
+	stageHist map[string]*histogram
 
 	solveRuns int64 // solver executions (post-coalescing)
 	coalesced int64 // requests served by joining an in-flight solve
 	queued    atomic.Int64
 }
 
+// stageBuckets are the per-stage latency histogram upper bounds in
+// seconds: decade buckets from 10µs (a warm cached stage) to 1s (a
+// pathological solve), plus the implicit +Inf.
+var stageBuckets = [...]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// histogram is a fixed-bucket Prometheus-style histogram: counts are
+// cumulative per upper bound, exactly as the text exposition expects.
+type histogram struct {
+	buckets [len(stageBuckets)]int64
+	count   int64
+	sum     time.Duration
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.count++
+	h.sum += d
+	s := d.Seconds()
+	for i, ub := range stageBuckets {
+		if s <= ub {
+			h.buckets[i]++
+		}
+	}
+}
+
+func (m *Metrics) observeStage(stage string, d time.Duration) {
+	h := m.stageHist[stage]
+	if h == nil {
+		h = &histogram{}
+		m.stageHist[stage] = h
+	}
+	h.observe(d)
+}
+
 func newMetrics() *Metrics {
 	return &Metrics{
-		requests: map[string]map[int]int64{},
-		latSum:   map[string]time.Duration{},
-		latCount: map[string]int64{},
-		stageNS:  map[string]int64{},
+		requests:  map[string]map[int]int64{},
+		latSum:    map[string]time.Duration{},
+		latCount:  map[string]int64{},
+		stageNS:   map[string]int64{},
+		stageHist: map[string]*histogram{},
 	}
 }
 
@@ -60,6 +98,11 @@ func (m *Metrics) observeSolve(st schedule.SolveStats) {
 	m.stageNS["allocate"] += int64(st.AllocateTime)
 	m.stageNS["schedule"] += int64(st.ScheduleTime)
 	m.stageNS["omega"] += int64(st.OmegaTime)
+	m.observeStage("windows", st.WindowsTime)
+	m.observeStage("assign", st.AssignTime)
+	m.observeStage("allocate", st.AllocateTime)
+	m.observeStage("schedule", st.ScheduleTime)
+	m.observeStage("omega", st.OmegaTime)
 }
 
 func (m *Metrics) observeCoalesced() {
@@ -150,5 +193,22 @@ func (m *Metrics) WriteText(w io.Writer, cache *solverCache) {
 	sort.Strings(stages)
 	for _, st := range stages {
 		fmt.Fprintf(w, "srschedd_solve_stage_seconds_total{stage=%q} %g\n", st, time.Duration(m.stageNS[st]).Seconds())
+	}
+
+	fmt.Fprintln(w, "# HELP srschedd_solve_stage_duration_seconds Per-solve pipeline stage latency.")
+	fmt.Fprintln(w, "# TYPE srschedd_solve_stage_duration_seconds histogram")
+	hstages := make([]string, 0, len(m.stageHist))
+	for st := range m.stageHist {
+		hstages = append(hstages, st)
+	}
+	sort.Strings(hstages)
+	for _, st := range hstages {
+		h := m.stageHist[st]
+		for i, ub := range stageBuckets {
+			fmt.Fprintf(w, "srschedd_solve_stage_duration_seconds_bucket{stage=%q,le=\"%g\"} %d\n", st, ub, h.buckets[i])
+		}
+		fmt.Fprintf(w, "srschedd_solve_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st, h.count)
+		fmt.Fprintf(w, "srschedd_solve_stage_duration_seconds_sum{stage=%q} %g\n", st, h.sum.Seconds())
+		fmt.Fprintf(w, "srschedd_solve_stage_duration_seconds_count{stage=%q} %d\n", st, h.count)
 	}
 }

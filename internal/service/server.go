@@ -11,8 +11,14 @@
 //	POST /v1/schedule  schedroute.ScheduleRequest → schedroute.ScheduleResult
 //	POST /v1/repair    schedroute.RepairRequest   → schedroute.RepairResult (422 on infeasible repair)
 //	POST /v1/sweep     schedroute.SweepRequest    → schedroute.SweepResult
+//	GET  /v1/version   schedroute.VersionInfo (schema + module + Go versions)
 //	GET  /healthz      liveness + drain state
-//	GET  /metrics      Prometheus text metrics
+//	GET  /metrics      Prometheus text metrics (incl. per-stage latency histograms)
+//
+// /v1/schedule and /v1/repair accept ?debug=trace, which attaches the
+// request's span tree (queue wait, structure-cache lookup, and the full
+// solve/repair pipeline) to the response as a schema-versioned "trace"
+// field without changing any other byte of the body.
 //
 // Error bodies are schedroute.ErrorResponse; the HTTP status comes from
 // the errkind classification table, the same table the CLIs derive
@@ -33,7 +39,16 @@ import (
 	"schedroute/internal/metrics"
 	"schedroute/internal/parallel"
 	"schedroute/internal/schedule"
+	"schedroute/internal/trace"
 	"schedroute/pkg/schedroute"
+)
+
+// Span names the service records under a ?debug=trace request root.
+const (
+	SpanRequest   = "request"
+	SpanQueueWait = "queue_wait"
+	SpanStructure = "structure"
+	SpanFlight    = "flight"
 )
 
 // Config tunes a Server. Zero values select the defaults.
@@ -204,6 +219,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/schedule", s.instrument("schedule", s.handleSchedule))
 	mux.Handle("/v1/repair", s.instrument("repair", s.handleRepair))
 	mux.Handle("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -256,6 +272,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	default:
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	}
+}
+
+// handleVersion reports which schema this daemon speaks, so clients can
+// probe compatibility without sending a bad request.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, schedroute.Version())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -321,29 +348,38 @@ type solved struct {
 }
 
 // flightKey identifies a coalescible solve: structure key + period +
-// the solve options with CollectStats cleared (the service always
+// the solve options with the stats flags cleared (the service always
 // collects stage times internally; whether the client wants them on the
-// wire doesn't change the computation — see TestSolverStats).
-func flightKey(p schedroute.Problem, tauIn float64, o schedroute.Options) string {
+// wire doesn't change the computation — see TestSolverStats). Traced
+// and untraced requests never share a flight: only a traced flight
+// runs with a recording span, so coalescing across the boundary would
+// either lose a requested trace or record one nobody asked for.
+func flightKey(p schedroute.Problem, tauIn float64, o schedroute.Options, traced bool) string {
 	o.CollectStats = false
+	o.Stats = false
 	ob, _ := json.Marshal(o)
-	return fmt.Sprintf("%s|tauin=%g|opts=%s", p.StructureKey(), tauIn, ob)
+	return fmt.Sprintf("%s|tauin=%g|traced=%t|opts=%s", p.StructureKey(), tauIn, traced, ob)
 }
 
 // solve resolves the problem through the solver cache and runs one
 // pipeline solve, coalescing identical concurrent requests. The
 // returned Result is shared between coalesced callers and must be
-// treated as read-only.
-func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.Options) (*solved, error) {
+// treated as read-only. reqSpan, when non-nil, receives a structure
+// span (with the solver-cache outcome) and adopts the flight's solve
+// tree; coalesced joiners adopt the same tree the leader recorded.
+func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.Options, reqSpan *trace.Span) (*solved, error) {
 	opts, err := o.ToSchedule()
 	if err != nil {
 		return nil, err
 	}
 	opts.CollectStats = true
 
-	ent := s.cache.getOrCreate(p.StructureKey(), func() (*schedroute.Built, error) {
-		return p.Build()
+	cs := reqSpan.Start(SpanStructure)
+	ent, hit := s.cache.getOrCreate(p.StructureKey(), func() (*schedroute.Built, error) {
+		return schedroute.NewProblem(p)
 	})
+	cs.SetAttrs(trace.Bool("cache_hit", hit))
+	cs.End()
 	if ent.err != nil {
 		return nil, ent.err
 	}
@@ -352,7 +388,8 @@ func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.O
 		tauIn = ent.built.Timing.TauC()
 	}
 
-	key := flightKey(p, tauIn, o)
+	traced := reqSpan.Enabled()
+	key := flightKey(p, tauIn, o, traced)
 	v, err, shared := s.flights.Do(ctx, key, func(fctx context.Context) (any, error) {
 		// fctx is detached from every individual request, so the solve
 		// gets its own deadline: joiners must not lose a shared result
@@ -362,7 +399,15 @@ func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.O
 		if s.beforeSolve != nil {
 			s.beforeSolve(key)
 		}
-		res, err := ent.solver.Solve(fctx, tauIn, opts)
+		fopts := opts
+		if traced {
+			// The leader records into a throwaway root owned by the
+			// flight, not into any single request's span: the solve tree
+			// lands on res.Trace, shared read-only by every joiner and
+			// adopted under each request's own root below.
+			fopts.Trace = trace.Start(SpanFlight)
+		}
+		res, err := ent.solver.Solve(fctx, tauIn, fopts)
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +420,22 @@ func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.O
 	if err != nil {
 		return nil, err
 	}
-	return v.(*solved), nil
+	sv := v.(*solved)
+	if traced {
+		reqSpan.SetAttrs(trace.Bool("coalesced", shared))
+		reqSpan.Adopt(sv.res.Trace)
+	}
+	return sv, nil
+}
+
+// requestSpan starts the per-request trace root when the client asked
+// for ?debug=trace; every other request gets the nil no-op tracer, so
+// the untraced path stays exactly the pre-trace code path.
+func requestSpan(r *http.Request, endpoint string) *trace.Span {
+	if r.URL.Query().Get("debug") != "trace" {
+		return nil
+	}
+	return trace.Start(SpanRequest, trace.String("endpoint", endpoint))
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -384,21 +444,26 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, nil)
 		return
 	}
+	root := requestSpan(r, "schedule")
+	qs := root.Start(SpanQueueWait)
 	if err := s.admit(r.Context()); err != nil {
 		s.writeError(w, err, nil)
 		return
 	}
+	qs.End()
 	defer s.release()
-	sv, err := s.solve(r.Context(), req.Problem, req.Options)
+	sv, err := s.solve(r.Context(), req.Problem, req.Options, root)
 	if err != nil {
 		s.writeError(w, err, nil)
 		return
 	}
-	out, err := schedroute.NewScheduleResult(sv.built, sv.res, sv.tauIn, req.IncludeOmega, req.Options.CollectStats)
+	out, err := schedroute.NewScheduleResult(sv.built, sv.res, sv.tauIn, req.IncludeOmega, req.Options.WantStats())
 	if err != nil {
 		s.writeError(w, err, nil)
 		return
 	}
+	root.End()
+	out.Trace = schedroute.NewTraceEnvelope(root.Tree())
 	writeJSON(w, out)
 }
 
@@ -412,12 +477,15 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errkind.Mark(errors.New("repair: fault must name at least one failed link or node"), errkind.ErrBadInput), nil)
 		return
 	}
+	root := requestSpan(r, "repair")
+	qs := root.Start(SpanQueueWait)
 	if err := s.admit(r.Context()); err != nil {
 		s.writeError(w, err, nil)
 		return
 	}
+	qs.End()
 	defer s.release()
-	sv, err := s.solve(r.Context(), req.Problem, req.Options)
+	sv, err := s.solve(r.Context(), req.Problem, req.Options, root)
 	if err != nil {
 		s.writeError(w, err, nil)
 		return
@@ -438,6 +506,9 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, nil)
 		return
 	}
+	// The repair ladder records directly under this request's root: a
+	// repair is never coalesced, so there is no shared flight to adopt.
+	opts.Trace = root
 	rep, err := schedule.Repair(r.Context(), sv.built.ScheduleProblemAt(sv.tauIn), opts, sv.res, fs)
 	if err != nil {
 		s.writeError(w, err, nil)
@@ -459,6 +530,8 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, nil)
 		return
 	}
+	root.End()
+	out.Trace = schedroute.NewTraceEnvelope(root.Tree())
 	writeJSON(w, out)
 }
 
@@ -502,8 +575,8 @@ func (s *Server) sweep(ctx context.Context, req schedroute.SweepRequest) (*sched
 		invocations = 8
 	}
 
-	ent := s.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
-		return req.Problem.Build()
+	ent, _ := s.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
+		return schedroute.NewProblem(req.Problem)
 	})
 	if ent.err != nil {
 		return nil, ent.err

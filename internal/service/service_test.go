@@ -100,7 +100,7 @@ func TestScheduleCoalescesIdenticalRequests(t *testing.T) {
 	if co := srv.metrics.Coalesced(); co != n-1 {
 		t.Errorf("coalesced %d requests, want %d", co, n-1)
 	}
-	ent := srv.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
+	ent, _ := srv.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
 		t.Fatal("structure should already be cached")
 		return nil, nil
 	})
@@ -126,7 +126,7 @@ func TestSolverCacheWarmRepeat(t *testing.T) {
 	if misses != 1 || hits < 1 || size != 1 {
 		t.Errorf("cache hits=%d misses=%d size=%d, want 1 miss, ≥1 hit, 1 entry", hits, misses, size)
 	}
-	ent := srv.cache.getOrCreate(testProblem(0).StructureKey(), func() (*schedroute.Built, error) {
+	ent, _ := srv.cache.getOrCreate(testProblem(0).StructureKey(), func() (*schedroute.Built, error) {
 		t.Fatal("structure should already be cached")
 		return nil, nil
 	})
@@ -517,7 +517,7 @@ func TestCacheHitWaitsForBuild(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			entries[i] = c.getOrCreate(key, build)
+			entries[i], _ = c.getOrCreate(key, build)
 		}(i)
 	}
 	// Every caller has registered (hit or miss) and is parked on the

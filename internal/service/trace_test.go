@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"schedroute/internal/schedule"
+	"schedroute/pkg/schedroute"
+)
+
+// stripTrace removes the trailing "trace" field from a traced response
+// body. The Trace field is declared last on ScheduleResult and
+// RepairResult exactly so that a traced body is the untraced body plus
+// one trailing field — which is what makes this textual strip sound.
+func stripTrace(t *testing.T, body []byte) []byte {
+	t.Helper()
+	i := bytes.LastIndex(body, []byte(`,"trace":`))
+	if i < 0 {
+		t.Fatalf("response has no trace field: %.200s", body)
+	}
+	out := append([]byte{}, body[:i]...)
+	return append(out, '}', '\n')
+}
+
+// TestScheduleDebugTraceGolden is the ?debug=trace acceptance test: on
+// the eight standard configurations, the traced response must be
+// byte-identical to the untraced one once the trace field is stripped,
+// and the attached tree must contain the service stages and each SR
+// pipeline stage exactly once.
+func TestScheduleDebugTraceGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	topos := []string{"cube:6", "ghc:4,4,4", "torus:8,8", "torus:4,4,4"}
+	bands := []float64{64, 128}
+	for _, topo := range topos {
+		for _, bw := range bands {
+			req := schedroute.ScheduleRequest{
+				Problem:      schedroute.Problem{TFG: "dvb:4", Topology: topo, Bandwidth: bw, TauIn: 150},
+				IncludeOmega: true,
+			}
+			code, plain := postJSON(t, ts, "/v1/schedule", req)
+			if code != http.StatusOK {
+				t.Fatalf("%s B=%g: status %d: %s", topo, bw, code, plain)
+			}
+			code, traced := postJSON(t, ts, "/v1/schedule?debug=trace", req)
+			if code != http.StatusOK {
+				t.Fatalf("%s B=%g traced: status %d: %s", topo, bw, code, traced)
+			}
+			if got := stripTrace(t, traced); !bytes.Equal(got, plain) {
+				t.Errorf("%s B=%g: traced response differs beyond the trace field\ntraced:  %.200s\nplain:   %.200s",
+					topo, bw, got, plain)
+			}
+
+			var out schedroute.ScheduleResult
+			if err := json.Unmarshal(traced, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Trace == nil || out.Trace.Root == nil {
+				t.Fatalf("%s B=%g: traced response has no trace envelope", topo, bw)
+			}
+			if out.Trace.SchemaVersion != schedroute.SchemaVersion {
+				t.Errorf("trace schema_version %d, want %d", out.Trace.SchemaVersion, schedroute.SchemaVersion)
+			}
+			root := out.Trace.Root
+			if root.Name != SpanRequest {
+				t.Errorf("trace root %q, want %q", root.Name, SpanRequest)
+			}
+			for _, name := range []string{SpanQueueWait, SpanStructure, schedule.SpanSolve} {
+				if n := root.Count(name); n != 1 {
+					t.Errorf("%s B=%g: span %q appears %d times, want 1", topo, bw, name, n)
+				}
+			}
+			// An infeasible solve (a valid 200 result) stops at its
+			// fail stage, so only feasible runs must show the full SR
+			// pipeline. Multi-attempt solves repeat retried stages.
+			if !out.Feasible {
+				continue
+			}
+			for _, stage := range schedule.PipelineStages {
+				if n := root.Count(stage); n < 1 {
+					t.Errorf("%s B=%g: pipeline stage %q missing from trace", topo, bw, stage)
+				}
+			}
+		}
+	}
+}
+
+func TestRepairDebugTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := schedroute.RepairRequest{
+		Problem: testProblem(150),
+		Fault:   schedroute.FaultSpec{Links: []string{"0-1"}},
+	}
+	code, plain := postJSON(t, ts, "/v1/repair", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, plain)
+	}
+	code, traced := postJSON(t, ts, "/v1/repair?debug=trace", req)
+	if code != http.StatusOK {
+		t.Fatalf("traced: status %d: %s", code, traced)
+	}
+	if got := stripTrace(t, traced); !bytes.Equal(got, plain) {
+		t.Errorf("traced repair differs beyond the trace field\ntraced: %.200s\nplain:  %.200s", got, plain)
+	}
+	var out schedroute.RepairResult
+	if err := json.Unmarshal(traced, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || out.Trace.Root == nil {
+		t.Fatal("traced repair has no trace envelope")
+	}
+	root := out.Trace.Root
+	if root.Name != SpanRequest {
+		t.Errorf("trace root %q, want %q", root.Name, SpanRequest)
+	}
+	// The request tree holds the base solve (adopted from the flight)
+	// and the repair ladder recorded directly under the root.
+	if n := root.Count(schedule.SpanSolve); n < 1 {
+		t.Errorf("repair trace has no solve span")
+	}
+	if n := root.Count(schedule.SpanRepair); n != 1 {
+		t.Errorf("span %q appears %d times, want 1", schedule.SpanRepair, n)
+	}
+}
+
+// TestScheduleUntracedHasNoTraceField pins the compatibility half of
+// the redesign: without ?debug=trace the response must not contain a
+// trace field at all, so PR 4 clients see the exact same bytes.
+func TestScheduleUntracedHasNoTraceField(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150)})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if bytes.Contains(body, []byte(`"trace"`)) {
+		t.Fatalf("untraced response leaks a trace field: %.200s", body)
+	}
+}
+
+func TestScheduleStatsOverTheWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// The raw JSON wire name is "stats": send it textually so the test
+	// breaks if the field tag drifts.
+	body := `{"problem":{"tfg":"dvb:4","topology":"cube:6","bandwidth":64,"tau_in":150},"options":{"stats":true}}`
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out schedroute.ScheduleResult
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats == nil || out.Stats.Attempts < 1 {
+		t.Fatalf("stats=true response missing solve counters: %+v", out.Stats)
+	}
+	total := out.Stats.WindowsNS + out.Stats.AssignNS + out.Stats.AllocateNS + out.Stats.ScheduleNS + out.Stats.OmegaNS
+	if total <= 0 {
+		t.Errorf("stats=true response has zero stage times: %+v", out.Stats)
+	}
+
+	// Without the flag, the wall-clock fields stay zero (counters remain,
+	// matching the PR 4 wire format).
+	code, raw2 := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150)})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw2)
+	}
+	var plain schedroute.ScheduleResult
+	if err := json.Unmarshal(raw2, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats == nil {
+		t.Fatal("default response lost its stats counters")
+	}
+	if z := plain.Stats.WindowsNS + plain.Stats.AssignNS + plain.Stats.AllocateNS + plain.Stats.ScheduleNS + plain.Stats.OmegaNS; z != 0 {
+		t.Errorf("default response carries stage times without stats=true: %+v", plain.Stats)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v schedroute.VersionInfo
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.SchemaVersion != schedroute.SchemaVersion {
+		t.Errorf("schema_version %d, want %d", v.SchemaVersion, schedroute.SchemaVersion)
+	}
+	if v.ModuleVersion == "" || v.GoVersion == "" {
+		t.Errorf("incomplete version info: %+v", v)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/version", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/version: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetricsStageHistograms(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150)})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`srschedd_solve_stage_duration_seconds_bucket{stage="assign",le="+Inf"} 1`,
+		`srschedd_solve_stage_duration_seconds_count{stage="omega"} 1`,
+		`srschedd_solve_stage_duration_seconds_sum{stage="schedule"}`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) event; see
+// the Trace Event Format document. Timestamps and durations are in
+// microseconds, the format's native unit.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the tree as Chrome trace_event JSON, ready
+// for chrome://tracing or Perfetto. Parent-relative offsets are
+// accumulated into absolute timestamps; every span lands on one
+// pid/tid track so the nesting renders as a flame graph.
+func WriteChromeTrace(w io.Writer, t *Tree) error {
+	var events []chromeEvent
+	var emit func(abs int64, n *Tree)
+	emit = func(abs int64, n *Tree) {
+		start := abs + n.StartNS
+		events = append(events, chromeEvent{
+			Name: n.Name,
+			Ph:   "X",
+			TS:   float64(start) / 1e3,
+			Dur:  float64(n.DurNS) / 1e3,
+			PID:  1,
+			TID:  1,
+			Args: sortedArgs(n.Attrs),
+		})
+		for _, c := range n.Children {
+			emit(start, c)
+		}
+	}
+	if t != nil {
+		emit(0, t)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

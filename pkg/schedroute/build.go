@@ -60,11 +60,19 @@ func (p Problem) Validate() error {
 	return nil
 }
 
-// Build resolves the wire problem into graph, timing, topology and
-// placement, and the effective invocation period. Every rejection is an
+// Build resolves the wire problem into its internal solver inputs.
+// It is a thin wrapper over NewProblem, kept for callers that read
+// better flowing off the spec value.
+func (p Problem) Build() (*Built, error) { return NewProblem(p) }
+
+// NewProblem is the canonical problem constructor: every path from a
+// wire spec to solver inputs — service request handling, the CLIs'
+// cliutil.ParseProblem, sweep endpoints — funnels through here, so a
+// spec resolves to the same graph, timing, topology, placement and
+// effective invocation period no matter who asks. Every rejection is an
 // errkind.ErrBadInput (or ErrUnknownVersion) so callers derive the exit
 // or HTTP status from the shared table.
-func (p Problem) Build() (*Built, error) {
+func NewProblem(p Problem) (*Built, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 
 	"schedroute/internal/errkind"
 	"schedroute/internal/schedule"
+	"schedroute/internal/trace"
 )
 
 // SchemaVersion is the wire schema this build speaks. Requests may
@@ -81,14 +82,23 @@ type Options struct {
 	// CollectStats asks for wall-clock per-stage timings in the result
 	// stats (the deterministic counters are reported either way).
 	CollectStats bool `json:"collect_stats,omitempty"`
+	// Stats is the wire-level alias for CollectStats: `"stats": true`
+	// asks the service to return attempts, AssignPaths evaluations, and
+	// per-stage times in the response. Either field enables the timings;
+	// Stats reads better in hand-written requests.
+	Stats bool `json:"stats,omitempty"`
 }
+
+// WantStats reports whether the request asked for wall-clock stage
+// timings on the wire, under either spelling.
+func (o Options) WantStats() bool { return o.Stats || o.CollectStats }
 
 // ToSchedule resolves the wire options into schedule.Options.
 func (o Options) ToSchedule() (schedule.Options, error) {
 	out := schedule.Options{
 		Seed: o.Seed, MaxPaths: o.MaxPaths, MaxOuter: o.MaxOuter, MaxInner: o.MaxInner,
 		Window: o.Window, LSDOnly: o.LSDOnly, SyncMargin: o.SyncMargin, Retries: o.Retries,
-		AllowSharedNodes: o.AllowSharedNodes, CollectStats: o.CollectStats,
+		AllowSharedNodes: o.AllowSharedNodes, CollectStats: o.WantStats(),
 	}
 	switch o.Engine {
 	case "", "auto":
@@ -173,6 +183,29 @@ type ScheduleResult struct {
 	// request set IncludeOmega and the problem was feasible).
 	Omega json.RawMessage `json:"omega,omitempty"`
 	Stats *SolveStats     `json:"stats,omitempty"`
+
+	// Trace is the solve's span tree, attached only under ?debug=trace.
+	// Deliberately the LAST field: encoding/json emits struct fields in
+	// declaration order, so stripping the trailing trace object from a
+	// traced response yields exactly the untraced bytes (pinned by
+	// TestScheduleDebugTraceGolden).
+	Trace *TraceEnvelope `json:"trace,omitempty"`
+}
+
+// TraceEnvelope is the schema-versioned wire wrapper around a span
+// tree, attached to responses only when the request asked for
+// ?debug=trace.
+type TraceEnvelope struct {
+	SchemaVersion int         `json:"schema_version"`
+	Root          *trace.Tree `json:"root"`
+}
+
+// NewTraceEnvelope wraps a snapshot for the wire; nil in, nil out.
+func NewTraceEnvelope(t *trace.Tree) *TraceEnvelope {
+	if t == nil {
+		return nil
+	}
+	return &TraceEnvelope{SchemaVersion: SchemaVersion, Root: t}
 }
 
 // RepairRequest asks for a schedule and its repair under a fault: the
@@ -207,6 +240,10 @@ type RepairResult struct {
 	// Omega is the repaired Ω (present only when the request set
 	// IncludeOmega and the repair succeeded).
 	Omega json.RawMessage `json:"omega,omitempty"`
+	// Trace is the repair ladder's span tree, attached only under
+	// ?debug=trace; last field for the same strip-and-compare reason as
+	// ScheduleResult.Trace.
+	Trace *TraceEnvelope `json:"trace,omitempty"`
 }
 
 // SweepRequest asks for a τin sweep: the solver runs once per load

@@ -1,0 +1,31 @@
+package schedroute
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// VersionInfo reports what a build speaks: the wire schema version, the
+// module version baked in at build time, and the Go runtime. Served on
+// GET /v1/version and printed by `srschedd -version`, so clients can
+// tell which schema a daemon speaks without sending a bad request.
+type VersionInfo struct {
+	SchemaVersion int    `json:"schema_version"`
+	ModuleVersion string `json:"module_version"`
+	GoVersion     string `json:"go_version"`
+}
+
+// Version describes the running build. The module version comes from
+// the embedded build info and is "(devel)" for non-module builds (go
+// test binaries, plain `go build` in the work tree).
+func Version() VersionInfo {
+	v := VersionInfo{
+		SchemaVersion: SchemaVersion,
+		ModuleVersion: "(devel)",
+		GoVersion:     runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		v.ModuleVersion = bi.Main.Version
+	}
+	return v
+}
