@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"schedroute/internal/alloc"
+	"schedroute/internal/cliutil"
 	"schedroute/internal/cpsim"
 	"schedroute/internal/dvb"
 	"schedroute/internal/experiments"
@@ -526,6 +527,62 @@ func BenchmarkScheduleComputeSixCube(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// layeredLargeProblem is the shared large-scale fixture: the ~960-task
+// layered DAG from cliutil.LayeredLargeTFG placed round-robin on the
+// given topology at τin=200µs. Loading through cliutil.LoadGraph keeps
+// the benchmark on the same spec-resolution path the CLIs use.
+func layeredLargeProblem(b *testing.B, topoSpec string, bw float64) schedule.Problem {
+	b.Helper()
+	g, err := cliutil.LoadGraph(cliutil.LayeredLargeTFG)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := cliutil.ParseTopology(topoSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := tfg.NewUniformTiming(g, 50, bw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := alloc.RoundRobin(g, top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return schedule.Problem{Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: 200}
+}
+
+// benchScheduleLarge runs the full pipeline on a large-scale problem
+// and fails unless the solve is feasible (a valid Ω with finite peak).
+func benchScheduleLarge(b *testing.B, topoSpec string, bw float64) {
+	p := layeredLargeProblem(b, topoSpec, bw)
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		res, err := schedule.Compute(p, schedule.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Omega == nil {
+			b.Fatal("no Ω emitted")
+		}
+		peak = res.Peak
+	}
+	b.ReportMetric(peak, "peakU")
+}
+
+// BenchmarkScheduleTenCube solves the large layered workload on a
+// 10-cube (1024 nodes) at 512 B/µs — the first of the two scale
+// targets the sparse-LP/arena work opens up.
+func BenchmarkScheduleTenCube(b *testing.B) {
+	benchScheduleLarge(b, cliutil.TenCubeTopo, cliutil.TenCubeBW)
+}
+
+// BenchmarkScheduleTorus32 solves the same workload on a 32x32 torus
+// at 2048 B/µs.
+func BenchmarkScheduleTorus32(b *testing.B) {
+	benchScheduleLarge(b, cliutil.Torus32Topo, cliutil.Torus32BW)
 }
 
 func BenchmarkShortestPathEnumeration(b *testing.B) {

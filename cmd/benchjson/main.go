@@ -8,13 +8,16 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchmem . | benchjson > BENCH_schedule.json
-//	benchjson -compare BENCH_schedule.json NEW.json          # exit 1 on >10% ns/op regression
+//	benchjson -compare BENCH_schedule.json NEW.json          # exit 1 on >10% regression
 //	benchjson -compare BENCH_schedule.json -threshold 0.05 NEW.json
 //
 // In compare mode both inputs are benchjson documents; every benchmark
-// present in both is checked on ns/op, and the tool fails if any
-// regresses past the threshold. Benchmarks present on only one side
-// are reported but never fail the run (the suite is allowed to grow).
+// present in both is checked on ns/op, allocs/op and B/op, and the tool
+// fails if any metric regresses past the threshold — an allocation
+// regression is a perf bug here even when wall time hides it, since the
+// arena work keeps warm solves near-zero-alloc. Benchmarks (or metrics)
+// present on only one side are reported but never fail the run (the
+// suite is allowed to grow).
 package main
 
 import (
@@ -120,9 +123,13 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, len(b.Metrics) > 0
 }
 
-// compare checks current ns/op against a baseline document and returns
-// the process exit status: 0 when no shared benchmark regressed past
-// the threshold, 1 otherwise.
+// gatedUnits are the metrics the perf gate checks; every other metric
+// (the shape metrics like bestU) is informational only.
+var gatedUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// compare checks the current gated metrics against a baseline document
+// and returns the process exit status: 0 when no shared benchmark
+// regressed past the threshold on any gated metric, 1 otherwise.
 func compare(basePath, curPath string, threshold float64) int {
 	base, err := loadReport(basePath)
 	if err != nil {
@@ -134,38 +141,50 @@ func compare(basePath, curPath string, threshold float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
 	}
-	baseNS := nsPerOp(base)
-	curNS := nsPerOp(cur)
+	baseM := metricTable(base)
+	curM := metricTable(cur)
 
-	names := make([]string, 0, len(curNS))
-	for name := range curNS {
+	names := make([]string, 0, len(curM))
+	for name := range curM {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	failed := false
+	var regressed []string
 	for _, name := range names {
-		now := curNS[name]
-		was, ok := baseNS[name]
-		if !ok {
-			fmt.Printf("NEW      %-50s %12.0f ns/op\n", name, now)
+		nowAll := curM[name]
+		wasAll, known := baseM[name]
+		if !known {
+			fmt.Printf("NEW      %-50s %12.0f ns/op\n", name, nowAll["ns/op"])
 			continue
 		}
-		delta := (now - was) / was
-		status := "ok"
-		if delta > threshold {
-			status = "REGRESSED"
-			failed = true
+		for _, unit := range gatedUnits {
+			now, haveNow := nowAll[unit]
+			was, haveWas := wasAll[unit]
+			if !haveNow || !haveWas {
+				continue // metric new or gone: informational, never a failure
+			}
+			var delta float64
+			if was > 0 {
+				delta = (now - was) / was
+			} else if now > 0 {
+				delta = 1 // from zero to nonzero is always a regression
+			}
+			status := "ok"
+			if delta > threshold {
+				status = "REGRESSED"
+				regressed = append(regressed, unit)
+			}
+			fmt.Printf("%-8s %-50s %12.0f -> %12.0f %s (%+.1f%%)\n", status, name, was, now, unit, 100*delta)
 		}
-		fmt.Printf("%-8s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, was, now, 100*delta)
 	}
-	for name := range baseNS {
-		if _, ok := curNS[name]; !ok {
+	for name := range baseM {
+		if _, ok := curM[name]; !ok {
 			fmt.Printf("GONE     %-50s\n", name)
 		}
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% threshold\n", 100*threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s regression beyond %.0f%% threshold\n", strings.Join(regressed, ", "), 100*threshold)
 		return 1
 	}
 	return 0
@@ -209,24 +228,32 @@ func readAllStdin() ([]byte, error) {
 	return []byte(sb.String()), sc.Err()
 }
 
-// nsPerOp indexes a report's ns/op metric by benchmark name (with the
-// -procs suffix folded back in when it isn't the default). Repeated
+// metricTable indexes a report's gated metrics by benchmark name (with
+// the -procs suffix folded back in when it isn't the default). Repeated
 // runs of the same benchmark (`go test -count N`) collapse to the
-// fastest: min-of-N is what makes a short-benchtime comparison stable
-// enough to gate on, since scheduling noise only ever slows a run down.
-func nsPerOp(rep *Report) map[string]float64 {
-	out := map[string]float64{}
+// smallest value per metric: min-of-N is what makes a short-benchtime
+// comparison stable enough to gate on, since scheduling noise only ever
+// slows a run down (and allocs/op is deterministic, so min is exact).
+func metricTable(rep *Report) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
 	for _, b := range rep.Benchmarks {
-		ns, ok := b.Metrics["ns/op"]
-		if !ok {
-			continue
-		}
 		name := b.Name
 		if b.Procs != 1 {
 			name = fmt.Sprintf("%s-%d", b.Name, b.Procs)
 		}
-		if old, seen := out[name]; !seen || ns < old {
-			out[name] = ns
+		for _, unit := range gatedUnits {
+			v, ok := b.Metrics[unit]
+			if !ok {
+				continue
+			}
+			m := out[name]
+			if m == nil {
+				m = map[string]float64{}
+				out[name] = m
+			}
+			if old, seen := m[unit]; !seen || v < old {
+				m[unit] = v
+			}
 		}
 	}
 	return out

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, bytes, allocs float64) Benchmark {
+	return Benchmark{Name: name, Procs: 1, Iterations: 1, Metrics: map[string]float64{
+		"ns/op": ns, "B/op": bytes, "allocs/op": allocs,
+	}}
+}
+
+// The gate must fail on an allocs/op or B/op regression even when
+// ns/op improved — wall time can hide an allocation regression on a
+// fast machine, but the arena contract is near-zero-alloc warm solves.
+func TestCompareGatesAllocRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkX", 1000, 100, 10),
+	}})
+
+	cases := []struct {
+		name string
+		cur  Benchmark
+		want int
+	}{
+		{"all-better", bench("BenchmarkX", 900, 90, 9), 0},
+		{"within-threshold", bench("BenchmarkX", 1050, 105, 10), 0},
+		{"ns-regressed", bench("BenchmarkX", 1200, 100, 10), 1},
+		{"bytes-regressed", bench("BenchmarkX", 900, 150, 10), 1},
+		{"allocs-regressed", bench("BenchmarkX", 900, 100, 14), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := writeReport(t, dir, tc.name+".json", Report{Benchmarks: []Benchmark{tc.cur}})
+			if got := compare(base, cur, 0.10); got != tc.want {
+				t.Fatalf("compare = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// New benchmarks, vanished benchmarks, and metrics missing on one side
+// (e.g. a baseline recorded before -benchmem) never fail the gate.
+func TestCompareTolerantOfSuiteGrowth(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkOld", 1000, 100, 10),
+		{Name: "BenchmarkNoMem", Procs: 1, Iterations: 1, Metrics: map[string]float64{"ns/op": 500}},
+	}})
+	cur := writeReport(t, dir, "cur.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkNew", 5000, 999, 99),
+		bench("BenchmarkNoMem", 510, 7777, 88), // B/op & allocs/op are new: informational
+	}})
+	if got := compare(base, cur, 0.10); got != 0 {
+		t.Fatalf("compare = %d, want 0", got)
+	}
+}
+
+// Repeated -count runs collapse to the per-metric minimum before the
+// comparison, so one noisy run cannot fail the gate.
+func TestCompareMinOfN(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkX", 1000, 100, 10),
+	}})
+	cur := writeReport(t, dir, "cur.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkX", 2500, 100, 10), // noisy outlier
+		bench("BenchmarkX", 990, 100, 10),
+	}})
+	if got := compare(base, cur, 0.10); got != 0 {
+		t.Fatalf("compare = %d, want 0", got)
+	}
+}
+
+func TestParseLineKeepsBenchmemMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkScheduleComputeSixCube-8   	    2907	    398273 ns/op	   57344 B/op	     349 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkScheduleComputeSixCube" || b.Procs != 8 {
+		t.Fatalf("parsed %q procs %d", b.Name, b.Procs)
+	}
+	for unit, want := range map[string]float64{"ns/op": 398273, "B/op": 57344, "allocs/op": 349} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("%s = %g, want %g", unit, got, want)
+		}
+	}
+}

@@ -19,11 +19,11 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "dvb", "graph kind: dvb, chain, fan, diamond, fft, stencil, random")
+	kind := flag.String("kind", "dvb", "graph kind: dvb, chain, fan, diamond, fft, stencil, random (alias: layered)")
 	n := flag.Int("n", 4, "size parameter (models, chain length, fan width)")
 	ops := flag.Int64("ops", 1925, "operations per task (chain/fan/diamond)")
 	bytes := flag.Int64("bytes", 1536, "bytes per message (chain/fan/diamond)")
-	layers := flag.String("layers", "2,4,4,2", "random graph layer widths")
+	layers := flag.String("layers", "2,4,4,2", "random graph layer widths; 64*14 repeats a width 14 times")
 	seed := flag.Int64("seed", 1, "random graph seed")
 	density := flag.Float64("density", 0.3, "random graph extra-edge probability")
 	flag.Parse()
@@ -43,14 +43,26 @@ func main() {
 		g, err = tfg.FFT(*n, *ops, *bytes)
 	case "stencil":
 		g, err = tfg.Stencil(*n, *ops, *bytes, *bytes/4)
-	case "random":
+	case "random", "layered":
 		var widths []int
 		for _, part := range strings.Split(*layers, ",") {
-			v, perr := strconv.Atoi(strings.TrimSpace(part))
+			part = strings.TrimSpace(part)
+			w, rep := part, 1
+			if ws, rs, ok := strings.Cut(part, "*"); ok {
+				w = strings.TrimSpace(ws)
+				r, perr := strconv.Atoi(strings.TrimSpace(rs))
+				if perr != nil || r < 1 {
+					fatal(fmt.Errorf("bad layer repeat %q", part))
+				}
+				rep = r
+			}
+			v, perr := strconv.Atoi(w)
 			if perr != nil {
 				fatal(perr)
 			}
-			widths = append(widths, v)
+			for i := 0; i < rep; i++ {
+				widths = append(widths, v)
+			}
 		}
 		g, err = tfg.RandomLayered(*seed, widths, 400, 1925, 192, 3200, *density)
 	default:

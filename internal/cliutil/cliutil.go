@@ -67,11 +67,27 @@ func ParseAllocator(name string, g *tfg.Graph, top *topology.Topology, seed int6
 }
 
 // LoadGraph reads a TFG: either a built-in spec ("dvb:4", "chain:8",
-// "fan:6", "fft:3", "stencil:4") or a path to a JSON file produced by
-// tfggen.
+// "fan:6", "fft:3", "stencil:4", "layered:seed,widths...,density") or a
+// path to a JSON file produced by tfggen.
 func LoadGraph(spec string) (*tfg.Graph, error) {
 	return schedroute.LoadGraph(spec)
 }
+
+// Large-scale problem presets: the workloads that size the 10-cube and
+// 32x32-torus feasibility benchmarks. The layered graph is ~960 tasks /
+// ~2.6k messages; the bandwidths are chosen so τin=200µs is feasible on
+// the matching topology (see BenchmarkScheduleTenCube and
+// BenchmarkScheduleTorus32).
+const (
+	// LayeredLargeTFG is the shared large layered task-flow graph spec.
+	LayeredLargeTFG = "layered:7,32,64*14,32,0.03"
+	// TenCubePreset pairs LayeredLargeTFG with a 10-cube at 512 B/µs.
+	TenCubeTopo = "cube:10"
+	TenCubeBW   = 512
+	// Torus32 pairs LayeredLargeTFG with a 32x32 torus at 2048 B/µs.
+	Torus32Topo = "torus:32,32"
+	Torus32BW   = 2048
+)
 
 // ProblemFlags is the flag set every problem-driven tool shares. Use
 // AddProblemFlags (and AddFaultFlags for tools that repair) during flag
@@ -95,7 +111,7 @@ type ProblemFlags struct {
 // tool has always used.
 func AddProblemFlags(fs *flag.FlagSet) *ProblemFlags {
 	f := &ProblemFlags{FailNode: -1}
-	fs.StringVar(&f.TFG, "tfg", "dvb:4", "TFG: dvb:N, chain:N, fan:N, fft:N, stencil:N or a JSON file")
+	fs.StringVar(&f.TFG, "tfg", "dvb:4", "TFG: dvb:N, chain:N, fan:N, fft:N, stencil:N, layered:seed,widths...,density or a JSON file")
 	fs.StringVar(&f.Topo, "topo", "cube:6", "topology: cube:D, ghc:..., torus:..., mesh:...")
 	fs.Float64Var(&f.BW, "bw", 64, "link bandwidth in bytes/µs")
 	fs.Float64Var(&f.TauIn, "tauin", 0, "invocation period in µs (0 = τc, maximum load)")

@@ -1,5 +1,5 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs in the form
+// Package lp implements a two-phase primal simplex solver for linear
+// programs in the form
 //
 //	minimize    c·x
 //	subject to  a_i·x (<=|=|>=) b_i   for each constraint i
@@ -9,13 +9,21 @@
 // message-interval allocation (a pure feasibility system) and the
 // Section 5.3 interval-scheduling program (minimize the summed durations
 // of link-feasible sets). Bland's rule is used throughout, so the solver
-// cannot cycle; problems in this repository are small (at most a few
-// hundred variables), so a dense tableau is appropriate.
+// cannot cycle.
+//
+// Constraint rows are stored sparsely and Solve runs a sparse revised
+// tableau (see sparse.go) that performs exactly the floating-point
+// operations of the reference dense tableau on the nonzero entries — the
+// pivot sequence and every produced value match SolveDense bit for bit —
+// while skipping the structurally-zero work that dominates the
+// interval-membership systems this repository generates. SolveDense
+// retains the original dense implementation as a cross-check oracle.
 package lp
 
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Op is a constraint comparison operator.
@@ -59,17 +67,23 @@ func (s Status) String() string {
 const eps = 1e-9
 
 // Problem is a linear program under construction. The zero objective
-// turns Solve into a pure feasibility check.
+// turns Solve into a pure feasibility check. Rows live in append-only
+// arenas so a Problem can be pooled: Reset rewinds it for a new system
+// without releasing any backing storage.
 type Problem struct {
 	nvars int
 	c     []float64
-	rows  []row
-}
 
-type row struct {
-	a  []float64
-	op Op
-	b  float64
+	// One constraint per entry of ops/bs; row r's nonzeros are
+	// ridx[offs[r]:offs[r+1]] (strictly ascending) with coefficients at
+	// the same positions of rval.
+	ops  []Op
+	bs   []float64
+	offs []int32
+	ridx []int32
+	rval []float64
+
+	w sparseWork // Solve scratch, reused across calls
 }
 
 // Solution is the result of Solve.
@@ -82,7 +96,33 @@ type Solution struct {
 // NewProblem creates a problem with nvars decision variables, all
 // implicitly bounded below by zero, with a zero objective.
 func NewProblem(nvars int) *Problem {
-	return &Problem{nvars: nvars, c: make([]float64, nvars)}
+	p := &Problem{}
+	p.Reset(nvars)
+	return p
+}
+
+// Reset rewinds the problem to an empty system over nvars variables,
+// keeping all backing storage — the pooling path of the schedule
+// solver, which builds one small LP per maximal subset per Solve.
+func (p *Problem) Reset(nvars int) {
+	p.nvars = nvars
+	if cap(p.c) < nvars {
+		p.c = make([]float64, nvars)
+	} else {
+		p.c = p.c[:nvars]
+		for i := range p.c {
+			p.c[i] = 0
+		}
+	}
+	p.ops = p.ops[:0]
+	p.bs = p.bs[:0]
+	p.ridx = p.ridx[:0]
+	p.rval = p.rval[:0]
+	if cap(p.offs) < 1 {
+		p.offs = make([]int32, 1, 16)
+	}
+	p.offs = p.offs[:1]
+	p.offs[0] = 0
 }
 
 // NumVars returns the number of decision variables.
@@ -93,72 +133,131 @@ func (p *Problem) SetCost(j int, v float64) {
 	p.c[j] = v
 }
 
+// AddRow adds a constraint from parallel index/value slices; idx must be
+// strictly ascending and in range. The slices are copied, so callers may
+// reuse their buffers. Zero coefficients are dropped. This is the
+// allocation-free fast path the schedule package uses.
+func (p *Problem) AddRow(idx []int32, val []float64, op Op, b float64) error {
+	if len(idx) != len(val) {
+		return fmt.Errorf("lp: row has %d indices but %d values", len(idx), len(val))
+	}
+	prev := int32(-1)
+	for t, j := range idx {
+		if j < 0 || int(j) >= p.nvars {
+			return fmt.Errorf("lp: coefficient index %d out of range", j)
+		}
+		if j <= prev {
+			return fmt.Errorf("lp: row indices not strictly ascending at %d", j)
+		}
+		prev = j
+		if val[t] != 0 {
+			p.ridx = append(p.ridx, j)
+			p.rval = append(p.rval, val[t])
+		}
+	}
+	p.ops = append(p.ops, op)
+	p.bs = append(p.bs, b)
+	p.offs = append(p.offs, int32(len(p.ridx)))
+	return nil
+}
+
 // AddDense adds a constraint from a dense coefficient slice of length
 // NumVars.
 func (p *Problem) AddDense(a []float64, op Op, b float64) error {
 	if len(a) != p.nvars {
 		return fmt.Errorf("lp: constraint has %d coefficients, want %d", len(a), p.nvars)
 	}
-	p.rows = append(p.rows, row{a: append([]float64(nil), a...), op: op, b: b})
+	for j, v := range a {
+		if v != 0 {
+			p.ridx = append(p.ridx, int32(j))
+			p.rval = append(p.rval, v)
+		}
+	}
+	p.ops = append(p.ops, op)
+	p.bs = append(p.bs, b)
+	p.offs = append(p.offs, int32(len(p.ridx)))
 	return nil
 }
 
 // AddSparse adds a constraint from a variable→coefficient map.
 func (p *Problem) AddSparse(coeffs map[int]float64, op Op, b float64) error {
-	a := make([]float64, p.nvars)
-	for j, v := range coeffs {
+	js := make([]int, 0, len(coeffs))
+	for j := range coeffs {
 		if j < 0 || j >= p.nvars {
 			return fmt.Errorf("lp: coefficient index %d out of range", j)
 		}
-		a[j] = v
+		js = append(js, j)
 	}
-	p.rows = append(p.rows, row{a: a, op: op, b: b})
+	sort.Ints(js)
+	for _, j := range js {
+		if v := coeffs[j]; v != 0 {
+			p.ridx = append(p.ridx, int32(j))
+			p.rval = append(p.rval, v)
+		}
+	}
+	p.ops = append(p.ops, op)
+	p.bs = append(p.bs, b)
+	p.offs = append(p.offs, int32(len(p.ridx)))
 	return nil
 }
 
 // NumConstraints returns the number of constraints added so far.
-func (p *Problem) NumConstraints() int { return len(p.rows) }
+func (p *Problem) NumConstraints() int { return len(p.ops) }
 
-// Solve runs two-phase simplex and returns the solution. When the
-// problem is Infeasible or Unbounded, X is nil.
-func (p *Problem) Solve() Solution {
-	m := len(p.rows)
+// rowNonzeros returns constraint r's stored nonzeros.
+func (p *Problem) rowNonzeros(r int) ([]int32, []float64) {
+	lo, hi := p.offs[r], p.offs[r+1]
+	return p.ridx[lo:hi], p.rval[lo:hi]
+}
+
+// auxCounts counts the slack/surplus and artificial columns the
+// normalized system needs — the same accounting the dense and sparse
+// tableaus share.
+func (p *Problem) auxCounts() (nSlack, nArt int) {
+	for i, op := range p.ops {
+		if p.bs[i] < 0 {
+			// Normalizing flips the operator.
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		if op != EQ {
+			nSlack++
+		}
+		if op != LE {
+			nArt++
+		}
+	}
+	return
+}
+
+// SolveDense runs the reference dense two-phase simplex. It is retained
+// as the oracle the sparse Solve is property-tested against; production
+// paths use Solve.
+func (p *Problem) SolveDense() Solution {
+	m := len(p.ops)
 	if m == 0 {
 		// Trivially feasible at the origin.
 		return Solution{Status: Optimal, X: make([]float64, p.nvars)}
 	}
 
-	// Count auxiliary columns: one slack/surplus per inequality, one
-	// artificial per >= or = row.
-	nSlack, nArt := 0, 0
-	for _, r := range p.rows {
-		rr := r
-		if rr.b < 0 {
-			// Normalizing flips the operator.
-			switch rr.op {
-			case LE:
-				rr.op = GE
-			case GE:
-				rr.op = LE
-			}
-		}
-		if rr.op != EQ {
-			nSlack++
-		}
-		if rr.op != LE {
-			nArt++
-		}
-	}
-
+	nSlack, nArt := p.auxCounts()
 	total := p.nvars + nSlack + nArt
 	artStart := p.nvars + nSlack
 	// Tableau: m rows of total coefficients, plus rhs column.
 	tab := make([][]float64, m)
 	basis := make([]int, m)
 	slackIdx, artIdx := p.nvars, artStart
-	for i, r := range p.rows {
-		a := append([]float64(nil), r.a...)
-		b, op := r.b, r.op
+	for i := 0; i < m; i++ {
+		a := make([]float64, p.nvars)
+		ji, jv := p.rowNonzeros(i)
+		for t, j := range ji {
+			a[j] = jv[t]
+		}
+		b, op := p.bs[i], p.ops[i]
 		if b < 0 {
 			for j := range a {
 				a[j] = -a[j]

@@ -1,0 +1,162 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomAllocationLP builds an instance shaped like the Section 5.2
+// interval-allocation systems: per-cell variables with EQ demand rows
+// (each message's allocation sums to its transmission time), GE lower
+// bounds on a few cells, and LE capacity rows coupling random cell
+// subsets (link-interval capacity). Roughly a third of the instances
+// are driven infeasible by shrinking one capacity below the demand it
+// must carry.
+func randomAllocationLP(rng *rand.Rand) *Problem {
+	nmsgs := 1 + rng.Intn(6)
+	K := 1 + rng.Intn(5)
+	nvars := nmsgs * K
+	p := NewProblem(nvars)
+	for j := 0; j < nvars; j++ {
+		p.SetCost(j, rng.Float64())
+	}
+	demand := make([]float64, nmsgs)
+	for m := 0; m < nmsgs; m++ {
+		demand[m] = 1 + 10*rng.Float64()
+		idx := make([]int32, K)
+		val := make([]float64, K)
+		for k := 0; k < K; k++ {
+			idx[k] = int32(m*K + k)
+			val[k] = 1
+		}
+		if err := p.AddRow(idx, val, EQ, demand[m]); err != nil {
+			panic(err)
+		}
+	}
+	// A few per-cell lower bounds (pinned allocations).
+	for n := rng.Intn(3); n > 0; n-- {
+		j := rng.Intn(nvars)
+		_ = p.AddRow([]int32{int32(j)}, []float64{1}, GE, rng.Float64())
+	}
+	// Capacity rows over random ascending cell subsets.
+	total := 0.0
+	for _, d := range demand {
+		total += d
+	}
+	rows := 1 + rng.Intn(2*K)
+	for r := 0; r < rows; r++ {
+		var idx []int32
+		var val []float64
+		for j := 0; j < nvars; j++ {
+			if rng.Float64() < 0.4 {
+				idx = append(idx, int32(j))
+				val = append(val, 1)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		cap := total * (0.1 + rng.Float64())
+		if rng.Float64() < 0.15 {
+			cap = 0 // likely infeasible against the EQ demands
+		}
+		_ = p.AddRow(idx, val, LE, cap)
+	}
+	return p
+}
+
+// randomDenseLP builds an unstructured instance (dense-ish rows, mixed
+// ops, negative coefficients and RHS) to cover the normalization and
+// unbounded paths the structured generator cannot reach.
+func randomDenseLP(rng *rand.Rand) *Problem {
+	nvars := 1 + rng.Intn(8)
+	p := NewProblem(nvars)
+	for j := 0; j < nvars; j++ {
+		p.SetCost(j, rng.NormFloat64())
+	}
+	rows := rng.Intn(8)
+	ops := []Op{LE, GE, EQ}
+	for r := 0; r < rows; r++ {
+		a := make([]float64, nvars)
+		for j := range a {
+			if rng.Float64() < 0.6 {
+				a[j] = rng.NormFloat64()
+			}
+		}
+		_ = p.AddDense(a, ops[rng.Intn(len(ops))], rng.NormFloat64()*5)
+	}
+	return p
+}
+
+func checkAgreement(t *testing.T, p *Problem, seed int64, kind string) {
+	t.Helper()
+	sparse := p.Solve()
+	dense := p.SolveDense()
+	if sparse.Status != dense.Status {
+		t.Fatalf("%s seed %d: sparse status %v, dense status %v", kind, seed, sparse.Status, dense.Status)
+	}
+	if sparse.Status != Optimal {
+		return
+	}
+	if math.Abs(sparse.Objective-dense.Objective) > 1e-6 {
+		t.Fatalf("%s seed %d: sparse objective %g, dense %g", kind, seed, sparse.Objective, dense.Objective)
+	}
+	for j := range sparse.X {
+		if sparse.X[j] != dense.X[j] {
+			t.Fatalf("%s seed %d: x[%d] sparse %g, dense %g", kind, seed, j, sparse.X[j], dense.X[j])
+		}
+	}
+}
+
+// TestSparseDenseAgreement is the backend cross-check: on randomized
+// allocation-shaped and unstructured systems — feasible, infeasible and
+// unbounded alike — the sparse revised simplex must report the same
+// status as the dense reference, and on optimal instances the same
+// objective and the bit-identical vertex (same pivot sequence).
+func TestSparseDenseAgreement(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 60
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		checkAgreement(t, randomAllocationLP(rng), seed, "alloc")
+		checkAgreement(t, randomDenseLP(rng), seed, "dense")
+	}
+}
+
+// TestSparseDenseAgreementAfterReset replays the cross-check through
+// one pooled Problem, the way solveArena uses it: Reset must leave no
+// residue that changes any answer.
+func TestSparseDenseAgreementAfterReset(t *testing.T) {
+	pooled := NewProblem(1)
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fresh := randomAllocationLP(rng)
+
+		// Rebuild the identical system on the pooled problem.
+		pooled.Reset(fresh.NumVars())
+		for j := 0; j < fresh.NumVars(); j++ {
+			pooled.SetCost(j, fresh.c[j])
+		}
+		for r := 0; r < fresh.NumConstraints(); r++ {
+			idx, val := fresh.rowNonzeros(r)
+			if err := pooled.AddRow(idx, val, fresh.ops[r], fresh.bs[r]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		want := fresh.Solve()
+		got := pooled.Solve()
+		if got.Status != want.Status || got.Objective != want.Objective {
+			t.Fatalf("seed %d: pooled (%v, %g) vs fresh (%v, %g)",
+				seed, got.Status, got.Objective, want.Status, want.Objective)
+		}
+		for j := range want.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("seed %d: pooled x[%d] = %g, fresh %g", seed, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package lp
+
+import "math"
+
+// The sparse tableau. Interval-membership systems are extremely sparse —
+// a demand row touches one message's active intervals, a capacity row
+// one link's users — and the dense tableau spends almost all its time
+// multiplying and copying structural zeros. The rows here store only
+// nonzeros (index-sorted), and every pivot walks the union of two rows'
+// supports instead of the full column range.
+//
+// Bit-identity with the dense oracle is by construction, not by
+// tolerance: the entering/leaving choices read the same values the dense
+// code reads (absent entries are exact zeros on both sides), and each
+// pivot performs the identical `v -= f*t` / `v *= inv` operation on each
+// nonzero position in the same dependency order. Entries that cancel to
+// exactly zero are dropped from the support; the dense tableau keeps a
+// stored ±0 there, but a stored zero and an absent entry are
+// interchangeable in IEEE arithmetic up to the sign of zero, which no
+// comparison, division (pivots exceed eps in magnitude), or emitted
+// value in this package can distinguish.
+
+// sparseWork is the reusable Solve scratch owned by a Problem.
+type sparseWork struct {
+	idx   [][]int32
+	val   [][]float64
+	rhs   []float64
+	basis []int
+	obj   []float64
+	tmpI  []int32
+	tmpV  []float64
+}
+
+// lookup returns the coefficient at column j of the sorted support, or
+// exactly 0 when absent.
+func lookup(idx []int32, val []float64, j int32) float64 {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if idx[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(idx) && idx[lo] == j {
+		return val[lo]
+	}
+	return 0
+}
+
+func (w *sparseWork) ensure(m int) {
+	if cap(w.idx) < m {
+		ni := make([][]int32, m)
+		copy(ni, w.idx)
+		w.idx = ni
+		nv := make([][]float64, m)
+		copy(nv, w.val)
+		w.val = nv
+	} else {
+		w.idx = w.idx[:m]
+		w.val = w.val[:m]
+	}
+	if cap(w.rhs) < m {
+		w.rhs = make([]float64, m)
+		w.basis = make([]int, m)
+	} else {
+		w.rhs = w.rhs[:m]
+		w.basis = w.basis[:m]
+	}
+}
+
+// scaleRow multiplies row r by inv and then forces column enter to
+// exactly 1, mirroring the dense pivot's exactness fix-up.
+func (w *sparseWork) scaleRow(r int, inv float64, enter int32) {
+	iv, vv := w.idx[r], w.val[r]
+	for t := range vv {
+		vv[t] *= inv
+	}
+	for t, j := range iv {
+		if j == enter {
+			vv[t] = 1 // exactness
+			break
+		}
+	}
+	w.rhs[r] *= inv
+}
+
+// eliminate subtracts f times the (already scaled) leave row from row r
+// over the union of their supports, dropping the enter column (the dense
+// code zeroes it explicitly) and any entry that cancels to exact zero.
+func (w *sparseWork) eliminate(r, leave int, f float64, enter int32) {
+	ai, av := w.idx[r], w.val[r]
+	bi, bv := w.idx[leave], w.val[leave]
+	ti, tv := w.tmpI[:0], w.tmpV[:0]
+	x, y := 0, 0
+	for x < len(ai) && y < len(bi) {
+		switch {
+		case ai[x] == bi[y]:
+			if j := ai[x]; j != enter {
+				// The same op the dense loop performs at this cell.
+				if v := av[x] - f*bv[y]; v != 0 {
+					ti = append(ti, j)
+					tv = append(tv, v)
+				}
+			}
+			x++
+			y++
+		case ai[x] < bi[y]:
+			// Leave row is zero here: dense computes v -= f*0, a no-op.
+			if j := ai[x]; j != enter {
+				ti = append(ti, j)
+				tv = append(tv, av[x])
+			}
+			x++
+		default:
+			// Row r is zero here: dense computes 0 - f*t.
+			if j := bi[y]; j != enter {
+				if v := 0 - f*bv[y]; v != 0 {
+					ti = append(ti, j)
+					tv = append(tv, v)
+				}
+			}
+			y++
+		}
+	}
+	for ; x < len(ai); x++ {
+		if j := ai[x]; j != enter {
+			ti = append(ti, j)
+			tv = append(tv, av[x])
+		}
+	}
+	for ; y < len(bi); y++ {
+		if j := bi[y]; j != enter {
+			if v := 0 - f*bv[y]; v != 0 {
+				ti = append(ti, j)
+				tv = append(tv, v)
+			}
+		}
+	}
+	w.rhs[r] -= f * w.rhs[leave]
+	// Swap the merged result in, recycling row r's old backing as the
+	// next merge's scratch.
+	w.idx[r], w.tmpI = ti, ai[:0]
+	w.val[r], w.tmpV = tv, av[:0]
+}
+
+// pivotSparse makes column enter basic in row leave: the sparse
+// counterpart of the dense pivot, touching only stored nonzeros.
+func (w *sparseWork) pivotSparse(leave int, enter int32, total int) {
+	pv := lookup(w.idx[leave], w.val[leave], enter)
+	inv := 1.0 / pv
+	w.scaleRow(leave, inv, enter)
+	for i := range w.idx {
+		if i == leave {
+			continue
+		}
+		f := lookup(w.idx[i], w.val[i], enter)
+		if f == 0 {
+			continue
+		}
+		w.eliminate(i, leave, f, enter)
+	}
+	if f := w.obj[enter]; f != 0 {
+		li, lv := w.idx[leave], w.val[leave]
+		for t, j := range li {
+			w.obj[j] -= f * lv[t]
+		}
+		w.obj[total] -= f * w.rhs[leave]
+		w.obj[enter] = 0
+	}
+	w.basis[leave] = int(enter)
+}
+
+// iterateSparse runs primal simplex with Bland's rule over the sparse
+// tableau until optimal; returns false on unboundedness. The entering
+// and leaving scans read exactly the values the dense scans read.
+func (w *sparseWork) iterateSparse(total, barred int) bool {
+	for {
+		enter := -1
+		for j := 0; j < barred; j++ {
+			if w.obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return true
+		}
+		leave, best := -1, math.Inf(1)
+		for i := range w.idx {
+			coeff := lookup(w.idx[i], w.val[i], int32(enter))
+			if coeff > eps {
+				ratio := w.rhs[i] / coeff
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || w.basis[i] < w.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return false
+		}
+		w.pivotSparse(leave, int32(enter), total)
+	}
+}
+
+// Solve runs two-phase simplex over the sparse tableau and returns the
+// solution. When the problem is Infeasible or Unbounded, X is nil. The
+// result is bit-identical to SolveDense on the same system.
+func (p *Problem) Solve() Solution {
+	m := len(p.ops)
+	if m == 0 {
+		// Trivially feasible at the origin.
+		return Solution{Status: Optimal, X: make([]float64, p.nvars)}
+	}
+
+	nSlack, nArt := p.auxCounts()
+	total := p.nvars + nSlack + nArt
+	artStart := p.nvars + nSlack
+
+	w := &p.w
+	w.ensure(m)
+	slackIdx, artIdx := int32(p.nvars), int32(artStart)
+	for i := 0; i < m; i++ {
+		ji, jv := p.rowNonzeros(i)
+		ri := append(w.idx[i][:0], ji...)
+		rv := append(w.val[i][:0], jv...)
+		b, op := p.bs[i], p.ops[i]
+		if b < 0 {
+			for t := range rv {
+				rv[t] = -rv[t]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		// Slack then artificial columns come after every structural
+		// index, so appending keeps the support sorted.
+		switch op {
+		case LE:
+			ri = append(ri, slackIdx)
+			rv = append(rv, 1)
+			w.basis[i] = int(slackIdx)
+			slackIdx++
+		case GE:
+			ri = append(ri, slackIdx)
+			rv = append(rv, -1)
+			slackIdx++
+			ri = append(ri, artIdx)
+			rv = append(rv, 1)
+			w.basis[i] = int(artIdx)
+			artIdx++
+		case EQ:
+			ri = append(ri, artIdx)
+			rv = append(rv, 1)
+			w.basis[i] = int(artIdx)
+			artIdx++
+		}
+		w.idx[i], w.val[i] = ri, rv
+		w.rhs[i] = b
+	}
+
+	if cap(w.obj) < total+1 {
+		w.obj = make([]float64, total+1)
+	} else {
+		w.obj = w.obj[:total+1]
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := w.obj
+		for j := range obj {
+			obj[j] = 0
+		}
+		for j := artStart; j < total; j++ {
+			obj[j] = 1
+		}
+		// Price out the artificial basis.
+		for i, bj := range w.basis {
+			if bj >= artStart {
+				ri, rv := w.idx[i], w.val[i]
+				for t, j := range ri {
+					obj[j] -= rv[t]
+				}
+				obj[total] -= w.rhs[i]
+			}
+		}
+		if !w.iterateSparse(total, total) {
+			// Phase 1 objective is bounded below by zero, so
+			// unboundedness cannot occur; treat defensively.
+			return Solution{Status: Infeasible}
+		}
+		if -obj[total] > 1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive any artificial still in the basis out (degenerate zero
+		// rows); if impossible the row is redundant.
+		for i, bj := range w.basis {
+			if bj < artStart {
+				continue
+			}
+			pivoted := false
+			for t, j := range w.idx[i] {
+				if int(j) >= artStart {
+					break
+				}
+				if math.Abs(w.val[i][t]) > eps {
+					w.pivotSparse(i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant constraint: zero the row to neutralize it.
+				w.idx[i] = w.idx[i][:0]
+				w.val[i] = w.val[i][:0]
+				w.rhs[i] = 0
+			}
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns;
+	// artificial columns are frozen out by barring them from entering.
+	obj := w.obj
+	for j := range obj {
+		obj[j] = 0
+	}
+	copy(obj, p.c)
+	for i, bj := range w.basis {
+		if bj <= total && obj[bj] != 0 {
+			cb := obj[bj]
+			ri, rv := w.idx[i], w.val[i]
+			for t, j := range ri {
+				obj[j] -= cb * rv[t]
+			}
+			obj[total] -= cb * w.rhs[i]
+		}
+	}
+
+	if !w.iterateSparse(total, artStart) {
+		return Solution{Status: Unbounded}
+	}
+
+	x := make([]float64, p.nvars)
+	for i, bj := range w.basis {
+		if bj < p.nvars {
+			x[bj] = w.rhs[i]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < p.nvars; j++ {
+		objVal += p.c[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objVal}
+}

@@ -36,10 +36,15 @@ func (e *ErrAllocationInfeasible) Error() string {
 // solved as a linear feasibility program (see DESIGN.md §3.5 on why the
 // LP relaxation of the paper's integer program is exact here).
 func AllocateIntervals(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity) (*Allocation, error) {
+	var a solveArena
+	return allocateIntervals(&a, subsets, pa, ws, act)
+}
+
+func allocateIntervals(a *solveArena, subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity) (*Allocation, error) {
 	K := act.Intervals.K()
 	out := &Allocation{P: make([][]float64, len(ws))}
 	for _, subset := range subsets {
-		if err := allocateSubset(subset, pa, ws, act, K, out); err != nil {
+		if err := allocateSubset(a, subset, pa, ws, act, K, out); err != nil {
 			return nil, err
 		}
 	}
@@ -54,10 +59,12 @@ func AllocateIntervals(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Windo
 // message may be reallocated; every other non-local message must have a
 // row in base.
 func AllocateIntervalsPinned(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, base *Allocation, free func(tfg.MessageID) bool) (*Allocation, error) {
+	var a solveArena
 	K := act.Intervals.K()
 	out := &Allocation{P: make([][]float64, len(ws))}
+	var freeMsgs []tfg.MessageID
 	for _, subset := range subsets {
-		var freeMsgs []tfg.MessageID
+		freeMsgs = freeMsgs[:0]
 		for _, mi := range subset {
 			if free(mi) {
 				freeMsgs = append(freeMsgs, mi)
@@ -71,61 +78,15 @@ func AllocateIntervalsPinned(subsets [][]tfg.MessageID, pa *PathAssignment, ws [
 		if len(freeMsgs) == 0 {
 			continue
 		}
-		if err := allocateSubsetPinned(subset, freeMsgs, pa, ws, act, K, out); err != nil {
+		if err := allocateSubsetPinned(&a, subset, freeMsgs, pa, ws, act, K, out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// allocateSubsetPinned solves the allocation LP for the free members of
-// one maximal subset; the pinned members' rows are already in out and
-// consume capacity on every (link, interval) they occupy.
-func allocateSubsetPinned(subset, freeMsgs []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
-	type cellKey struct {
-		mi tfg.MessageID
-		k  int
-	}
-	varOf := map[cellKey]int{}
-	var cells []cellKey
-	for _, mi := range freeMsgs {
-		for k := 0; k < K; k++ {
-			if act.Active[mi][k] {
-				key := cellKey{mi, k}
-				varOf[key] = len(cells)
-				cells = append(cells, key)
-			}
-		}
-	}
-	prob := lp.NewProblem(len(cells))
-
-	// Demand equality per free message.
-	for _, mi := range freeMsgs {
-		row := map[int]float64{}
-		for k := 0; k < K; k++ {
-			if act.Active[mi][k] {
-				row[varOf[cellKey{mi, k}]] = 1
-			}
-		}
-		if len(row) == 0 {
-			return &ErrAllocationInfeasible{Subset: subset}
-		}
-		if err := prob.AddSparse(row, lp.EQ, ws[mi].Xmit); err != nil {
-			return err
-		}
-	}
-
-	// Per-cell capacity.
-	for vi, c := range cells {
-		row := map[int]float64{vi: 1}
-		if err := prob.AddSparse(row, lp.LE, act.Intervals.Length(c.k)); err != nil {
-			return err
-		}
-	}
-
-	// Link capacity with the pinned usage subtracted from the RHS. Any
-	// link a free message uses must be constrained, even when it is the
-	// only free user, because pinned reservations consume capacity too.
+// maxLinkOf returns the largest link ID any subset member crosses.
+func maxLinkOf(subset []tfg.MessageID, pa *PathAssignment) topology.LinkID {
 	maxLink := topology.LinkID(-1)
 	for _, mi := range subset {
 		for _, l := range pa.Links[mi] {
@@ -134,37 +95,210 @@ func allocateSubsetPinned(subset, freeMsgs []tfg.MessageID, pa *PathAssignment, 
 			}
 		}
 	}
-	freeOn := make([][]tfg.MessageID, int(maxLink)+1)
-	pinnedOn := make([][]tfg.MessageID, int(maxLink)+1)
-	isFree := map[tfg.MessageID]bool{}
-	for _, mi := range freeMsgs {
-		isFree[mi] = true
-	}
-	for _, mi := range subset {
-		for _, l := range pa.Links[mi] {
-			if isFree[mi] {
-				freeOn[l] = append(freeOn[l], mi)
-			} else {
-				pinnedOn[l] = append(pinnedOn[l], mi)
+	return maxLink
+}
+
+// buildCells assigns one LP variable per active (message, interval) cell
+// of the given messages, filling the flat varOf index. Every varOf entry
+// read later this call is written here, so stale entries from earlier
+// calls are harmless.
+func (sc *allocScratch) buildCells(msgs []tfg.MessageID, act *Activity, K int) {
+	sc.cellMsg = sc.cellMsg[:0]
+	sc.cellK = sc.cellK[:0]
+	for _, mi := range msgs {
+		row := act.Active[mi]
+		base := int(mi) * K
+		for k := 0; k < K; k++ {
+			if row[k] {
+				sc.varOf[base+k] = int32(len(sc.cellMsg))
+				sc.cellMsg = append(sc.cellMsg, int32(mi))
+				sc.cellK = append(sc.cellK, int32(k))
 			}
 		}
 	}
-	for l := range freeOn {
-		if len(freeOn[l]) == 0 {
+}
+
+// demandRow assembles message mi's constraint-(3) row (all ones over its
+// active cells, ascending variable index) into the row buffers.
+func (sc *allocScratch) demandRow(mi tfg.MessageID, act *Activity, K int) ([]int32, []float64) {
+	sc.rowIdx = sc.rowIdx[:0]
+	sc.rowVal = sc.rowVal[:0]
+	row := act.Active[mi]
+	base := int(mi) * K
+	for k := 0; k < K; k++ {
+		if row[k] {
+			sc.rowIdx = append(sc.rowIdx, sc.varOf[base+k])
+			sc.rowVal = append(sc.rowVal, 1)
+		}
+	}
+	return sc.rowIdx, sc.rowVal
+}
+
+// addCellCaps adds the per-cell capacity rows: no cell may exceed its
+// interval length (implied by (4) when the message uses a link, and
+// required for exactness).
+func addCellCaps(prob *lp.Problem, sc *allocScratch, act *Activity) error {
+	var ji [1]int32
+	var jv = [1]float64{1}
+	for vi := range sc.cellMsg {
+		ji[0] = int32(vi)
+		if err := prob.AddRow(ji[:], jv[:], lp.LE, act.Intervals.Length(int(sc.cellK[vi]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extract copies the LP solution into out, one flat backing array per
+// subset, clamping the solver's tiny negative residuals to zero.
+func (sc *allocScratch) extract(sol lp.Solution, nrows, K int, out *Allocation) {
+	backing := make([]float64, nrows*K)
+	used := 0
+	for vi := range sc.cellMsg {
+		mi := sc.cellMsg[vi]
+		if out.P[mi] == nil {
+			out.P[mi] = backing[used*K : (used+1)*K : (used+1)*K]
+			used++
+		}
+		v := sol.X[vi]
+		if v < 0 {
+			v = 0
+		}
+		out.P[mi][sc.cellK[vi]] = v
+	}
+}
+
+func allocateSubset(a *solveArena, subset []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
+	sc := &a.alloc
+	maxLink := maxLinkOf(subset, pa)
+	sc.ensure(len(ws), K, int(maxLink))
+	sc.buildCells(subset, act, K)
+	prob := a.lpProblem(len(sc.cellMsg))
+
+	// (3) Demand equality per message.
+	for _, mi := range subset {
+		idx, val := sc.demandRow(mi, act, K)
+		if len(idx) == 0 {
+			return &ErrAllocationInfeasible{Subset: subset}
+		}
+		if err := prob.AddRow(idx, val, lp.EQ, ws[mi].Xmit); err != nil {
+			return err
+		}
+	}
+
+	if err := addCellCaps(prob, sc, act); err != nil {
+		return err
+	}
+
+	// (4) Link capacity per (link, interval) touched by the subset.
+	// Per-link message lists indexed by LinkID are built once and walked
+	// in ascending link order, so the LP sees constraints in a
+	// deterministic order.
+	sc.epoch++
+	for _, mi := range subset {
+		for _, l := range pa.Links[mi] {
+			sc.touchLink(int(l))
+			sc.linkFree[l] = append(sc.linkFree[l], mi)
+		}
+	}
+	for l := 0; l <= int(maxLink); l++ {
+		if sc.linkEpoch[l] != sc.epoch {
+			continue
+		}
+		msgs := sc.linkFree[l]
+		if len(msgs) < 2 {
+			continue // a single message is covered by the cell cap
+		}
+		for k := 0; k < K; k++ {
+			sc.rowIdx = sc.rowIdx[:0]
+			sc.rowVal = sc.rowVal[:0]
+			for _, mi := range msgs {
+				if act.Active[mi][k] {
+					sc.rowIdx = append(sc.rowIdx, sc.varOf[int(mi)*K+k])
+					sc.rowVal = append(sc.rowVal, 1)
+				}
+			}
+			if len(sc.rowIdx) < 2 {
+				continue // a lone message is covered by the cell cap
+			}
+			if err := prob.AddRow(sc.rowIdx, sc.rowVal, lp.LE, act.Intervals.Length(k)); err != nil {
+				return err
+			}
+		}
+	}
+
+	sol := prob.Solve()
+	if sol.Status != lp.Optimal {
+		return &ErrAllocationInfeasible{Subset: subset}
+	}
+	sc.extract(sol, len(subset), K, out)
+	return nil
+}
+
+// allocateSubsetPinned solves the allocation LP for the free members of
+// one maximal subset; the pinned members' rows are already in out and
+// consume capacity on every (link, interval) they occupy.
+func allocateSubsetPinned(a *solveArena, subset, freeMsgs []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
+	sc := &a.alloc
+	maxLink := maxLinkOf(subset, pa)
+	sc.ensure(len(ws), K, int(maxLink))
+	sc.buildCells(freeMsgs, act, K)
+	prob := a.lpProblem(len(sc.cellMsg))
+
+	// Demand equality per free message.
+	for _, mi := range freeMsgs {
+		idx, val := sc.demandRow(mi, act, K)
+		if len(idx) == 0 {
+			return &ErrAllocationInfeasible{Subset: subset}
+		}
+		if err := prob.AddRow(idx, val, lp.EQ, ws[mi].Xmit); err != nil {
+			return err
+		}
+	}
+
+	// Per-cell capacity.
+	if err := addCellCaps(prob, sc, act); err != nil {
+		return err
+	}
+
+	// Link capacity with the pinned usage subtracted from the RHS. Any
+	// link a free message uses must be constrained, even when it is the
+	// only free user, because pinned reservations consume capacity too.
+	for _, mi := range subset {
+		sc.isFree[mi] = false
+	}
+	for _, mi := range freeMsgs {
+		sc.isFree[mi] = true
+	}
+	sc.epoch++
+	for _, mi := range subset {
+		for _, l := range pa.Links[mi] {
+			sc.touchLink(int(l))
+			if sc.isFree[mi] {
+				sc.linkFree[l] = append(sc.linkFree[l], mi)
+			} else {
+				sc.linkPinned[l] = append(sc.linkPinned[l], mi)
+			}
+		}
+	}
+	for l := 0; l <= int(maxLink); l++ {
+		if sc.linkEpoch[l] != sc.epoch || len(sc.linkFree[l]) == 0 {
 			continue
 		}
 		for k := 0; k < K; k++ {
-			row := map[int]float64{}
-			for _, mi := range freeOn[l] {
+			sc.rowIdx = sc.rowIdx[:0]
+			sc.rowVal = sc.rowVal[:0]
+			for _, mi := range sc.linkFree[l] {
 				if act.Active[mi][k] {
-					row[varOf[cellKey{mi, k}]] = 1
+					sc.rowIdx = append(sc.rowIdx, sc.varOf[int(mi)*K+k])
+					sc.rowVal = append(sc.rowVal, 1)
 				}
 			}
-			if len(row) == 0 {
+			if len(sc.rowIdx) == 0 {
 				continue
 			}
 			residual := act.Intervals.Length(k)
-			for _, mi := range pinnedOn[l] {
+			for _, mi := range sc.linkPinned[l] {
 				if out.P[mi] != nil {
 					residual -= out.P[mi][k]
 				}
@@ -172,10 +306,10 @@ func allocateSubsetPinned(subset, freeMsgs []tfg.MessageID, pa *PathAssignment, 
 			if residual < 0 {
 				residual = 0
 			}
-			if len(row) < 2 && residual >= act.Intervals.Length(k) {
+			if len(sc.rowIdx) < 2 && residual >= act.Intervals.Length(k) {
 				continue // lone free message, no pinned pressure: cell cap suffices
 			}
-			if err := prob.AddSparse(row, lp.LE, residual); err != nil {
+			if err := prob.AddRow(sc.rowIdx, sc.rowVal, lp.LE, residual); err != nil {
 				return err
 			}
 		}
@@ -185,114 +319,6 @@ func allocateSubsetPinned(subset, freeMsgs []tfg.MessageID, pa *PathAssignment, 
 	if sol.Status != lp.Optimal {
 		return &ErrAllocationInfeasible{Subset: subset}
 	}
-	for vi, c := range cells {
-		if out.P[c.mi] == nil {
-			out.P[c.mi] = make([]float64, K)
-		}
-		v := sol.X[vi]
-		if v < 0 {
-			v = 0
-		}
-		out.P[c.mi][c.k] = v
-	}
-	return nil
-}
-
-func allocateSubset(subset []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
-	// Variable index per active (message, interval) cell.
-	type cellKey struct {
-		mi tfg.MessageID
-		k  int
-	}
-	varOf := map[cellKey]int{}
-	var cells []cellKey
-	for _, mi := range subset {
-		for k := 0; k < K; k++ {
-			if act.Active[mi][k] {
-				key := cellKey{mi, k}
-				varOf[key] = len(cells)
-				cells = append(cells, key)
-			}
-		}
-	}
-	prob := lp.NewProblem(len(cells))
-
-	// (3) Demand equality per message.
-	for _, mi := range subset {
-		row := map[int]float64{}
-		for k := 0; k < K; k++ {
-			if act.Active[mi][k] {
-				row[varOf[cellKey{mi, k}]] = 1
-			}
-		}
-		if len(row) == 0 {
-			return &ErrAllocationInfeasible{Subset: subset}
-		}
-		if err := prob.AddSparse(row, lp.EQ, ws[mi].Xmit); err != nil {
-			return err
-		}
-	}
-
-	// Per-cell capacity: no cell may exceed its interval length (implied
-	// by (4) when the message uses a link, and required for exactness).
-	for vi, c := range cells {
-		row := map[int]float64{vi: 1}
-		if err := prob.AddSparse(row, lp.LE, act.Intervals.Length(c.k)); err != nil {
-			return err
-		}
-	}
-
-	// (4) Link capacity per (link, interval) touched by the subset.
-	// Dense per-link message lists (indexed by LinkID) replace the old
-	// map: cheaper to build and iterated in ascending link order, so the
-	// LP sees constraints in a deterministic order.
-	maxLink := topology.LinkID(-1)
-	for _, mi := range subset {
-		for _, l := range pa.Links[mi] {
-			if l > maxLink {
-				maxLink = l
-			}
-		}
-	}
-	usesLink := make([][]tfg.MessageID, int(maxLink)+1)
-	for _, mi := range subset {
-		for _, l := range pa.Links[mi] {
-			usesLink[l] = append(usesLink[l], mi)
-		}
-	}
-	for _, msgs := range usesLink {
-		if len(msgs) < 2 {
-			continue // unused link, or a single message covered by the cell cap
-		}
-		for k := 0; k < K; k++ {
-			row := map[int]float64{}
-			for _, mi := range msgs {
-				if act.Active[mi][k] {
-					row[varOf[cellKey{mi, k}]] = 1
-				}
-			}
-			if len(row) < 2 {
-				continue // a lone message is covered by the cell cap
-			}
-			if err := prob.AddSparse(row, lp.LE, act.Intervals.Length(k)); err != nil {
-				return err
-			}
-		}
-	}
-
-	sol := prob.Solve()
-	if sol.Status != lp.Optimal {
-		return &ErrAllocationInfeasible{Subset: subset}
-	}
-	for vi, c := range cells {
-		if out.P[c.mi] == nil {
-			out.P[c.mi] = make([]float64, K)
-		}
-		v := sol.X[vi]
-		if v < 0 {
-			v = 0
-		}
-		out.P[c.mi][c.k] = v
-	}
+	sc.extract(sol, len(freeMsgs), K, out)
 	return nil
 }

@@ -1,0 +1,101 @@
+package schedule
+
+import (
+	"schedroute/internal/lp"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// solveArena is the per-Solve scratch pool: every hot stage of the
+// Fig. 3 pipeline (path assignment, subset discovery, interval
+// allocation, interval scheduling, Ω emission) borrows its working
+// storage from here instead of allocating. A warm Solver keeps arenas in
+// a sync.Pool, so repeated Solve calls allocate only what escapes into
+// the Result. The zero value is ready to use: every sub-scratch sizes
+// itself lazily and is fully overwritten before being read, so arena
+// reuse can never change a result.
+type solveArena struct {
+	lp    *lp.Problem
+	alloc allocScratch
+	sched schedScratch
+	sub   subsetScratch
+	load  *LoadState
+	util  utilScratch
+}
+
+// loadState returns the arena's pooled LoadState rebuilt for the given
+// assignment, reusing every backing array when the dimensions match the
+// previous use.
+func (a *solveArena) loadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *LoadState {
+	ls := a.load
+	if ls == nil || ls.nl != top.Links() || ls.K != act.Intervals.K() || len(ls.ws) != len(ws) {
+		a.load = NewLoadState(top, pa, ws, act)
+		return a.load
+	}
+	ls.ws, ls.act = ws, act
+	for k := 0; k < ls.K; k++ {
+		ls.lenK[k] = act.Intervals.Length(k)
+	}
+	for i := range ws {
+		ls.noSlack[i] = ws[i].NoSlack()
+	}
+	ls.Reset(pa)
+	return ls
+}
+
+// lpProblem returns the arena's pooled LP rewound to an empty system
+// over nvars variables.
+func (a *solveArena) lpProblem(nvars int) *lp.Problem {
+	if a.lp == nil {
+		a.lp = lp.NewProblem(nvars)
+	} else {
+		a.lp.Reset(nvars)
+	}
+	return a.lp
+}
+
+// allocScratch is the working storage of one allocateSubset call.
+type allocScratch struct {
+	// varOf maps flat cell mi*K+k to its LP variable. Entries are
+	// written for every cell the current call reads before any read, so
+	// no cross-call reset is needed.
+	varOf   []int32
+	cellMsg []int32
+	cellK   []int32
+	rowIdx  []int32
+	rowVal  []float64
+
+	// Per-link user lists for constraint (4), valid when linkEpoch
+	// matches epoch (stale lists are truncated on first touch).
+	linkFree   [][]tfg.MessageID
+	linkPinned [][]tfg.MessageID
+	linkEpoch  []int32
+	epoch      int32
+
+	// isFree flags the pinned variant's reallocatable messages; it is
+	// re-initialized for every member of the current subset per call.
+	isFree []bool
+}
+
+func (sc *allocScratch) ensure(nmsgs, K, maxLink int) {
+	if len(sc.varOf) < nmsgs*K {
+		sc.varOf = make([]int32, nmsgs*K)
+	}
+	if len(sc.isFree) < nmsgs {
+		sc.isFree = make([]bool, nmsgs)
+	}
+	if len(sc.linkEpoch) < maxLink+1 {
+		sc.linkFree = append(sc.linkFree, make([][]tfg.MessageID, maxLink+1-len(sc.linkFree))...)
+		sc.linkPinned = append(sc.linkPinned, make([][]tfg.MessageID, maxLink+1-len(sc.linkPinned))...)
+		sc.linkEpoch = append(sc.linkEpoch, make([]int32, maxLink+1-len(sc.linkEpoch))...)
+	}
+}
+
+// touchLink rewinds link l's user lists on its first use this epoch.
+func (sc *allocScratch) touchLink(l int) {
+	if sc.linkEpoch[l] != sc.epoch {
+		sc.linkEpoch[l] = sc.epoch
+		sc.linkFree[l] = sc.linkFree[l][:0]
+		sc.linkPinned[l] = sc.linkPinned[l][:0]
+	}
+}

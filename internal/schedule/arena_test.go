@@ -1,0 +1,126 @@
+package schedule
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"schedroute/internal/topology"
+)
+
+// TestArenaReuseBitIdentical pins the arena contract directly: a cold
+// first Solve and many warm Solves through the same pooled scratch must
+// produce deeply equal Results — same Ω command lists, same slices,
+// same peak — at every load point, feasible or not. Any residue a
+// stage reads from a recycled arena would show up here.
+func TestArenaReuseBitIdentical(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, 0)
+	solver := NewSolver(p)
+	ctx := context.Background()
+	for k := 0; k < 12; k++ {
+		tauIn := gridTauIn(k)
+		cold, err := solver.Solve(ctx, tauIn, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("k=%d cold: %v", k, err)
+		}
+		for warm := 0; warm < 3; warm++ {
+			got, err := solver.Solve(ctx, tauIn, Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("k=%d warm %d: %v", k, warm, err)
+			}
+			if !reflect.DeepEqual(got, cold) {
+				t.Fatalf("k=%d warm %d: warm-arena Solve differs from cold", k, warm)
+			}
+		}
+	}
+}
+
+// TestArenaConcurrentSameTauIn hammers the pool from parallel
+// goroutines all solving the same load point — the pattern that
+// maximizes arena recycling pressure (every finishing Solve returns an
+// arena another goroutine immediately reuses) — and requires every Ω
+// to be bit-identical to the serial golden. Run under `make race` this
+// also proves no scratch is shared between in-flight Solves.
+func TestArenaConcurrentSameTauIn(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(2))
+	want, err := Compute(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := NewSolver(p)
+	ctx := context.Background()
+
+	const workers, rounds = 8, 4
+	results := make([]*Result, workers*rounds)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				res, err := solver.Solve(ctx, p.TauIn, Options{Seed: 1})
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				results[w*rounds+r] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, got := range results {
+		if !reflect.DeepEqual(got.Omega, want.Omega) {
+			t.Fatalf("solve %d: concurrent Ω differs from serial golden", i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("solve %d: concurrent Result differs from serial golden", i)
+		}
+	}
+}
+
+// TestArenaReuseAcrossStructures reuses one pooled arena shape across
+// different problem structures back to back (6-cube then a faulted
+// variant), catching any dimension-keyed cache in the arena that fails
+// to rebuild when the structure changes under it.
+func TestArenaReuseAcrossStructures(t *testing.T) {
+	ctx := context.Background()
+	tauIn := gridTauIn(4)
+
+	perfect := dvbProblem(t, sixCube(t), 64, tauIn)
+	wantPerfect, err := Compute(perfect, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := perfect
+	fs := topology.NewFaultSet(perfect.Topology.Links(), perfect.Topology.Nodes())
+	fs.FailLink(0)
+	faulted.Faults = fs
+	wantFaulted, err := Compute(faulted, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alternate structures so each Solve inherits an arena warmed by
+	// the other problem.
+	sp, sf := NewSolver(perfect), NewSolver(faulted)
+	for i := 0; i < 3; i++ {
+		gp, err := sp.Solve(ctx, tauIn, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gp, wantPerfect) {
+			t.Fatalf("round %d: perfect result diverged after faulted-arena reuse", i)
+		}
+		gf, err := sf.Solve(ctx, tauIn, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gf, wantFaulted) {
+			t.Fatalf("round %d: faulted result diverged after perfect-arena reuse", i)
+		}
+	}
+}

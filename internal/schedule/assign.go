@@ -42,6 +42,11 @@ var assignCrossCheck = false
 // are bit-identical to full evaluation, so the move sequence — and
 // hence the result for a fixed seed — is unchanged.
 func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topology, ws []Window, act *Activity, seed int64, maxOuter, maxInner int) *AssignPathsResult {
+	var a solveArena
+	return assignPaths(&a, initial, cands, top, ws, act, seed, maxOuter, maxInner)
+}
+
+func assignPaths(a *solveArena, initial *PathAssignment, cands *Candidates, top *topology.Topology, ws []Window, act *Activity, seed int64, maxOuter, maxInner int) *AssignPathsResult {
 	if maxOuter < 1 {
 		maxOuter = 1
 	}
@@ -53,7 +58,7 @@ func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topol
 
 	current := initial.Clone()
 	best := current.Clone()
-	ls := NewLoadState(top, current, ws, act)
+	ls := a.loadState(top, current, ws, act)
 	evals++
 	bestU := ls.Utilization()
 
@@ -77,7 +82,8 @@ func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topol
 				link     topology.LinkID
 				interval int
 			}
-			var bestReduce, bestRepos *move
+			var bestReduce, bestRepos move
+			haveReduce, haveRepos := false, false
 			for _, mi := range msgBuf {
 				cur := current.Paths[mi]
 				for ci, c := range cands.PathsOf[mi] {
@@ -87,22 +93,24 @@ func AssignPaths(initial *PathAssignment, cands *Candidates, top *topology.Topol
 					evals++
 					tp, tl, tk := ls.EvalReroute(mi, current.Links[mi], c.links)
 					if tp < curPeak-timeEps {
-						if bestReduce == nil || tp < bestReduce.peak {
-							bestReduce = &move{msg: mi, cand: ci, peak: tp, link: tl, interval: tk}
+						if !haveReduce || tp < bestReduce.peak {
+							bestReduce = move{msg: mi, cand: ci, peak: tp, link: tl, interval: tk}
+							haveReduce = true
 						}
 					} else if tp <= curPeak+timeEps {
 						np := assignPosition{tl, tk}
-						if np != pos && !visited[np] && bestRepos == nil {
-							bestRepos = &move{msg: mi, cand: ci, peak: tp, link: tl, interval: tk}
+						if np != pos && !visited[np] && !haveRepos {
+							bestRepos = move{msg: mi, cand: ci, peak: tp, link: tl, interval: tk}
+							haveRepos = true
 						}
 					}
 				}
 			}
 			chosen := bestReduce
-			if chosen == nil {
+			if !haveReduce {
 				chosen = bestRepos
 			}
-			if chosen == nil {
+			if !haveReduce && !haveRepos {
 				break // inner convergence: no reduction, no fresh reposition
 			}
 			c := cands.PathsOf[chosen.msg][chosen.cand]

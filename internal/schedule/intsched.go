@@ -2,7 +2,7 @@ package schedule
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"schedroute/internal/lp"
 	"schedroute/internal/tfg"
@@ -63,25 +63,32 @@ func (e *ErrIntervalInfeasible) Error() string {
 // guard-holding CPs (see internal/cpsim) never collide with the link's
 // next reservation; it should be twice the synchronization margin.
 func ScheduleIntervals(allocation *Allocation, pa *PathAssignment, act *Activity, engine Engine, gap float64) ([]Slice, error) {
+	var a solveArena
+	return scheduleIntervals(&a, allocation, pa, act, engine, gap)
+}
+
+func scheduleIntervals(a *solveArena, allocation *Allocation, pa *PathAssignment, act *Activity, engine Engine, gap float64) ([]Slice, error) {
+	sc := &a.sched
 	var out []Slice
 	K := act.Intervals.K()
 	for k := 0; k < K; k++ {
-		var msgs []tfg.MessageID
-		demands := map[tfg.MessageID]float64{}
+		// Rows of allocation.P iterate in ascending message order, so the
+		// per-interval participant list needs no sort.
+		sc.msgs = sc.msgs[:0]
+		sc.dem = sc.dem[:0]
 		for i, row := range allocation.P {
 			if row == nil {
 				continue
 			}
 			if row[k] > timeEps {
-				msgs = append(msgs, tfg.MessageID(i))
-				demands[tfg.MessageID(i)] = row[k]
+				sc.msgs = append(sc.msgs, tfg.MessageID(i))
+				sc.dem = append(sc.dem, row[k])
 			}
 		}
-		if len(msgs) == 0 {
+		if len(sc.msgs) == 0 {
 			continue
 		}
-		sort.Slice(msgs, func(a, b int) bool { return msgs[a] < msgs[b] })
-		slices, err := scheduleOne(k, msgs, demands, pa, act, engine, gap)
+		slices, err := scheduleOne(a, k, pa, act, engine, gap)
 		if err != nil {
 			return nil, err
 		}
@@ -90,10 +97,48 @@ func ScheduleIntervals(allocation *Allocation, pa *PathAssignment, act *Activity
 	return out, nil
 }
 
-// conflictMatrix[i][j] is true when msgs[i] and msgs[j] share a link.
-// Link sets are LinkSet bitsets, so each pairwise test is a word-wise
-// AND rather than a map probe per link.
-func conflictMatrix(msgs []tfg.MessageID, pa *PathAssignment) [][]bool {
+// schedScratch is the working storage of one interval's decomposition:
+// packed conflict bit rows, the greedy/exact set emission arenas, and
+// the LP row-assembly buffers.
+type schedScratch struct {
+	msgs []tfg.MessageID
+	dem  []float64
+
+	lsets []uint64 // per-message link bitsets, n rows of wl words
+	conf  []uint64 // conflict bit matrix, n rows of w words
+
+	// greedy state
+	order     []int32
+	remaining []float64
+	setMask   []uint64
+
+	// emitted decomposition: set si is resFlat[resOffs[si]:resOffs[si+1]]
+	resFlat []int32
+	resOffs []int32
+	resDur  []float64
+
+	// exact (Bron–Kerbosch + LP) state
+	adj     []uint64 // complement adjacency over one word (n <= 64)
+	r       []int32
+	misFlat []int32
+	misOffs []int32
+	memCnt  []int32
+	memOff  []int32
+	memCur  []int32
+	memLst  []int32
+	rowVal  []float64
+
+	remain2 []float64 // realization remainders
+}
+
+// confWords returns the conflict row stride for n messages.
+func confWords(n int) int { return (n + 63) / 64 }
+
+// buildConflict packs each message's links into a bitset and fills the
+// pairwise conflict matrix: conflict(i, j) iff msgs[i] and msgs[j] share
+// a link — each test one word-parallel AND sweep instead of a map probe
+// per link.
+func (sc *schedScratch) buildConflict(msgs []tfg.MessageID, pa *PathAssignment) {
 	n := len(msgs)
 	maxLink := topology.LinkID(-1)
 	for _, mi := range msgs {
@@ -103,36 +148,61 @@ func conflictMatrix(msgs []tfg.MessageID, pa *PathAssignment) [][]bool {
 			}
 		}
 	}
-	linkSets := make([]topology.LinkSet, n)
-	for i, mi := range msgs {
-		linkSets[i] = topology.NewLinkSet(int(maxLink) + 1)
-		linkSets[i].AddLinks(pa.Links[mi])
+	wl := (int(maxLink) + 1 + 63) / 64
+	if cap(sc.lsets) < n*wl {
+		sc.lsets = make([]uint64, n*wl)
+	} else {
+		sc.lsets = sc.lsets[:n*wl]
+		for i := range sc.lsets {
+			sc.lsets[i] = 0
+		}
 	}
-	c := make([][]bool, n)
-	for i := range c {
-		c[i] = make([]bool, n)
+	for i, mi := range msgs {
+		row := sc.lsets[i*wl : (i+1)*wl]
+		for _, l := range pa.Links[mi] {
+			row[l/64] |= 1 << (uint(l) % 64)
+		}
+	}
+	w := confWords(n)
+	if cap(sc.conf) < n*w {
+		sc.conf = make([]uint64, n*w)
+	} else {
+		sc.conf = sc.conf[:n*w]
+		for i := range sc.conf {
+			sc.conf[i] = 0
+		}
 	}
 	for i := 0; i < n; i++ {
+		ri := sc.lsets[i*wl : (i+1)*wl]
 		for j := i + 1; j < n; j++ {
-			if linkSets[i].Intersects(&linkSets[j]) {
-				c[i][j], c[j][i] = true, true
+			rj := sc.lsets[j*wl : (j+1)*wl]
+			for t := range ri {
+				if ri[t]&rj[t] != 0 {
+					sc.conf[i*w+j/64] |= 1 << (uint(j) % 64)
+					sc.conf[j*w+i/64] |= 1 << (uint(i) % 64)
+					break
+				}
 			}
 		}
 	}
-	return c
 }
 
-func scheduleOne(k int, msgs []tfg.MessageID, demands map[tfg.MessageID]float64, pa *PathAssignment, act *Activity, engine Engine, gap float64) ([]Slice, error) {
+// conflict reads one bit of the packed conflict matrix.
+func (sc *schedScratch) conflict(n, i, j int) bool {
+	w := confWords(n)
+	return sc.conf[i*w+j/64]&(1<<(uint(j)%64)) != 0
+}
+
+func scheduleOne(a *solveArena, k int, pa *PathAssignment, act *Activity, engine Engine, gap float64) ([]Slice, error) {
+	sc := &a.sched
+	n := len(sc.msgs)
 	length := act.Intervals.Length(k)
 	start, _ := act.Intervals.Bounds(k)
-	conf := conflictMatrix(msgs, pa)
+	sc.buildConflict(sc.msgs, pa)
 
-	useExact := engine == EngineExact || (engine == EngineAuto && len(msgs) <= exactLimit)
-	var sets [][]int // index sets into msgs
-	var durations []float64
-	var err error
+	useExact := engine == EngineExact || (engine == EngineAuto && n <= exactLimit)
 	if useExact {
-		sets, durations, err = exactDecompose(msgs, demands, conf)
+		err := exactDecomposeInto(a, n)
 		if err != nil && engine == EngineAuto {
 			useExact = false
 		} else if err != nil {
@@ -140,12 +210,12 @@ func scheduleOne(k int, msgs []tfg.MessageID, demands map[tfg.MessageID]float64,
 		}
 	}
 	if !useExact {
-		sets, durations = greedyDecompose(msgs, demands, conf)
+		sc.greedyDecomposeInto(n)
 	}
 
 	total := 0.0
 	nonzero := 0
-	for _, d := range durations {
+	for _, d := range sc.resDur {
 		total += d
 		if d > timeEps {
 			nonzero++
@@ -168,21 +238,24 @@ func scheduleOne(k int, msgs []tfg.MessageID, demands map[tfg.MessageID]float64,
 
 	// Realize slices sequentially from the interval start, trimming each
 	// message's participation to its exact remaining demand.
-	remaining := map[tfg.MessageID]float64{}
-	for m, d := range demands {
-		remaining[m] = d
-	}
+	sc.remain2 = append(sc.remain2[:0], sc.dem...)
 	var out []Slice
 	cursor := start
-	for si, set := range sets {
-		d := durations[si]
+	for si := range sc.resDur {
+		d := sc.resDur[si]
 		if d <= timeEps {
 			continue
 		}
-		sl := Slice{Interval: k, Start: cursor, End: cursor + d}
+		set := sc.resFlat[sc.resOffs[si]:sc.resOffs[si+1]]
+		sl := Slice{
+			Interval: k,
+			Start:    cursor,
+			End:      cursor + d,
+			Msgs:     make([]tfg.MessageID, 0, len(set)),
+			Until:    make([]float64, 0, len(set)),
+		}
 		for _, idx := range set {
-			m := msgs[idx]
-			r := remaining[m]
+			r := sc.remain2[idx]
 			if r <= timeEps {
 				continue
 			}
@@ -190,8 +263,8 @@ func scheduleOne(k int, msgs []tfg.MessageID, demands map[tfg.MessageID]float64,
 			if r < take {
 				take = r
 			}
-			remaining[m] = r - take
-			sl.Msgs = append(sl.Msgs, m)
+			sc.remain2[idx] = r - take
+			sl.Msgs = append(sl.Msgs, sc.msgs[idx])
 			sl.Until = append(sl.Until, cursor+take)
 		}
 		if len(sl.Msgs) > 0 {
@@ -199,115 +272,357 @@ func scheduleOne(k int, msgs []tfg.MessageID, demands map[tfg.MessageID]float64,
 		}
 		cursor += d + gapActual
 	}
-	for m, r := range remaining {
+	for i, r := range sc.remain2 {
 		if r > 1e-6 {
-			return nil, fmt.Errorf("schedule: interval %d: message %d left with %g undelivered", k, m, r)
+			return nil, fmt.Errorf("schedule: interval %d: message %d left with %g undelivered", k, sc.msgs[i], r)
 		}
 	}
 	return out, nil
 }
 
-// greedyDecompose repeatedly schedules a maximal independent set chosen
-// by largest remaining demand; each round fully drains at least one
-// message, so it terminates within len(msgs) rounds.
-func greedyDecompose(msgs []tfg.MessageID, demands map[tfg.MessageID]float64, conf [][]bool) ([][]int, []float64) {
-	n := len(msgs)
-	remaining := make([]float64, n)
-	for i, m := range msgs {
-		remaining[i] = demands[m]
+// greedyDecomposeInto repeatedly schedules a maximal independent set
+// chosen by largest remaining demand; each round fully drains at least
+// one message, so it terminates within n rounds. The emitted sets land
+// in the scratch arenas.
+func (sc *schedScratch) greedyDecomposeInto(n int) {
+	w := confWords(n)
+	sc.remaining = append(sc.remaining[:0], sc.dem...)
+	if cap(sc.setMask) < w {
+		sc.setMask = make([]uint64, w)
 	}
-	var sets [][]int
-	var durations []float64
+	setMask := sc.setMask[:w]
+	sc.resFlat = sc.resFlat[:0]
+	sc.resOffs = append(sc.resOffs[:0], 0)
+	sc.resDur = sc.resDur[:0]
 	for {
-		order := make([]int, 0, n)
+		sc.order = sc.order[:0]
 		for i := 0; i < n; i++ {
-			if remaining[i] > timeEps {
-				order = append(order, i)
+			if sc.remaining[i] > timeEps {
+				sc.order = append(sc.order, int32(i))
 			}
 		}
-		if len(order) == 0 {
-			return sets, durations
+		if len(sc.order) == 0 {
+			return
 		}
-		sort.Slice(order, func(a, b int) bool {
-			if remaining[order[a]] != remaining[order[b]] {
-				return remaining[order[a]] > remaining[order[b]]
+		// Insertion sort by (remaining desc, index asc): the key is a
+		// strict total order, so the permutation matches any correct
+		// sort of the old sort.Slice comparator.
+		order := sc.order
+		for a := 1; a < len(order); a++ {
+			v := order[a]
+			b := a - 1
+			for b >= 0 && (sc.remaining[order[b]] < sc.remaining[v] ||
+				(sc.remaining[order[b]] == sc.remaining[v] && order[b] > v)) {
+				order[b+1] = order[b]
+				b--
 			}
-			return order[a] < order[b]
-		})
-		var set []int
+			order[b+1] = v
+		}
+		for t := range setMask {
+			setMask[t] = 0
+		}
+		setStart := len(sc.resFlat)
 		for _, i := range order {
+			row := sc.conf[int(i)*w : int(i)*w+w]
 			ok := true
-			for _, j := range set {
-				if conf[i][j] {
+			for t := range row {
+				if row[t]&setMask[t] != 0 {
 					ok = false
 					break
 				}
 			}
 			if ok {
-				set = append(set, i)
+				sc.resFlat = append(sc.resFlat, i)
+				setMask[i/64] |= 1 << (uint(i) % 64)
 			}
 		}
-		d := remaining[set[0]]
+		set := sc.resFlat[setStart:]
+		d := sc.remaining[set[0]]
 		for _, i := range set {
-			if remaining[i] < d {
-				d = remaining[i]
+			if sc.remaining[i] < d {
+				d = sc.remaining[i]
 			}
 		}
 		for _, i := range set {
-			remaining[i] -= d
+			sc.remaining[i] -= d
 		}
-		sets = append(sets, set)
-		durations = append(durations, d)
+		sc.resDur = append(sc.resDur, d)
+		sc.resOffs = append(sc.resOffs, int32(len(sc.resFlat)))
 	}
 }
 
-// exactDecompose solves the Section 5.3 program: over all maximal
+// exactDecomposeInto solves the Section 5.3 program: over all maximal
 // link-feasible sets S, minimize sum y_S subject to every message
 // receiving at least its demand from the sets containing it. Maximal
-// sets suffice because over-coverage is trimmed during realization.
-func exactDecompose(msgs []tfg.MessageID, demands map[tfg.MessageID]float64, conf [][]bool) ([][]int, []float64, error) {
-	n := len(msgs)
-	mis := maximalIndependentSets(conf, 4096)
-	if mis == nil {
-		return nil, nil, fmt.Errorf("maximal independent set enumeration exceeded cap")
+// sets suffice because over-coverage is trimmed during realization. The
+// chosen sets land in the scratch result arenas.
+func exactDecomposeInto(a *solveArena, n int) error {
+	sc := &a.sched
+	if !sc.enumerateMIS(n, 4096) {
+		return fmt.Errorf("maximal independent set enumeration exceeded cap")
 	}
-	prob := lp.NewProblem(len(mis))
-	for s := range mis {
+	nSets := len(sc.misOffs) - 1
+	prob := a.lpProblem(nSets)
+	for s := 0; s < nSets; s++ {
 		prob.SetCost(s, 1)
 	}
+	// Per-message set membership as CSR: the demand row of message i
+	// lists the sets containing i in ascending index order — the same
+	// rows the old map construction produced.
+	if cap(sc.memCnt) < n {
+		sc.memCnt = make([]int32, n)
+		sc.memOff = make([]int32, n+1)
+		sc.memCur = make([]int32, n)
+	}
+	memCnt, memOff, memCur := sc.memCnt[:n], sc.memOff[:n+1], sc.memCur[:n]
+	for i := range memCnt {
+		memCnt[i] = 0
+	}
+	for _, j := range sc.misFlat {
+		memCnt[j]++
+	}
+	memOff[0] = 0
 	for i := 0; i < n; i++ {
-		row := map[int]float64{}
-		for s, set := range mis {
-			for _, j := range set {
-				if j == i {
-					row[s] = 1
-					break
-				}
-			}
+		memOff[i+1] = memOff[i] + memCnt[i]
+		memCur[i] = memOff[i]
+	}
+	if cap(sc.memLst) < len(sc.misFlat) {
+		sc.memLst = make([]int32, len(sc.misFlat))
+	}
+	memLst := sc.memLst[:len(sc.misFlat)]
+	for s := 0; s < nSets; s++ {
+		for _, j := range sc.misFlat[sc.misOffs[s]:sc.misOffs[s+1]] {
+			memLst[memCur[j]] = int32(s)
+			memCur[j]++
 		}
-		if err := prob.AddSparse(row, lp.GE, demands[msgs[i]]); err != nil {
-			return nil, nil, err
+	}
+	maxRow := 0
+	for i := 0; i < n; i++ {
+		if c := int(memCnt[i]); c > maxRow {
+			maxRow = c
+		}
+	}
+	if cap(sc.rowVal) < maxRow {
+		sc.rowVal = make([]float64, maxRow)
+	}
+	ones := sc.rowVal[:maxRow]
+	for i := range ones {
+		ones[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		row := memLst[memOff[i]:memOff[i+1]]
+		if err := prob.AddRow(row, ones[:len(row)], lp.GE, sc.dem[i]); err != nil {
+			return err
 		}
 	}
 	sol := prob.Solve()
 	if sol.Status != lp.Optimal {
-		return nil, nil, fmt.Errorf("interval LP %v", sol.Status)
+		return fmt.Errorf("interval LP %v", sol.Status)
 	}
-	var sets [][]int
-	var durations []float64
+	sc.resFlat = sc.resFlat[:0]
+	sc.resOffs = append(sc.resOffs[:0], 0)
+	sc.resDur = sc.resDur[:0]
 	for s, y := range sol.X {
 		if y > timeEps {
-			sets = append(sets, mis[s])
-			durations = append(durations, y)
+			sc.resFlat = append(sc.resFlat, sc.misFlat[sc.misOffs[s]:sc.misOffs[s+1]]...)
+			sc.resOffs = append(sc.resOffs, int32(len(sc.resFlat)))
+			sc.resDur = append(sc.resDur, y)
 		}
 	}
+	return nil
+}
+
+// enumerateMIS enumerates the maximal independent sets of the packed
+// conflict graph into misFlat/misOffs via Bron–Kerbosch with pivoting on
+// the complement graph; it reports false when the count exceeds maxSets.
+// For n <= 64 the candidate and exclusion sets are single machine words,
+// and the ascending-bit iteration reproduces the enumeration order of
+// the reference slice implementation exactly (its p and x lists stay
+// ascending throughout). Larger instances fall back to that reference.
+func (sc *schedScratch) enumerateMIS(n, maxSets int) bool {
+	sc.misFlat = sc.misFlat[:0]
+	sc.misOffs = append(sc.misOffs[:0], 0)
+	if n > 64 {
+		conf := make([][]bool, n)
+		for i := range conf {
+			conf[i] = make([]bool, n)
+			for j := 0; j < n; j++ {
+				conf[i][j] = sc.conflict(n, i, j)
+			}
+		}
+		mis := maximalIndependentSetsSlice(conf, maxSets)
+		if mis == nil {
+			return false
+		}
+		for _, set := range mis {
+			for _, v := range set {
+				sc.misFlat = append(sc.misFlat, int32(v))
+			}
+			sc.misOffs = append(sc.misOffs, int32(len(sc.misFlat)))
+		}
+		return true
+	}
+
+	full := ^uint64(0)
+	if n < 64 {
+		full = (1 << uint(n)) - 1
+	}
+	if cap(sc.adj) < n {
+		sc.adj = make([]uint64, n)
+	}
+	adj := sc.adj[:n]
+	w := confWords(n) // 1 for n <= 64
+	for i := 0; i < n; i++ {
+		adj[i] = ^sc.conf[i*w] &^ (1 << uint(i)) & full
+	}
+	sc.r = sc.r[:0]
+	count := 0
+	var bk func(p, x uint64) bool
+	bk = func(p, x uint64) bool {
+		if p == 0 && x == 0 {
+			sc.misFlat = append(sc.misFlat, sc.r...)
+			sc.misOffs = append(sc.misOffs, int32(len(sc.misFlat)))
+			count++
+			return count <= maxSets
+		}
+		// Pivot on the vertex of p∪x with most neighbors in p; p bits
+		// then x bits, ascending, first strict maximum — the reference
+		// scan order.
+		pivot, best := -1, -1
+		for m := p; m != 0; {
+			u := bits.TrailingZeros64(m)
+			m &^= 1 << uint(u)
+			if cnt := bits.OnesCount64(adj[u] & p); cnt > best {
+				best, pivot = cnt, u
+			}
+		}
+		for m := x; m != 0; {
+			u := bits.TrailingZeros64(m)
+			m &^= 1 << uint(u)
+			if cnt := bits.OnesCount64(adj[u] & p); cnt > best {
+				best, pivot = cnt, u
+			}
+		}
+		cand := p
+		if pivot >= 0 {
+			cand = p &^ adj[pivot]
+		}
+		for m := cand; m != 0; {
+			v := bits.TrailingZeros64(m)
+			m &^= 1 << uint(v)
+			sc.r = append(sc.r, int32(v))
+			if !bk(p&adj[v], x&adj[v]) {
+				return false
+			}
+			sc.r = sc.r[:len(sc.r)-1]
+			// Move v from p to x.
+			p &^= 1 << uint(v)
+			x |= 1 << uint(v)
+		}
+		return true
+	}
+	return bk(full, 0)
+}
+
+// conflictMatrix materializes the packed conflict matrix as [][]bool —
+// the reference shape the decomposition tests exercise.
+func conflictMatrix(msgs []tfg.MessageID, pa *PathAssignment) [][]bool {
+	var sc schedScratch
+	n := len(msgs)
+	sc.buildConflict(msgs, pa)
+	c := make([][]bool, n)
+	for i := range c {
+		c[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			c[i][j] = sc.conflict(n, i, j)
+		}
+	}
+	return c
+}
+
+// loadConf packs a [][]bool conflict matrix into the scratch bit rows
+// (test-wrapper path).
+func (sc *schedScratch) loadConf(conf [][]bool) {
+	n := len(conf)
+	w := confWords(n)
+	sc.conf = make([]uint64, n*w)
+	for i := range conf {
+		for j, v := range conf[i] {
+			if v {
+				sc.conf[i*w+j/64] |= 1 << (uint(j) % 64)
+			}
+		}
+	}
+}
+
+// materializeSets converts the scratch result arenas to the [][]int
+// shape of the original API.
+func (sc *schedScratch) materializeSets() ([][]int, []float64) {
+	sets := make([][]int, len(sc.resDur))
+	for si := range sc.resDur {
+		src := sc.resFlat[sc.resOffs[si]:sc.resOffs[si+1]]
+		set := make([]int, len(src))
+		for t, v := range src {
+			set[t] = int(v)
+		}
+		sets[si] = set
+	}
+	return sets, append([]float64(nil), sc.resDur...)
+}
+
+// greedyDecompose is the [][]bool-shaped wrapper over the arena greedy
+// decomposition, retained for the decomposition tests.
+func greedyDecompose(msgs []tfg.MessageID, demands map[tfg.MessageID]float64, conf [][]bool) ([][]int, []float64) {
+	var sc schedScratch
+	sc.loadConf(conf)
+	sc.dem = make([]float64, len(msgs))
+	for i, m := range msgs {
+		sc.dem[i] = demands[m]
+	}
+	sc.greedyDecomposeInto(len(msgs))
+	return sc.materializeSets()
+}
+
+// exactDecompose is the [][]bool-shaped wrapper over the arena exact
+// decomposition, retained for the decomposition tests.
+func exactDecompose(msgs []tfg.MessageID, demands map[tfg.MessageID]float64, conf [][]bool) ([][]int, []float64, error) {
+	var a solveArena
+	sc := &a.sched
+	sc.loadConf(conf)
+	sc.dem = make([]float64, len(msgs))
+	for i, m := range msgs {
+		sc.dem[i] = demands[m]
+	}
+	if err := exactDecomposeInto(&a, len(msgs)); err != nil {
+		return nil, nil, err
+	}
+	sets, durations := sc.materializeSets()
 	return sets, durations, nil
 }
 
 // maximalIndependentSets enumerates maximal independent sets of the
-// conflict graph via Bron–Kerbosch on the complement, returning nil when
-// the count exceeds maxSets.
+// conflict graph, returning nil when the count exceeds maxSets.
 func maximalIndependentSets(conf [][]bool, maxSets int) [][]int {
+	var sc schedScratch
+	sc.loadConf(conf)
+	if !sc.enumerateMIS(len(conf), maxSets) {
+		return nil
+	}
+	out := make([][]int, len(sc.misOffs)-1)
+	for s := range out {
+		src := sc.misFlat[sc.misOffs[s]:sc.misOffs[s+1]]
+		set := make([]int, len(src))
+		for t, v := range src {
+			set[t] = int(v)
+		}
+		out[s] = set
+	}
+	return out
+}
+
+// maximalIndependentSetsSlice is the reference Bron–Kerbosch over slice
+// sets — the n > 64 fallback and the order oracle for the bitset path.
+func maximalIndependentSetsSlice(conf [][]bool, maxSets int) [][]int {
 	n := len(conf)
 	adj := make([][]bool, n) // complement adjacency
 	for i := range adj {

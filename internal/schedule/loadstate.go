@@ -55,6 +55,9 @@ type LoadState struct {
 	nl  int
 	K   int
 
+	lenK    []float64 // lenK[k] = Intervals.Length(k), cached
+	noSlack []bool    // noSlack[i] = ws[i].NoSlack(), cached
+
 	members []msgSet  // members[j]: messages using link j
 	xmit    []float64 // xmit[j]: Σ Xmit over members[j], ascending message order
 	cnt     []int32   // cnt[j*K+k]: active messages on (j, k)
@@ -63,7 +66,28 @@ type LoadState struct {
 	activeLen []float64 // activeLen[j]: Σ interval lengths with cnt > 0
 	score     []float64 // score[j]: max(U_j, max_k spot[j][k])
 	scoreK    []int32   // interval attaining score[j], -1 for U_j
+
+	// Peak cache: the top-k links ordered by (score desc, link asc),
+	// rebuilt O(nl) whenever link scores actually change. EvalReroute
+	// touches at most the links of two paths, so as long as fewer links
+	// changed than the cache holds, the first unchanged cache entry
+	// dominates every unchanged link and the peak needs no O(nl) scan.
+	topk []int32
+
+	// Per-link tentative scores of the eval in progress, valid where
+	// stamp matches epoch.
+	tentScore []float64
+	tentK     []int32
+	stamp     []int32
+	changed   []int32
+	epoch     int32
 }
+
+// topkSize bounds the peak cache. Any eval changing at least this many
+// links (symmetric difference of two paths — beyond any preset's path
+// pair) falls back to a full scan, so the cache is never correctness-
+// critical.
+const topkSize = 80
 
 // NewLoadState builds the accumulators for pa from scratch.
 func NewLoadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *LoadState {
@@ -81,6 +105,17 @@ func NewLoadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *
 		activeLen: make([]float64, nl),
 		score:     make([]float64, nl),
 		scoreK:    make([]int32, nl),
+		tentScore: make([]float64, nl),
+		tentK:     make([]int32, nl),
+		stamp:     make([]int32, nl),
+		lenK:      make([]float64, K),
+		noSlack:   make([]bool, len(ws)),
+	}
+	for k := 0; k < K; k++ {
+		ls.lenK[k] = act.Intervals.Length(k)
+	}
+	for i := range ws {
+		ls.noSlack[i] = ws[i].NoSlack()
 	}
 	for j := range ls.members {
 		ls.members[j] = newMsgSet(len(ws))
@@ -125,6 +160,40 @@ func (ls *LoadState) fill(pa *PathAssignment) {
 	for j := 0; j < ls.nl; j++ {
 		ls.recomputeLink(j)
 	}
+	ls.rebuildTopK()
+}
+
+// rebuildTopK reselects the top-k links by (score desc, link asc); ties
+// keep the smaller link first because later links insert after equals.
+func (ls *LoadState) rebuildTopK() {
+	k := ls.nl
+	if k > topkSize {
+		k = topkSize
+	}
+	ls.topk = ls.topk[:0]
+	for j := 0; j < ls.nl; j++ {
+		s := ls.score[j]
+		if len(ls.topk) == k && ls.score[ls.topk[k-1]] >= s {
+			continue // can't displace the current k-th entry
+		}
+		lo, hi := 0, len(ls.topk)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ls.score[ls.topk[mid]] >= s {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= k {
+			continue
+		}
+		if len(ls.topk) < k {
+			ls.topk = append(ls.topk, 0)
+		}
+		copy(ls.topk[lo+1:], ls.topk[lo:])
+		ls.topk[lo] = int32(j)
+	}
 }
 
 // recomputeLink refreshes link j's derived floats from the exact
@@ -134,16 +203,26 @@ func (ls *LoadState) fill(pa *PathAssignment) {
 // so the derived values carry no incremental drift.
 func (ls *LoadState) recomputeLink(j int) {
 	sum := 0.0
-	ls.members[j].forEach(func(i int) {
-		sum += ls.ws[i].Xmit
-	})
+	for wi, w := range ls.members[j] {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			sum += ls.ws[wi*64+b].Xmit
+		}
+	}
 	ls.xmit[j] = sum
 
 	base := j * ls.K
+	cnt := ls.cnt[base : base+ls.K]
+	spot := ls.spot[base : base+ls.K]
 	al := 0.0
+	maxSpot, maxSpotK := int32(0), int32(-1)
 	for k := 0; k < ls.K; k++ {
-		if ls.cnt[base+k] > 0 {
-			al += ls.act.Intervals.Length(k)
+		if cnt[k] > 0 {
+			al += ls.lenK[k]
+		}
+		if spot[k] > maxSpot {
+			maxSpot, maxSpotK = spot[k], int32(k)
 		}
 	}
 	ls.activeLen[j] = al
@@ -152,11 +231,12 @@ func (ls *LoadState) recomputeLink(j int) {
 	if al > 0 {
 		u = sum / al
 	}
+	// Equivalent to scanning spots ascending with strict improvement
+	// over a running best seeded at u: the winner is the first interval
+	// attaining the maximum spot count, when that exceeds u.
 	best, bestK := u, int32(-1)
-	for k := 0; k < ls.K; k++ {
-		if s := float64(ls.spot[base+k]); s > best {
-			best, bestK = s, int32(k)
-		}
+	if s := float64(maxSpot); s > best {
+		best, bestK = s, maxSpotK
 	}
 	ls.score[j] = best
 	ls.scoreK[j] = bestK
@@ -208,6 +288,7 @@ func (ls *LoadState) ApplyReroute(msg tfg.MessageID, oldLinks, newLinks []topolo
 		}
 		ls.recomputeLink(int(l))
 	}
+	ls.rebuildTopK()
 }
 
 // Undo reverses a previous ApplyReroute with the same arguments. All
@@ -217,14 +298,171 @@ func (ls *LoadState) Undo(msg tfg.MessageID, oldLinks, newLinks []topology.LinkI
 	ls.ApplyReroute(msg, newLinks, oldLinks)
 }
 
-// EvalReroute scores the reroute without leaving it applied: the move
-// is applied, the peak read, and the move undone. Exactness of
-// Apply/Undo makes this a pure what-if query.
+// EvalReroute scores the reroute without applying it: each link in the
+// symmetric difference of the two paths gets a tentative score computed
+// read-only in the exact float-summation orders recomputeLink would use
+// after a real apply, and the peak combines those with the cached
+// unchanged maximum. The returned triple is bit-identical to
+// apply-peek-undo, but no state mutates and no O(nl) rescan runs on the
+// cached fast path.
 func (ls *LoadState) EvalReroute(msg tfg.MessageID, oldLinks, newLinks []topology.LinkID) (float64, topology.LinkID, int) {
-	ls.ApplyReroute(msg, oldLinks, newLinks)
-	peak, link, interval := ls.PeakPosition()
-	ls.Undo(msg, oldLinks, newLinks)
-	return peak, link, interval
+	ls.epoch++
+	if ls.epoch < 0 { // wrapped: stale stamps could collide
+		for i := range ls.stamp {
+			ls.stamp[i] = 0
+		}
+		ls.epoch = 1
+	}
+	ls.changed = ls.changed[:0]
+	for _, l := range oldLinks {
+		if !containsLink(newLinks, l) {
+			ls.tentative(int(l), int(msg), false)
+		}
+	}
+	for _, l := range newLinks {
+		if !containsLink(oldLinks, l) {
+			ls.tentative(int(l), int(msg), true)
+		}
+	}
+	return ls.peakWithTentative()
+}
+
+// tentative computes link l's score as if msg were added to (or removed
+// from) it, without mutating the accumulators. The transmission sum
+// iterates members ascending with msg spliced in (or skipped) at its
+// sorted position, and the interval scans apply the count delta inline —
+// term-for-term the sums recomputeLink would produce after a real
+// ApplyReroute, hence bit-identical.
+func (ls *LoadState) tentative(l, msg int, add bool) {
+	w := &ls.ws[msg]
+	noSlack := ls.noSlack[msg]
+	row := ls.act.Active[msg]
+	sum := 0.0
+	if add {
+		spliced := false
+		for wi, wv := range ls.members[l] {
+			for wv != 0 {
+				b := bits.TrailingZeros64(wv)
+				wv &^= 1 << uint(b)
+				i := wi*64 + b
+				if !spliced && i > msg {
+					sum += w.Xmit
+					spliced = true
+				}
+				sum += ls.ws[i].Xmit
+			}
+		}
+		if !spliced {
+			sum += w.Xmit
+		}
+	} else {
+		for wi, wv := range ls.members[l] {
+			for wv != 0 {
+				b := bits.TrailingZeros64(wv)
+				wv &^= 1 << uint(b)
+				if i := wi*64 + b; i != msg {
+					sum += ls.ws[i].Xmit
+				}
+			}
+		}
+	}
+
+	delta := int32(1)
+	if !add {
+		delta = -1
+	}
+	base := l * ls.K
+	cnt := ls.cnt[base : base+ls.K]
+	spot := ls.spot[base : base+ls.K]
+	al := 0.0
+	maxSpot, maxSpotK := int32(0), int32(-1)
+	for k := 0; k < ls.K; k++ {
+		c, s := cnt[k], spot[k]
+		if row[k] {
+			c += delta
+			if noSlack {
+				s += delta
+			}
+		}
+		if c > 0 {
+			al += ls.lenK[k]
+		}
+		if s > maxSpot {
+			maxSpot, maxSpotK = s, int32(k)
+		}
+	}
+	u := 0.0
+	if al > 0 {
+		u = sum / al
+	}
+	// Same strict-first-maximum reduction as recomputeLink.
+	best, bestK := u, int32(-1)
+	if s := float64(maxSpot); s > best {
+		best, bestK = s, maxSpotK
+	}
+	ls.tentScore[l] = best
+	ls.tentK[l] = bestK
+	ls.stamp[l] = ls.epoch
+	ls.changed = append(ls.changed, int32(l))
+}
+
+// peakWithTentative returns the peak over all links with the current
+// tentative overrides in effect, replicating PeakPosition's ascending
+// strict-improvement tie-break. Fast path: merge the changed links with
+// the best unchanged cache entry; that entry dominates every unchanged
+// link (the cache is a top-k order and fewer than k links changed), and
+// among equal-score unchanged links the cache order puts the smallest
+// link first.
+func (ls *LoadState) peakWithTentative() (float64, topology.LinkID, int) {
+	if len(ls.changed) >= len(ls.topk) {
+		peak, link, interval := 0.0, topology.LinkID(0), int32(-1)
+		for j := 0; j < ls.nl; j++ {
+			s, sk := ls.score[j], ls.scoreK[j]
+			if ls.stamp[j] == ls.epoch {
+				s, sk = ls.tentScore[j], ls.tentK[j]
+			}
+			if s > peak {
+				peak, link, interval = s, topology.LinkID(j), sk
+			}
+		}
+		return peak, link, int(interval)
+	}
+	ch := ls.changed
+	for a := 1; a < len(ch); a++ {
+		v := ch[a]
+		b := a - 1
+		for b >= 0 && ch[b] > v {
+			ch[b+1] = ch[b]
+			b--
+		}
+		ch[b+1] = v
+	}
+	bestUn := int32(-1)
+	for _, j := range ls.topk {
+		if ls.stamp[j] != ls.epoch {
+			bestUn = j
+			break
+		}
+	}
+	peak, link, interval := 0.0, topology.LinkID(0), int32(-1)
+	ci := 0
+	for ci < len(ch) || bestUn >= 0 {
+		var j int32
+		var s float64
+		var sk int32
+		if bestUn >= 0 && (ci == len(ch) || bestUn < ch[ci]) {
+			j, s, sk = bestUn, ls.score[bestUn], ls.scoreK[bestUn]
+			bestUn = -1
+		} else {
+			j = ch[ci]
+			s, sk = ls.tentScore[j], ls.tentK[j]
+			ci++
+		}
+		if s > peak {
+			peak, link, interval = s, topology.LinkID(j), sk
+		}
+	}
+	return peak, link, int(interval)
 }
 
 // PeakPosition returns the current peak and where it sits, with the

@@ -2,7 +2,7 @@ package schedule
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
@@ -63,21 +63,44 @@ type Omega struct {
 // AP output buffer to the first link, intermediate CPs connect incoming
 // to outgoing links, and the destination CP connects the last link to
 // its AP input buffer.
-func BuildOmega(slices []Slice, pa *PathAssignment, ws []Window, nodes int, tauIn, latency float64) *Omega {
+func BuildOmega(sls []Slice, pa *PathAssignment, ws []Window, nodes int, tauIn, latency float64) *Omega {
 	om := &Omega{
 		TauIn:   tauIn,
 		Nodes:   make([]NodeSchedule, nodes),
-		Slices:  slices,
+		Slices:  sls,
 		Windows: ws,
 		Latency: latency,
 	}
+	// Count commands per node first so every node's command list is an
+	// exact-size window of one shared backing array.
+	counts := make([]int32, nodes)
+	total := 0
+	for _, sl := range sls {
+		for _, msg := range sl.Msgs {
+			if len(pa.Links[msg]) == 0 {
+				continue
+			}
+			for _, node := range pa.Paths[msg].Nodes {
+				counts[node]++
+				total++
+			}
+		}
+	}
+	backing := make([]Command, total)
+	off := 0
 	for n := range om.Nodes {
 		om.Nodes[n].Node = topology.NodeID(n)
+		if counts[n] == 0 {
+			continue // keep Commands nil, matching decode round-trips
+		}
+		end := off + int(counts[n])
+		om.Nodes[n].Commands = backing[off:off:end]
+		off = end
 	}
 	add := func(n topology.NodeID, c Command) {
 		om.Nodes[n].Commands = append(om.Nodes[n].Commands, c)
 	}
-	for _, sl := range slices {
+	for _, sl := range sls {
 		for mi, msg := range sl.Msgs {
 			end := sl.Until[mi]
 			path := pa.Paths[msg]
@@ -103,15 +126,29 @@ func BuildOmega(slices []Slice, pa *PathAssignment, ws []Window, nodes int, tauI
 		}
 	}
 	for n := range om.Nodes {
-		cs := om.Nodes[n].Commands
-		sort.Slice(cs, func(a, b int) bool {
-			if cs[a].Start != cs[b].Start {
-				return cs[a].Start < cs[b].Start
-			}
-			return cs[a].Msg < cs[b].Msg
-		})
+		// No node sees the same (Start, Msg) twice — a path visits a node
+		// once and distinct slices start at distinct times — so the key is
+		// a total order and any correct sort yields the permutation the
+		// old sort.Slice produced.
+		slices.SortFunc(om.Nodes[n].Commands, cmpCommand)
 	}
 	return om
+}
+
+// cmpCommand orders commands by (Start, Msg) without the per-node
+// interface and closure allocations of sort.Slice.
+func cmpCommand(a, b Command) int {
+	switch {
+	case a.Start < b.Start:
+		return -1
+	case a.Start > b.Start:
+		return 1
+	case a.Msg < b.Msg:
+		return -1
+	case a.Msg > b.Msg:
+		return 1
+	}
+	return 0
 }
 
 // Validate checks the three safety properties scheduled routing promises:
@@ -120,35 +157,54 @@ func BuildOmega(slices []Slice, pa *PathAssignment, ws []Window, nodes int, tauI
 // window, and every message receives exactly its transmission time each
 // frame.
 func (om *Omega) Validate(top *topology.Topology) error {
-	type span struct {
-		start, end float64
-		msg        tfg.MessageID
-	}
-	perLink := make([][]span, top.Links())
-	got := make([]float64, len(om.Windows))
-	linksets := make([][]topology.LinkID, len(om.Windows))
-	for i := range linksets {
-		linksets[i] = nil
-	}
+	nw := len(om.Windows)
+	got := make([]float64, nw)
+
+	// Per-message linksets as a flat CSR: port counts bound each
+	// message's window, filled with the same first-occurrence dedup as
+	// the old per-message append lists.
+	portCnt := make([]int32, nw)
 	for _, ns := range om.Nodes {
 		for _, c := range ns.Commands {
-			for _, p := range []Port{c.In, c.Out} {
-				if p.AP {
-					continue
-				}
-				dup := false
-				for _, l := range linksets[c.Msg] {
-					if l == p.Link {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					linksets[c.Msg] = append(linksets[c.Msg], p.Link)
-				}
+			if !c.In.AP {
+				portCnt[c.Msg]++
+			}
+			if !c.Out.AP {
+				portCnt[c.Msg]++
 			}
 		}
 	}
+	lsOff := make([]int32, nw+1)
+	for i := 0; i < nw; i++ {
+		lsOff[i+1] = lsOff[i] + portCnt[i]
+	}
+	lsFlat := make([]topology.LinkID, lsOff[nw])
+	lsLen := make([]int32, nw)
+	addLink := func(msg tfg.MessageID, l topology.LinkID) {
+		w := lsFlat[lsOff[msg] : lsOff[msg]+lsLen[msg]]
+		for _, x := range w {
+			if x == l {
+				return
+			}
+		}
+		lsFlat[lsOff[msg]+lsLen[msg]] = l
+		lsLen[msg]++
+	}
+	for _, ns := range om.Nodes {
+		for _, c := range ns.Commands {
+			if !c.In.AP {
+				addLink(c.Msg, c.In.Link)
+			}
+			if !c.Out.AP {
+				addLink(c.Msg, c.Out.Link)
+			}
+		}
+	}
+	linkset := func(msg tfg.MessageID) []topology.LinkID {
+		return lsFlat[lsOff[msg] : lsOff[msg]+lsLen[msg]]
+	}
+
+	spanCnt := make([]int32, top.Links())
 	for _, sl := range om.Slices {
 		for mi, msg := range sl.Msgs {
 			w := om.Windows[msg]
@@ -164,9 +220,8 @@ func (om *Omega) Validate(top *topology.Topology) error {
 				return fmt.Errorf("schedule: message %d transmission runs %g past its window", msg, off-w.Length)
 			}
 			got[msg] += end - start
-			// Spans never wrap: slices live inside single intervals.
-			for _, l := range linksets[msg] {
-				perLink[l] = append(perLink[l], span{start, end, msg})
+			for _, l := range linkset(msg) {
+				spanCnt[l]++
 			}
 		}
 	}
@@ -178,15 +233,49 @@ func (om *Omega) Validate(top *topology.Topology) error {
 			return fmt.Errorf("schedule: message %d transmitted %g, needs %g", i, got[i], w.Xmit)
 		}
 	}
-	for l, spans := range perLink {
-		sort.Slice(spans, func(a, b int) bool { return spans[a].start < spans[b].start })
-		for i := 1; i < len(spans); i++ {
-			if spans[i].start < spans[i-1].end-1e-6 {
-				return fmt.Errorf("schedule: link %d carries messages %d and %d simultaneously", l, spans[i-1].msg, spans[i].msg)
+
+	// Per-link span lists as exact-size windows of one flat array;
+	// spans never wrap (slices live inside single intervals).
+	spanOff := make([]int32, top.Links()+1)
+	for l := 0; l < top.Links(); l++ {
+		spanOff[l+1] = spanOff[l] + spanCnt[l]
+	}
+	spans := make([]valSpan, spanOff[top.Links()])
+	cursor := spanCnt
+	for l := range cursor {
+		cursor[l] = spanOff[l]
+	}
+	for _, sl := range om.Slices {
+		for mi, msg := range sl.Msgs {
+			for _, l := range linkset(msg) {
+				spans[cursor[l]] = valSpan{sl.Start, sl.Until[mi], msg}
+				cursor[l]++
+			}
+		}
+	}
+	for l := 0; l < top.Links(); l++ {
+		ls := spans[spanOff[l]:spanOff[l+1]]
+		slices.SortFunc(ls, func(a, b valSpan) int {
+			switch {
+			case a.start < b.start:
+				return -1
+			case a.start > b.start:
+				return 1
+			}
+			return 0
+		})
+		for i := 1; i < len(ls); i++ {
+			if ls[i].start < ls[i-1].end-1e-6 {
+				return fmt.Errorf("schedule: link %d carries messages %d and %d simultaneously", l, ls[i-1].msg, ls[i].msg)
 			}
 		}
 	}
 	return nil
+}
+
+type valSpan struct {
+	start, end float64
+	msg        tfg.MessageID
 }
 
 // linksets are derived from the node schedules so validation checks the

@@ -133,28 +133,56 @@ type Utilization struct {
 // ComputeUtilization evaluates an assignment against the activity
 // structure and message windows.
 func ComputeUtilization(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *Utilization {
+	var a solveArena
+	return computeUtilization(&a, top, pa, ws, act)
+}
+
+// utilScratch is the pooled working storage of computeUtilization.
+type utilScratch struct {
+	xmitOnLink   []float64
+	activeLen    []float64
+	linkInterval []bool  // any message active on flat cell j*K+k
+	spot         []int32 // no-slack count on flat cell j*K+k
+}
+
+func computeUtilization(a *solveArena, top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *Utilization {
+	sc := &a.util
 	nl := top.Links()
 	K := act.Intervals.K()
-	xmitOnLink := make([]float64, nl)
-	activeLen := make([]float64, nl)
-	linkInterval := make([][]bool, nl) // any message active on (j,k)
-	spot := make([][]int, nl)          // no-slack count on (j,k)
-	for j := 0; j < nl; j++ {
-		linkInterval[j] = make([]bool, K)
-		spot[j] = make([]int, K)
+	if cap(sc.xmitOnLink) < nl {
+		sc.xmitOnLink = make([]float64, nl)
+		sc.activeLen = make([]float64, nl)
+	}
+	xmitOnLink := sc.xmitOnLink[:nl]
+	activeLen := sc.activeLen[:nl]
+	if cap(sc.linkInterval) < nl*K {
+		sc.linkInterval = make([]bool, nl*K)
+		sc.spot = make([]int32, nl*K)
+	}
+	linkInterval := sc.linkInterval[:nl*K]
+	spot := sc.spot[:nl*K]
+	for j := range xmitOnLink {
+		xmitOnLink[j] = 0
+		activeLen[j] = 0
+	}
+	for c := range linkInterval {
+		linkInterval[c] = false
+		spot[c] = 0
 	}
 	for i := range ws {
 		if ws[i].Local || len(pa.Links[i]) == 0 {
 			continue
 		}
 		noSlack := ws[i].NoSlack()
+		row := act.Active[i]
 		for _, l := range pa.Links[i] {
 			xmitOnLink[l] += ws[i].Xmit
+			base := int(l) * K
 			for k := 0; k < K; k++ {
-				if act.Active[i][k] {
-					linkInterval[l][k] = true
+				if row[k] {
+					linkInterval[base+k] = true
 					if noSlack {
-						spot[l][k]++
+						spot[base+k]++
 					}
 				}
 			}
@@ -162,8 +190,9 @@ func ComputeUtilization(top *topology.Topology, pa *PathAssignment, ws []Window,
 	}
 	u := &Utilization{LinkU: make([]float64, nl), PeakInterval: -1}
 	for j := 0; j < nl; j++ {
+		base := j * K
 		for k := 0; k < K; k++ {
-			if linkInterval[j][k] {
+			if linkInterval[base+k] {
 				activeLen[j] += act.Intervals.Length(k)
 			}
 		}
@@ -176,7 +205,7 @@ func ComputeUtilization(top *topology.Topology, pa *PathAssignment, ws []Window,
 			u.PeakInterval = -1
 		}
 		for k := 0; k < K; k++ {
-			if s := float64(spot[j][k]); s > u.Peak {
+			if s := float64(spot[base+k]); s > u.Peak {
 				u.Peak = s
 				u.PeakLink = topology.LinkID(j)
 				u.PeakInterval = k

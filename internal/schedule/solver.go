@@ -107,6 +107,11 @@ type candsEntry struct {
 	err error
 }
 
+// arenaPool recycles solve arenas across Solve calls and Solvers; each
+// Solve borrows one arena for its whole pipeline, so concurrent Solves
+// never share scratch.
+var arenaPool = sync.Pool{New: func() any { return new(solveArena) }}
+
 // NewSolver fixes the problem structure. p.TauIn is ignored — the
 // period is an argument to Solve.
 func NewSolver(p Problem) *Solver {
@@ -259,6 +264,9 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 	sp := opt.Trace.Start(SpanSolve, trace.Float64("tau_in", tauIn), trace.Int64("seed", opt.Seed))
 	defer sp.End()
 
+	arena := arenaPool.Get().(*solveArena)
+	defer arenaPool.Put(arena)
+
 	tb := sp.Start(SpanTimeBounds)
 	starts, err := s.taskStarts(window, tauIn, opt.AllowSharedNodes)
 	if err != nil {
@@ -295,7 +303,7 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 	// reroute improves on it); hand each Solve its own slice headers so
 	// callers can't alias each other through the cache.
 	lsd = lsd.Clone()
-	lsdU := ComputeUtilization(p.Topology, lsd, ws, act)
+	lsdU := computeUtilization(arena, p.Topology, lsd, ws, act)
 	res.PeakLSD = lsdU.Peak
 	ls.SetAttrs(trace.Bool("cached", !lsdBuilt), trace.Float64("peak", lsdU.Peak))
 	ls.End()
@@ -324,7 +332,7 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 		ap := asp.Start(SpanAssignPaths)
 		pa, peak := lsd, lsdU.Peak
 		if !opt.LSDOnly {
-			ar := AssignPaths(lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner)
+			ar := assignPaths(arena, lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner)
 			stats.AssignIterations += ar.Iterations
 			pa, peak = ar.Assignment, ar.Util.Peak
 			if peak > lsdU.Peak {
@@ -348,10 +356,10 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 			stage = StageUtilization
 		} else {
 			ms := asp.Start(SpanSubsets)
-			subsets := MaximalSubsets(pa, ws, act)
+			subsets := maximalSubsets(arena, pa, ws, act)
 			ms.End()
 			al := asp.Start(SpanAllocation)
-			allocation, err = AllocateIntervals(subsets, pa, ws, act)
+			allocation, err = allocateIntervals(arena, subsets, pa, ws, act)
 			var allocFail *ErrAllocationInfeasible
 			if errors.As(err, &allocFail) {
 				stage = StageAllocation
@@ -364,7 +372,7 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 		t = stamp(&stats.AllocateTime, t)
 		if stage == StageOK {
 			is := asp.Start(SpanIntervalSched)
-			slices, err = ScheduleIntervals(allocation, pa, act, opt.Engine, 2*opt.SyncMargin)
+			slices, err = scheduleIntervals(arena, allocation, pa, act, opt.Engine, 2*opt.SyncMargin)
 			var schedFail *ErrIntervalInfeasible
 			if errors.As(err, &schedFail) {
 				stage = StageIntervalSchedule

@@ -84,10 +84,13 @@ func ParseAllocator(name string, g *tfg.Graph, top *topology.Topology, seed int6
 }
 
 // LoadGraph reads a TFG: either a built-in spec ("dvb:4", "chain:8",
-// "fan:6", "fft:3", "stencil:4") or a path to a JSON file produced by
-// tfggen.
+// "fan:6", "fft:3", "stencil:4", "layered:seed,widths...,density") or a
+// path to a JSON file produced by tfggen.
 func LoadGraph(spec string) (*tfg.Graph, error) {
 	if kind, rest, ok := strings.Cut(spec, ":"); ok {
+		if kind == "layered" {
+			return parseLayered(spec, rest)
+		}
 		n, err := strconv.Atoi(rest)
 		if err != nil {
 			return nil, badInput("graph spec %q: %v", spec, err)
@@ -113,6 +116,59 @@ func LoadGraph(spec string) (*tfg.Graph, error) {
 	}
 	defer f.Close()
 	return tfg.Decode(f)
+}
+
+// parseLayered resolves "layered:seed,w1,w2,...,density" into a
+// deterministic tfg.RandomLayered graph (the large-scale benchmark
+// workload): the first field is the generator seed, the last — the only
+// one containing a '.' — is the extra-edge density, and the fields in
+// between are layer widths, where "64*14" repeats a width 14 times.
+// Ops and bytes ranges are fixed to the tfggen defaults (400-1925 ops,
+// 192-3200 bytes) so a spec names exactly one graph.
+func parseLayered(spec, rest string) (*tfg.Graph, error) {
+	parts := strings.Split(rest, ",")
+	if len(parts) < 3 {
+		return nil, badInput("graph spec %q: want layered:seed,widths...,density", spec)
+	}
+	last := strings.TrimSpace(parts[len(parts)-1])
+	if !strings.Contains(last, ".") {
+		return nil, badInput("graph spec %q: final field %q must be a density like 0.03", spec, last)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return nil, badInput("graph spec %q: seed: %v", spec, err)
+	}
+	density, err := strconv.ParseFloat(last, 64)
+	if err != nil {
+		return nil, badInput("graph spec %q: density: %v", spec, err)
+	}
+	var widths []int
+	for _, part := range parts[1 : len(parts)-1] {
+		part = strings.TrimSpace(part)
+		w, rep := part, 1
+		if ws, rs, ok := strings.Cut(part, "*"); ok {
+			w = strings.TrimSpace(ws)
+			rep, err = strconv.Atoi(strings.TrimSpace(rs))
+			if err != nil {
+				return nil, badInput("graph spec %q: repeat %q: %v", spec, part, err)
+			}
+			if rep < 1 {
+				return nil, badInput("graph spec %q: repeat %q must be >= 1", spec, part)
+			}
+		}
+		v, err := strconv.Atoi(w)
+		if err != nil {
+			return nil, badInput("graph spec %q: width %q: %v", spec, part, err)
+		}
+		for i := 0; i < rep; i++ {
+			widths = append(widths, v)
+		}
+	}
+	g, err := tfg.RandomLayered(seed, widths, 400, 1925, 192, 3200, density)
+	if err != nil {
+		return nil, errkind.Mark(err, errkind.ErrBadInput)
+	}
+	return g, nil
 }
 
 // Build resolves a FaultSpec against a topology into a FaultSet.

@@ -1,0 +1,70 @@
+package schedroute
+
+import (
+	"errors"
+	"testing"
+
+	"schedroute/internal/errkind"
+	"schedroute/internal/tfg"
+)
+
+// The layered spec is the large-scale benchmark workload, so its shape
+// must be stable: same seed and widths, same graph, forever.
+func TestLoadGraphLayeredSpec(t *testing.T) {
+	g, err := LoadGraph("layered:42,3,4*2,2,0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tfg.RandomLayered(42, []int{3, 4, 4, 2}, 400, 1925, 192, 3200, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != want.NumTasks() || g.NumMessages() != want.NumMessages() {
+		t.Fatalf("spec graph %d tasks / %d msgs, direct call %d / %d",
+			g.NumTasks(), g.NumMessages(), want.NumTasks(), want.NumMessages())
+	}
+	for i := 0; i < g.NumMessages(); i++ {
+		gm, wm := g.Message(tfg.MessageID(i)), want.Message(tfg.MessageID(i))
+		if gm.Bytes != wm.Bytes || gm.Src != wm.Src || gm.Dst != wm.Dst {
+			t.Fatalf("message %d differs from direct RandomLayered call", i)
+		}
+	}
+}
+
+// The two benchmark presets must stay loadable at the documented scale
+// (~960 tasks, ~2.6k messages): the feasibility benchmarks assume it.
+func TestLoadGraphLayeredLargePreset(t *testing.T) {
+	g, err := LoadGraph("layered:7,32,64*14,32,0.03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumTasks(); got != 32+64*14+32 {
+		t.Fatalf("large preset has %d tasks, want %d", got, 32+64*14+32)
+	}
+	if g.NumMessages() < 1000 {
+		t.Fatalf("large preset has only %d messages", g.NumMessages())
+	}
+}
+
+func TestLoadGraphLayeredSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"layered:7",            // too few fields
+		"layered:7,32",         // still no density
+		"layered:7,32,3",       // final field is not a density
+		"layered:x,32,0.1",     // bad seed
+		"layered:7,32,0.x",     // bad density
+		"layered:7,3x,0.1",     // bad width
+		"layered:7,32*0,4,0.1", // repeat < 1
+		"layered:7,32*x,4,0.1", // bad repeat
+		"layered:7,0,0.1",      // zero-width layer (rejected by tfg)
+	} {
+		_, err := LoadGraph(spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", spec)
+			continue
+		}
+		if !errors.Is(err, errkind.ErrBadInput) {
+			t.Errorf("spec %q: error not marked bad-input: %v", spec, err)
+		}
+	}
+}
