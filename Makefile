@@ -1,10 +1,12 @@
 # Tier-1 verify is `make check`: build, vet, then the full test suite.
 # `make race` is the concurrency job for the parallel sweep/search
-# engine; run it whenever internal/parallel or a sweep changes.
+# engine and the /v1/watch subscription machinery (concurrent
+# create/event/close churn); run it whenever internal/parallel,
+# internal/service, or a sweep changes.
 
 GO ?= go
 
-.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke trace-smoke clean
+.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke trace-smoke watch-smoke clean
 
 all: check
 
@@ -39,6 +41,12 @@ service-smoke:
 # the isolated pprof listener (scripts/trace_smoke.sh).
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# End-to-end smoke of the /v1/watch streaming reconfiguration service:
+# srsched -watch, raw SSE with Last-Event-ID resume, watch metrics,
+# and closing frames on SIGTERM drain (scripts/watch_smoke.sh).
+watch-smoke:
+	sh scripts/watch_smoke.sh
 
 # Full figure-regeneration benchmark suite (see bench_test.go).
 bench:

@@ -9,6 +9,7 @@
 //	srsched -tfg graph.json -topo torus:8,8 -bw 128 -tauin 75 -dump
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 141 -fail-link 0-1 -verify-packets 64
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 141 -trace -trace-out trace.json
+//	srsched -tfg dvb:4 -topo cube:6 -tauin 150 -fail-link 0-1 -watch http://localhost:8080
 //
 // With -fail-link u-v the computed schedule is repaired for the named
 // link fault through the degradation ladder (incremental reroute, full
@@ -16,6 +17,11 @@
 // instead. Combined with -verify-packets, the repaired Ω is replayed
 // with the fault injected mid-run. An infeasible repair exits with
 // status 3.
+//
+// With -watch URL nothing is solved locally: the problem is registered
+// as a /v1/watch subscription on a running srschedd, the fault (or a
+// -watch-events random scenario) is replayed as watch events, and each
+// incrementally repaired frame is printed as it streams back.
 package main
 
 import (
@@ -26,11 +32,13 @@ import (
 
 	"schedroute/internal/cliutil"
 	"schedroute/internal/cpsim"
+	"schedroute/internal/faults"
 	"schedroute/internal/gantt"
 	"schedroute/internal/schedule"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
 	"schedroute/internal/trace"
+	"schedroute/pkg/schedroute"
 )
 
 func main() {
@@ -49,7 +57,14 @@ func main() {
 	stats := flag.Bool("stats", false, "report pipeline attempts, AssignPaths evaluations and per-stage wall-clock times")
 	showTrace := flag.Bool("trace", false, "record the solve pipeline as a span tree and render it after the run")
 	traceOut := flag.String("trace-out", "", "write the recorded trace as Chrome trace_event JSON to this file (implies tracing)")
+	watch := flag.String("watch", "", "stream repairs from a running srschedd at this base URL instead of solving locally: the -fail-link/-fail-node fault is replayed as fault then fault-repaired events over /v1/watch")
+	watchEvents := flag.Int("watch-events", 0, "with -watch: replay a -seed random link-fault scenario of this many faults instead of the -fail-link/-fail-node pair")
 	flag.Parse()
+
+	if *watch != "" {
+		runWatch(*watch, pf, *watchEvents)
+		return
+	}
 
 	ctx := context.Background()
 	b, fs, err := pf.ParseProblem()
@@ -192,6 +207,162 @@ func main() {
 		dumpOmega(res.Omega, top)
 	}
 	emitTrace(root, *showTrace, *traceOut)
+}
+
+// runWatch drives a srschedd /v1/watch subscription instead of solving
+// locally: it registers the flags' problem, replays the requested
+// fault scenario as events, and prints each repaired frame as it
+// streams back. The WatchClient reconnects dropped transports with
+// backoff and Last-Event-ID resume, so a daemon restart mid-scenario
+// only delays the stream. An infeasible repair exits with status 3,
+// like the local -fail-link path.
+func runWatch(baseURL string, pf *cliutil.ProblemFlags, nEvents int) {
+	b, _, err := pf.ParseProblem()
+	if err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	top := b.Topology
+
+	// The event script: a seeded random link-fault scenario replayed
+	// delta by delta, or the single -fail-link/-fail-node fault struck
+	// and then repaired.
+	var evs []schedroute.WatchEvent
+	if nEvents > 0 {
+		tr := faults.RandomTrace(top, pf.Seed, faults.RandomOptions{Events: nEvents, RepairFraction: 0.5})
+		deltas, err := tr.Deltas(2 * 8)
+		if err != nil {
+			cliutil.Fatal("srsched", err)
+		}
+		fs := topology.NewFaultSet(top.Links(), top.Nodes())
+		for _, d := range deltas {
+			evs = append(evs, deltaEvents(top, fs, d)...)
+		}
+	} else {
+		spec := pf.FaultSpec()
+		if len(spec.Links) == 0 && len(spec.Nodes) == 0 {
+			cliutil.Fatal("srsched", fmt.Errorf("-watch needs -fail-link, -fail-node, or -watch-events"))
+		}
+		evs = append(evs,
+			schedroute.WatchEvent{Type: schedroute.WatchEventFault, Links: spec.Links, Nodes: spec.Nodes},
+			schedroute.WatchEvent{Type: schedroute.WatchEventRepaired, Links: spec.Links, Nodes: spec.Nodes},
+		)
+	}
+
+	ctx := context.Background()
+	wc := &schedroute.WatchClient{BaseURL: baseURL}
+	st, err := wc.Subscribe(ctx, schedroute.WatchRequest{Problem: pf.Spec(), Execute: true})
+	if err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	hello := <-st.Frames
+	fmt.Printf("watch %s: subscribed, τin %g µs", st.ID, hello.TauIn)
+	if hello.Schedule != nil {
+		fmt.Printf(", base peak %.4f", hello.Schedule.Peak)
+	}
+	fmt.Println()
+
+	status := 0
+	for _, ev := range evs {
+		ack, err := wc.Send(ctx, st.ID, ev)
+		if err != nil {
+			cliutil.Fatal("srsched", err)
+		}
+		for f := range st.Frames {
+			if f.Type == schedroute.WatchFrameHeartbeat || f.Type == schedroute.WatchFrameGap {
+				continue
+			}
+			printFrame(f)
+			if f.Terminal {
+				os.Exit(1)
+			}
+			if f.EventSeq == ack.EventSeq {
+				if f.Type == schedroute.WatchFrameError {
+					status = 3
+				}
+				break
+			}
+		}
+	}
+	if err := wc.Close(ctx, st.ID); err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	for f := range st.Frames {
+		if f.Type == schedroute.WatchFrameClosing {
+			printFrame(f)
+		}
+	}
+	if err := st.Err(); err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	os.Exit(status)
+}
+
+// deltaEvents converts one faults.Delta into watch events, tracking
+// the cumulative state in fs so only genuine state changes are sent
+// (the watch rejects failing an already-failed element).
+func deltaEvents(top *topology.Topology, fs *topology.FaultSet, d faults.Delta) []schedroute.WatchEvent {
+	spec := func(l topology.LinkID) string {
+		lk := top.Link(l)
+		return fmt.Sprintf("%d-%d", lk.A, lk.B)
+	}
+	var evs []schedroute.WatchEvent
+	fail := schedroute.WatchEvent{Type: schedroute.WatchEventFault}
+	for _, e := range d.Fail {
+		if e.IsNode && !fs.NodeFailed(e.Node) {
+			fs.FailNode(e.Node)
+			fail.Nodes = append(fail.Nodes, int(e.Node))
+		} else if !e.IsNode && !fs.LinkFailed(e.Link) {
+			fs.FailLink(e.Link)
+			fail.Links = append(fail.Links, spec(e.Link))
+		}
+	}
+	if len(fail.Links)+len(fail.Nodes) > 0 {
+		evs = append(evs, fail)
+	}
+	rep := schedroute.WatchEvent{Type: schedroute.WatchEventRepaired}
+	for _, e := range d.Repair {
+		if e.IsNode && fs.NodeFailed(e.Node) {
+			fs.RepairNode(e.Node)
+			rep.Nodes = append(rep.Nodes, int(e.Node))
+		} else if !e.IsNode && fs.LinkFailed(e.Link) {
+			fs.RepairLink(e.Link)
+			rep.Links = append(rep.Links, spec(e.Link))
+		}
+	}
+	if len(rep.Links)+len(rep.Nodes) > 0 {
+		evs = append(evs, rep)
+	}
+	return evs
+}
+
+// printFrame renders one stream frame the way the local repair path
+// reports its ladder outcome.
+func printFrame(f schedroute.WatchFrame) {
+	switch f.Type {
+	case schedroute.WatchFrameSchedule:
+		if r := f.Repair; r != nil {
+			fmt.Printf("frame %d [%s]: %s (%d affected, %d rerouted), peak %.4f, τout %g µs\n",
+				f.Seq, f.State, r.Outcome, r.Affected, r.Rerouted, r.NewPeak, r.TauOut)
+		} else if f.Schedule != nil {
+			fmt.Printf("frame %d [%s]: rebased, peak %.4f, τin %g µs\n",
+				f.Seq, f.State, f.Schedule.Peak, f.TauIn)
+		}
+		if f.OI != nil {
+			oi := "consistent"
+			if f.OI.OI {
+				oi = "INCONSISTENT"
+			}
+			fmt.Printf("  executor: %d invocations, throughput %.4f, output %s\n",
+				f.OI.Invocations, f.OI.ThroughputMid, oi)
+		}
+	case schedroute.WatchFrameError:
+		fmt.Printf("frame %d [%s]: ERROR: %s\n", f.Seq, f.State, f.Reason)
+		if r := f.Repair; r != nil && r.Stage != "" {
+			fmt.Printf("  ladder exhausted at stage %s\n", r.Stage)
+		}
+	case schedroute.WatchFrameClosing:
+		fmt.Printf("frame %d: closing (%s)\n", f.Seq, f.Reason)
+	}
 }
 
 // emitTrace renders and/or exports the recorded span tree. The root is

@@ -11,9 +11,11 @@
 //	curl -s localhost:8080/v1/schedule -d '{"problem":{"tfg":"dvb:4","topology":"cube:6","tau_in":141}}'
 //	curl -s 'localhost:8080/v1/schedule?debug=trace' -d '...' | traceview -text
 //
-// SIGINT/SIGTERM begin a graceful drain: in-flight solves finish,
-// queued and new requests get 503, and the listener closes once the
-// drain completes (or the -drain deadline expires).
+// SIGINT/SIGTERM begin a graceful drain: keep-alives stop renewing,
+// watch subscriptions receive a terminal closing frame, in-flight
+// solves finish, queued and new requests get 503, and the listener
+// closes once the drain completes (or the -drain-timeout deadline
+// expires).
 package main
 
 import (
@@ -40,7 +42,9 @@ func main() {
 	solvers := flag.Int("solvers", 32, "problem structures kept in the solver-cache LRU")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request solve deadline")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
-	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	var drain time.Duration
+	flag.DurationVar(&drain, "drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.DurationVar(&drain, "drain", 30*time.Second, "alias for -drain-timeout")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); never exposed on the serving port")
 	version := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
@@ -100,10 +104,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	// Stop renewing keep-alive connections immediately: idle clients
+	// (and watch streams between frames) would otherwise hold their
+	// connections open and stall the listener shutdown until the drain
+	// deadline every time.
+	hs.SetKeepAlivesEnabled(false)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	// Drain the solve pool first so queued work is shed immediately,
-	// then close the listener once the in-flight requests are done.
+	// Drain the solve pool first so queued work is shed immediately —
+	// including every open watch subscription, which receives a
+	// terminal closing frame — then close the listener once the
+	// in-flight requests are done.
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Error("drain incomplete", "err", err.Error())
 	}

@@ -91,6 +91,19 @@ func Name(err error) string {
 	return c.Name
 }
 
+// ByName returns the sentinel whose wire label is name, or nil for an
+// unknown (or "internal") label. It is the inverse of Name, used by
+// clients that rebuild typed errors from service error bodies so exit
+// statuses survive the HTTP round trip.
+func ByName(name string) error {
+	for _, c := range Table {
+		if c.Name == name {
+			return c.Kind
+		}
+	}
+	return nil
+}
+
 // Mark wraps err so that it matches kind under errors.Is while keeping
 // the original chain intact. A nil err stays nil.
 func Mark(err, kind error) error {

@@ -50,6 +50,88 @@ type Trace struct {
 	Events []Event
 }
 
+// InvalidTraceError reports a malformed scenario: negative times,
+// repair-at-or-before-fail orderings, or events out of At order. Index
+// names the offending event (the later one for ordering violations).
+type InvalidTraceError struct {
+	Trace  string
+	Index  int
+	Event  Event
+	Reason string
+}
+
+func (e *InvalidTraceError) Error() string {
+	return fmt.Sprintf("faults: trace %q event %d (%s): %s", e.Trace, e.Index, e.Event, e.Reason)
+}
+
+// Validate rejects malformed scenarios with a typed *InvalidTraceError
+// instead of letting them silently produce nonsense fault sets:
+//
+//   - fault or repair times must be non-negative (RepairedAt < 0 is the
+//     explicit "permanent" marker, any other negative value is an error);
+//   - a transient fault must be repaired strictly after it strikes
+//     (ActiveAt treats RepairedAt <= inv as back in service, so
+//     RepairedAt <= At would be a fault that never existed);
+//   - events must be sorted by non-decreasing At, the order every
+//     generator in this package emits and every replayer assumes.
+func (tr *Trace) Validate() error {
+	for i, e := range tr.Events {
+		fail := func(reason string) error {
+			return &InvalidTraceError{Trace: tr.Name, Index: i, Event: e, Reason: reason}
+		}
+		if e.At < 0 {
+			return fail("negative fault time")
+		}
+		if e.RepairedAt < -1 {
+			return fail("negative repair time (use -1 for permanent)")
+		}
+		if e.RepairedAt >= 0 && e.RepairedAt <= e.At {
+			return fail("repaired at or before the fault strikes")
+		}
+		if i > 0 && e.At < tr.Events[i-1].At {
+			return fail("events not sorted by fault time")
+		}
+	}
+	return nil
+}
+
+// Delta is the change to the fault population at one invocation epoch:
+// the elements failing and the elements returning to service. This is
+// the event-stream form of a trace — what a scenario replayer pushes
+// at a /v1/watch subscription, one Delta per epoch.
+type Delta struct {
+	// Inv is the invocation index at which the change takes effect.
+	Inv int
+	// Fail lists the events whose element dies at this epoch.
+	Fail []Event
+	// Repair lists the events whose element returns at this epoch.
+	Repair []Event
+}
+
+// Deltas converts the trace into its event-stream form over [0,
+// horizon): one Delta per epoch, in invocation order. Applying the
+// deltas cumulatively to an empty fault set reproduces ActiveAt at
+// every epoch. The trace must be valid (see Validate).
+func (tr *Trace) Deltas(horizon int) ([]Delta, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Delta, 0, len(tr.Events))
+	for _, inv := range tr.Epochs(horizon) {
+		d := Delta{Inv: inv}
+		for _, e := range tr.Events {
+			if e.At == inv {
+				d.Fail = append(d.Fail, e)
+			}
+			if e.RepairedAt == inv {
+				d.Repair = append(d.Repair, e)
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
 // ActiveAt returns the fault set in force during invocation inv: every
 // event that has struck (At <= inv) and not yet been repaired
 // (RepairedAt < 0 or RepairedAt > inv). The returned set is freshly

@@ -1,0 +1,245 @@
+package schedule
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"schedroute/internal/topology"
+	"schedroute/internal/trace"
+)
+
+func newFaultSet(t *testing.T, p Problem, links ...topology.LinkID) *topology.FaultSet {
+	t.Helper()
+	fs := topology.NewFaultSet(p.Topology.Links(), p.Topology.Nodes())
+	for _, l := range links {
+		fs.FailLink(l)
+	}
+	return fs
+}
+
+// TestRepairConsecutiveSameLink is the fault → repair → re-fault
+// satellite: the same link dies, returns to service, and dies again.
+// The re-fault must reproduce the first repair exactly (the ladder is
+// deterministic and always repairs from the base schedule), and the
+// session must answer it from the memo.
+func TestRepairConsecutiveSameLink(t *testing.T) {
+	p, o, base := repairFixture(t)
+	failed := firstUsedLink(base)
+	if failed < 0 {
+		t.Fatal("no message uses any link")
+	}
+	ses, err := NewRepairSession(p, o, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fs := newFaultSet(t, p)
+	fs.FailLink(failed)
+	rep1, cached, err := ses.Apply(ctx, fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first apply must not be a memo hit")
+	}
+	if rep1.Outcome != RepairIncremental {
+		t.Fatalf("single used link fault: outcome %s, want incremental", rep1.Outcome)
+	}
+	if len(rep1.Affected) == 0 || rep1.Rerouted != len(rep1.Affected) {
+		t.Fatalf("report: affected %d, rerouted %d; want equal and non-zero", len(rep1.Affected), rep1.Rerouted)
+	}
+	if rep1.TauOut != p.TauIn || rep1.WindowScale != 1 {
+		t.Fatalf("incremental repair must preserve rate and window: τout %g (τin %g), scale %g",
+			rep1.TauOut, p.TauIn, rep1.WindowScale)
+	}
+
+	// The link returns to service: the fault set is empty again, and
+	// the base schedule is valid as-is.
+	fs.RepairLink(failed)
+	rep2, _, err := ses.Apply(ctx, fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Outcome != RepairUnaffected || rep2.Result != base {
+		t.Fatalf("repaired link: outcome %s, want unaffected reusing the base", rep2.Outcome)
+	}
+
+	// Re-fault: same canonical fault population, so the memo answers
+	// with the identical report.
+	fs.FailLink(failed)
+	rep3, cached, err := ses.Apply(ctx, fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("re-fault of an already-repaired state must hit the memo")
+	}
+	if rep3 != rep1 {
+		t.Fatal("memo hit must return the original report")
+	}
+
+	st := ses.Stats()
+	if st.Applies != 3 || st.MemoHits != 1 || st.Incremental != 2 || st.FullSolves != 0 {
+		t.Fatalf("stats %+v; want 3 applies, 1 memo hit, 2 incremental, 0 full solves", st)
+	}
+}
+
+// TestRepairRungEscalation grows the fault set on a two-node pair until
+// the ladder is forced off rung 1: with only two disjoint routes
+// between the endpoints, the second link fault on the remaining route
+// escalates past the pinned-allocation incremental rung.
+func TestRepairRungEscalation(t *testing.T) {
+	p, o, base := repairFixture(t)
+	ses, err := NewRepairSession(p, o, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fs := newFaultSet(t, p)
+
+	// Keep failing the link the current repaired schedule leans on; the
+	// outcome must never get better as faults accumulate, and the
+	// report must stay internally consistent at every step.
+	prev := RepairUnaffected
+	cur := base
+	for step := 0; step < 3; step++ {
+		failed := firstUsedLink(cur)
+		if failed < 0 {
+			t.Fatal("no message uses any link")
+		}
+		fs.FailLink(failed)
+		rep, _, err := ses.Apply(ctx, fs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Outcome < prev {
+			t.Fatalf("step %d: outcome %s improved on previous %s as faults accumulated", step, rep.Outcome, prev)
+		}
+		if rep.Outcome == RepairInfeasible {
+			if rep.Result != nil || rep.Err() == nil {
+				t.Fatal("infeasible report must carry no result and a typed error")
+			}
+			break
+		}
+		if rep.Result == nil || rep.Result.Omega == nil {
+			t.Fatalf("step %d: feasible outcome %s without a repaired Ω", step, rep.Outcome)
+		}
+		// The repaired assignment must avoid every failed link.
+		for i := range rep.Result.Assignment.Paths {
+			if rep.Result.Windows[i].Local {
+				continue
+			}
+			for _, l := range rep.Result.Assignment.Links[i] {
+				if fs.LinkFailed(l) {
+					t.Fatalf("step %d: repaired message %d still crosses failed link %d", step, i, l)
+				}
+			}
+		}
+		prev = rep.Outcome
+		cur = rep.Result
+	}
+	if prev == RepairUnaffected {
+		t.Fatal("escalation never left the unaffected rung")
+	}
+}
+
+// TestSessionMatchesColdRepair pins the session's central contract: the
+// report at any fault state reached through a sequence of events is
+// bit-identical to a cold schedule.Repair run straight to that state.
+func TestSessionMatchesColdRepair(t *testing.T) {
+	p, o, base := repairFixture(t)
+	failed := firstUsedLink(base)
+	if failed < 0 {
+		t.Fatal("no message uses any link")
+	}
+	// A second fault on whatever link the first repair rerouted onto.
+	ses, err := NewRepairSession(p, o, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fs := newFaultSet(t, p, failed)
+	rep1, _, err := ses.Apply(ctx, fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := firstUsedLink(rep1.Result)
+	fs.FailLink(second)
+	viaSession, _, err := ses.Apply(ctx, fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := Repair(ctx, p, o, base, newFaultSet(t, p, failed, second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSession.Outcome != cold.Outcome {
+		t.Fatalf("session outcome %s, cold outcome %s", viaSession.Outcome, cold.Outcome)
+	}
+	if !reflect.DeepEqual(viaSession.Result.Omega, cold.Result.Omega) {
+		t.Fatal("session-applied repair diverged from the cold full repair at the same fault state")
+	}
+	if !reflect.DeepEqual(viaSession.Affected, cold.Affected) ||
+		viaSession.Rerouted != cold.Rerouted || viaSession.NewPeak != cold.NewPeak {
+		t.Fatalf("report mismatch: session %+v vs cold %+v", viaSession, cold)
+	}
+}
+
+// TestSessionTraceRecordsLadder checks that a traced Apply records the
+// repair ladder under the provided span and that a rung-1 repair never
+// runs the full pipeline (no "solve" span anywhere in the tree).
+func TestSessionTraceRecordsLadder(t *testing.T) {
+	p, o, base := repairFixture(t)
+	failed := firstUsedLink(base)
+	ses, err := NewRepairSession(p, o, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := trace.Start("watch.repair")
+	rep, _, err := ses.Apply(context.Background(), newFaultSet(t, p, failed), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	tree := sp.Tree()
+	if tree.Count(SpanRepair) != 1 || tree.Count(SpanRung) == 0 {
+		t.Fatalf("trace missing repair ladder spans: %v", tree.Names())
+	}
+	if rep.Outcome == RepairIncremental && tree.Count(SpanSolve) != 0 {
+		t.Fatalf("incremental repair must not run a full solve; trace: %v", tree.Names())
+	}
+}
+
+// TestSessionConcurrentApplies hammers one session from many
+// goroutines under -race: shared memoized reports, one state each.
+func TestSessionConcurrentApplies(t *testing.T) {
+	p, o, base := repairFixture(t)
+	failed := firstUsedLink(base)
+	ses, err := NewRepairSession(p, o, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	done := make(chan *RepairReport, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			rep, _, err := ses.Apply(context.Background(), newFaultSet(t, p, failed), nil)
+			if err != nil {
+				t.Error(err)
+			}
+			done <- rep
+		}()
+	}
+	first := <-done
+	for w := 1; w < workers; w++ {
+		if rep := <-done; rep != first {
+			t.Fatal("concurrent applies of one fault state must share one memoized report")
+		}
+	}
+	if st := ses.Stats(); st.Applies != workers {
+		t.Fatalf("applies %d, want %d", st.Applies, workers)
+	}
+}

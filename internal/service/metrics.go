@@ -31,6 +31,15 @@ type Metrics struct {
 	solveRuns int64 // solver executions (post-coalescing)
 	coalesced int64 // requests served by joining an in-flight solve
 	queued    atomic.Int64
+
+	// Watch subscription counters. watchEventHist is the end-to-end
+	// event→frame latency distribution (dequeue to frame appended).
+	watchSubs      atomic.Int64 // live subscriptions (gauge)
+	watchEvents    atomic.Int64 // events accepted into a queue
+	watchFrames    atomic.Int64 // frames appended to replay rings
+	watchDropped   atomic.Int64 // frames skipped coalescing slow consumers
+	watchPanics    atomic.Int64 // recovered subscription panics
+	watchEventHist histogram    // guarded by mu
 }
 
 // stageBuckets are the per-stage latency histogram upper bounds in
@@ -104,6 +113,21 @@ func (m *Metrics) observeSolve(st schedule.SolveStats) {
 	m.observeStage("schedule", st.ScheduleTime)
 	m.observeStage("omega", st.OmegaTime)
 }
+
+func (m *Metrics) observeWatchEvent(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.watchEventHist.observe(d)
+}
+
+// WatchDropped reports frames skipped while coalescing slow consumers.
+func (m *Metrics) WatchDropped() int64 { return m.watchDropped.Load() }
+
+// WatchPanics reports recovered watch state-machine panics.
+func (m *Metrics) WatchPanics() int64 { return m.watchPanics.Load() }
+
+// WatchSubs reports currently live watch subscriptions.
+func (m *Metrics) WatchSubs() int64 { return m.watchSubs.Load() }
 
 func (m *Metrics) observeCoalesced() {
 	m.mu.Lock()
@@ -183,6 +207,35 @@ func (m *Metrics) WriteText(w io.Writer, cache *solverCache) {
 	fmt.Fprintln(w, "# HELP srschedd_queue_depth Requests waiting for a solve worker slot.")
 	fmt.Fprintln(w, "# TYPE srschedd_queue_depth gauge")
 	fmt.Fprintf(w, "srschedd_queue_depth %d\n", m.queued.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_watch_subscriptions Live /v1/watch subscriptions.")
+	fmt.Fprintln(w, "# TYPE srschedd_watch_subscriptions gauge")
+	fmt.Fprintf(w, "srschedd_watch_subscriptions %d\n", m.watchSubs.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_watch_events_total Watch events accepted into subscription queues.")
+	fmt.Fprintln(w, "# TYPE srschedd_watch_events_total counter")
+	fmt.Fprintf(w, "srschedd_watch_events_total %d\n", m.watchEvents.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_watch_frames_total Frames appended to watch replay rings.")
+	fmt.Fprintln(w, "# TYPE srschedd_watch_frames_total counter")
+	fmt.Fprintf(w, "srschedd_watch_frames_total %d\n", m.watchFrames.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_watch_dropped_frames_total Frames skipped coalescing slow watch consumers to the latest state.")
+	fmt.Fprintln(w, "# TYPE srschedd_watch_dropped_frames_total counter")
+	fmt.Fprintf(w, "srschedd_watch_dropped_frames_total %d\n", m.watchDropped.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_watch_panics_total Recovered watch state-machine panics (each terminates one subscription).")
+	fmt.Fprintln(w, "# TYPE srschedd_watch_panics_total counter")
+	fmt.Fprintf(w, "srschedd_watch_panics_total %d\n", m.watchPanics.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_watch_event_seconds Watch event dequeue-to-frame latency.")
+	fmt.Fprintln(w, "# TYPE srschedd_watch_event_seconds histogram")
+	for i, ub := range stageBuckets {
+		fmt.Fprintf(w, "srschedd_watch_event_seconds_bucket{le=\"%g\"} %d\n", ub, m.watchEventHist.buckets[i])
+	}
+	fmt.Fprintf(w, "srschedd_watch_event_seconds_bucket{le=\"+Inf\"} %d\n", m.watchEventHist.count)
+	fmt.Fprintf(w, "srschedd_watch_event_seconds_sum %g\n", m.watchEventHist.sum.Seconds())
+	fmt.Fprintf(w, "srschedd_watch_event_seconds_count %d\n", m.watchEventHist.count)
 
 	fmt.Fprintln(w, "# HELP srschedd_solve_stage_seconds_total Cumulative pipeline time by stage across all solves.")
 	fmt.Fprintln(w, "# TYPE srschedd_solve_stage_seconds_total counter")

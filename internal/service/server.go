@@ -11,6 +11,10 @@
 //	POST /v1/schedule  schedroute.ScheduleRequest → schedroute.ScheduleResult
 //	POST /v1/repair    schedroute.RepairRequest   → schedroute.RepairResult (422 on infeasible repair)
 //	POST /v1/sweep     schedroute.SweepRequest    → schedroute.SweepResult
+//	POST /v1/watch     schedroute.WatchRequest    → SSE stream of schedroute.WatchFrame
+//	GET  /v1/watch/{id}            resume a watch stream (Last-Event-ID)
+//	POST /v1/watch/{id}/events     schedroute.WatchEvent → schedroute.WatchEventAck
+//	DELETE /v1/watch/{id}          close a subscription (terminal closing frame)
 //	GET  /v1/version   schedroute.VersionInfo (schema + module + Go versions)
 //	GET  /healthz      liveness + drain state
 //	GET  /metrics      Prometheus text metrics (incl. per-stage latency histograms)
@@ -68,6 +72,22 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
+
+	// MaxWatchSubs caps concurrent /v1/watch subscriptions (default 64).
+	MaxWatchSubs int
+	// WatchEventQueue bounds pending events per subscription; a full
+	// queue rejects new events with 503 instead of ever blocking
+	// (default 16).
+	WatchEventQueue int
+	// WatchRing bounds the per-subscription frame replay ring backing
+	// Last-Event-ID resume; consumers that fall off its tail are
+	// coalesced to the latest frame (default 64).
+	WatchRing int
+	// WatchHeartbeat is the idle-stream keepalive interval (default 15s).
+	WatchHeartbeat time.Duration
+	// WatchIdleTimeout reaps subscriptions with no attached consumer and
+	// no event activity (default 2m).
+	WatchIdleTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +109,21 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.MaxWatchSubs == 0 {
+		c.MaxWatchSubs = 64
+	}
+	if c.WatchEventQueue == 0 {
+		c.WatchEventQueue = 16
+	}
+	if c.WatchRing == 0 {
+		c.WatchRing = 64
+	}
+	if c.WatchHeartbeat == 0 {
+		c.WatchHeartbeat = 15 * time.Second
+	}
+	if c.WatchIdleTimeout == 0 {
+		c.WatchIdleTimeout = 2 * time.Minute
+	}
 	return c
 }
 
@@ -100,6 +135,7 @@ type Server struct {
 	cache   *solverCache
 	flights *flightGroup
 	metrics *Metrics
+	watches *watchRegistry
 
 	sem      chan struct{} // worker slots
 	stop     chan struct{} // closed when draining begins
@@ -109,6 +145,10 @@ type Server struct {
 	// the solver executes — the hook deterministic concurrency tests use
 	// to hold a solve open while duplicates pile up behind it.
 	beforeSolve func(flightKey string)
+	// beforeWatchEvent, when set, runs inside a watch subscription's
+	// state machine at the top of each event — the hook panic-isolation
+	// tests use to crash one subscription on demand.
+	beforeWatchEvent func(subID string, ev schedroute.WatchEvent)
 }
 
 // New builds a Server.
@@ -120,6 +160,7 @@ func New(cfg Config) *Server {
 		cache:    newSolverCache(cfg.MaxSolvers),
 		flights:  newFlightGroup(),
 		metrics:  newMetrics(),
+		watches:  newWatchRegistry(),
 		sem:      make(chan struct{}, cfg.Workers),
 		stop:     make(chan struct{}),
 		inflight: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
@@ -191,13 +232,22 @@ func (s *Server) claimExtraWorkers(max int) (int, func()) {
 }
 
 // Shutdown begins draining: new and queued requests are refused with
-// 503 while admitted solves run to completion. It returns when every
-// in-flight request has finished or ctx expires.
+// 503 while admitted solves run to completion, and every watch
+// subscription delivers a terminal closing frame before its state
+// machine exits. It returns when every in-flight request and watch
+// state machine has finished or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-s.stop:
 	default:
 		close(s.stop)
+	}
+	for _, done := range s.watches.closeAll("server draining") {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return fmt.Errorf("service: watch drain incomplete: %w", ctx.Err())
+		}
 	}
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
@@ -219,6 +269,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/schedule", s.instrument("schedule", s.handleSchedule))
 	mux.Handle("/v1/repair", s.instrument("repair", s.handleRepair))
 	mux.Handle("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.Handle("POST /v1/watch", s.instrumentWatch("watch", s.handleWatchCreate))
+	mux.Handle("GET /v1/watch/{id}", s.instrumentWatch("watch_attach", s.handleWatchAttach))
+	mux.Handle("POST /v1/watch/{id}/events", s.instrumentWatch("watch_event", s.handleWatchEvent))
+	mux.Handle("DELETE /v1/watch/{id}", s.instrumentWatch("watch_delete", s.handleWatchDelete))
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -234,6 +288,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so the watch endpoints can
+// stream SSE frames through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps an endpoint with method filtering, the per-request
