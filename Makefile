@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke trace-smoke watch-smoke clean
+.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke fleet-smoke trace-smoke watch-smoke clean
 
 all: check
 
@@ -42,6 +42,12 @@ service-smoke:
 trace-smoke:
 	sh scripts/trace_smoke.sh
 
+# End-to-end smoke of the fleet features: two replicas sharing a
+# -warmstart-dir, snapshot write-behind and fetch, and a kill/restart
+# whose first solve derives zero structure (scripts/fleet_smoke.sh).
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
 # End-to-end smoke of the /v1/watch streaming reconfiguration service:
 # srsched -watch, raw SSE with Last-Event-ID resume, watch metrics,
 # and closing frames on SIGTERM drain (scripts/watch_smoke.sh).
@@ -57,7 +63,7 @@ bench:
 # Fig. 5/7 panels, the serial sweep, and the CP-simulator replay,
 # rendered to JSON (ns/op, B/op, allocs/op, shape metrics) by
 # cmd/benchjson.
-BENCH_JSON_SUITE = ScheduleComputeSixCube$$|ScheduleTenCube$$|ScheduleTorus32$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64
+BENCH_JSON_SUITE = ScheduleComputeSixCube$$|ScheduleTenCube$$|ScheduleTorus32$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64|ColdVsWarmStartTenCube|ScheduleBatch64
 
 # The baseline records three runs per benchmark so the compare gate's
 # min-of-3 meets a min-of-3 baseline: a single lucky baseline run would

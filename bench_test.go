@@ -10,7 +10,13 @@
 package schedroute
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"schedroute/internal/alloc"
@@ -20,9 +26,11 @@ import (
 	"schedroute/internal/experiments"
 	"schedroute/internal/metrics"
 	"schedroute/internal/schedule"
+	"schedroute/internal/service"
 	"schedroute/internal/tfg"
 	"schedroute/internal/topology"
 	"schedroute/internal/wormhole"
+	api "schedroute/pkg/schedroute"
 )
 
 func benchConfig(b *testing.B, key string) experiments.Config {
@@ -583,6 +591,107 @@ func BenchmarkScheduleTenCube(b *testing.B) {
 // at 2048 B/µs.
 func BenchmarkScheduleTorus32(b *testing.B) {
 	benchScheduleLarge(b, cliutil.Torus32Topo, cliutil.Torus32BW)
+}
+
+// BenchmarkColdVsWarmStartTenCube is the warm-start acceptance
+// benchmark: the first solve on the 10-cube scale target, cold versus
+// snapshot-hydrated. Cold pays the full structure derivation — path
+// candidates, LSD baseline, validation — before scheduling; Warm
+// decodes a pre-baked solver snapshot and must reach the same result
+// with zero structure builds. The gap is what a restarting srschedd
+// replica saves per structure when it hydrates from -warmstart-dir or
+// a peer.
+func BenchmarkColdVsWarmStartTenCube(b *testing.B) {
+	p := layeredLargeProblem(b, cliutil.TenCubeTopo, cliutil.TenCubeBW)
+	opts := schedule.Options{Seed: 1}
+	const key = "bench|tencube"
+
+	pre := schedule.NewSolver(p)
+	if _, err := pre.Solve(context.Background(), p.TauIn, opts); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := schedule.EncodeSolverSnapshot(&buf, pre, key); err != nil {
+		b.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := schedule.NewSolver(p)
+			if _, err := s.Solve(context.Background(), p.TauIn, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := schedule.DecodeSolverSnapshot(bytes.NewReader(snap), p, key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(context.Background(), p.TauIn, opts); err != nil {
+				b.Fatal(err)
+			}
+			if st := s.CacheStats(); st.BaselineBuilds != 0 || st.CandidateBuilds != 0 {
+				b.Fatalf("warm solve re-derived structure: %+v", st)
+			}
+		}
+	})
+}
+
+// BenchmarkScheduleBatch64 is the batch acceptance benchmark: 64
+// same-structure items submitted as one /v1/schedule:batch request
+// versus 64 sequential /v1/schedule calls against the same server.
+// The batch groups the items by structure key, so identical items
+// collapse to a single solve and a single JSON encode, while the
+// sequential client pays a full round trip, decode, and solve per
+// item; distinct-τin items additionally spread across the worker pool
+// on multi-core hosts. One item is posted up front so both sub-runs
+// measure a warm structure cache.
+func BenchmarkScheduleBatch64(b *testing.B) {
+	srv := service.New(service.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	item := api.ScheduleRequest{Problem: api.Problem{TFG: "dvb:4", Topology: "cube:6", Bandwidth: 64, TauIn: 150}}
+	one, err := json.Marshal(item)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := api.BatchScheduleRequest{Items: make([]api.ScheduleRequest, 64)}
+	for i := range batch.Items {
+		batch.Items[i] = item
+	}
+	many, err := json.Marshal(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, path string, body []byte) {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	post(b, "/v1/schedule", one)
+
+	b.Run("Sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 64; j++ {
+				post(b, "/v1/schedule", one)
+			}
+		}
+	})
+	b.Run("Batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(b, "/v1/schedule:batch", many)
+		}
+	})
 }
 
 func BenchmarkShortestPathEnumeration(b *testing.B) {

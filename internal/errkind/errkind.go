@@ -32,6 +32,10 @@ var (
 	// shutdown or its solve queue is full. The request was fine; retry
 	// against a less busy instance.
 	ErrUnavailable = errors.New("unavailable")
+	// ErrNotFound marks a lookup of an artifact the server does not
+	// hold — e.g. a warm-start snapshot for a structure key this
+	// replica has never built and never stored.
+	ErrNotFound = errors.New("not found")
 )
 
 // Class is one row of the classification table: the sentinel, a stable
@@ -56,6 +60,7 @@ var Table = []Class{
 	{Kind: ErrBadInput, Name: "bad_input", Exit: 1, HTTP: 400},
 	{Kind: ErrBadSchedule, Name: "bad_schedule", Exit: 1, HTTP: 500},
 	{Kind: ErrUnavailable, Name: "unavailable", Exit: 1, HTTP: 503},
+	{Kind: ErrNotFound, Name: "not_found", Exit: 1, HTTP: 404},
 }
 
 // Generic is the fallback classification for errors matching no family.

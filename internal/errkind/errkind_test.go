@@ -17,6 +17,8 @@ func TestClassifyTableDerivations(t *testing.T) {
 		{ErrUnknownVersion, "unknown_schema_version", 1, 400},
 		{ErrBadInput, "bad_input", 1, 400},
 		{ErrBadSchedule, "bad_schedule", 1, 500},
+		{ErrUnavailable, "unavailable", 1, 503},
+		{ErrNotFound, "not_found", 1, 404},
 		{errors.New("boom"), "internal", 1, 500},
 	}
 	for _, c := range cases {

@@ -1,0 +1,422 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"schedroute/internal/schedule"
+	"schedroute/pkg/schedroute"
+)
+
+// TestBatchScheduleOneStructureBuild is the batch acceptance test: 64
+// same-structure items (distinct periods) cost exactly one structure
+// build and one τin-independent derivation, asserted through the
+// solver cache the same way the warm-repeat test does.
+func TestBatchScheduleOneStructureBuild(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	items := make([]schedroute.ScheduleRequest, 64)
+	for i := range items {
+		items[i] = schedroute.ScheduleRequest{Problem: testProblem(150 + float64(i))}
+	}
+	code, body := postJSON(t, ts, "/v1/schedule:batch", schedroute.BatchScheduleRequest{Items: items})
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	var out schedroute.BatchScheduleResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != len(items) {
+		t.Fatalf("batch returned %d items, want %d", len(out.Items), len(items))
+	}
+	for i, it := range out.Items {
+		if it.Index != i {
+			t.Fatalf("item %d carries index %d", i, it.Index)
+		}
+		if it.Error != "" || it.Result == nil {
+			t.Fatalf("item %d failed: %s (%s)", i, it.Error, it.Kind)
+		}
+		if it.Result.TauIn != 150+float64(i) {
+			t.Errorf("item %d solved at τin=%g, want %g", i, it.Result.TauIn, 150+float64(i))
+		}
+	}
+
+	if _, misses, _, _ := srv.cache.stats(); misses != 1 {
+		t.Errorf("batch built %d structures, want 1", misses)
+	}
+	ent, _ := srv.cache.getOrCreate(testProblem(0).StructureKey(), func() (*schedroute.Built, error) {
+		t.Fatal("structure should already be cached")
+		return nil, nil
+	})
+	st := ent.solver.CacheStats()
+	if st.BaselineBuilds != 1 || st.CandidateBuilds != 1 || st.ValidateBuilds != 1 {
+		t.Errorf("batch re-derived structure: %+v", st)
+	}
+	if got := srv.metrics.batchItems.Load(); got != 64 {
+		t.Errorf("batch_items = %d, want 64", got)
+	}
+}
+
+// TestBatchIdenticalItemsShareOneSolve pins the in-batch grouping:
+// fully identical items share a single solve and a single result
+// object, not just a structure.
+func TestBatchIdenticalItemsShareOneSolve(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	items := make([]schedroute.ScheduleRequest, 8)
+	for i := range items {
+		items[i] = schedroute.ScheduleRequest{Problem: testProblem(150)}
+	}
+	code, body := postJSON(t, ts, "/v1/schedule:batch", schedroute.BatchScheduleRequest{Items: items})
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	if runs := srv.metrics.SolveRuns(); runs != 1 {
+		t.Errorf("8 identical batch items ran %d solves, want 1", runs)
+	}
+}
+
+// TestBatchPerItemErrorIsolation pins that a malformed item reports
+// its errkind label in its own slot while every sibling still solves.
+func TestBatchPerItemErrorIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	items := []schedroute.ScheduleRequest{
+		{Problem: testProblem(150)},
+		{Problem: schedroute.Problem{TFG: "dvb:4", Topology: "bogus:9"}},
+		{Problem: testProblem(200)},
+	}
+	code, body := postJSON(t, ts, "/v1/schedule:batch", schedroute.BatchScheduleRequest{Items: items})
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	var out schedroute.BatchScheduleResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Items[1].Kind != "bad_input" || out.Items[1].Error == "" || out.Items[1].Result != nil {
+		t.Errorf("bad item: got kind=%q err=%q result=%v, want bad_input error", out.Items[1].Kind, out.Items[1].Error, out.Items[1].Result)
+	}
+	for _, i := range []int{0, 2} {
+		if out.Items[i].Result == nil || out.Items[i].Error != "" {
+			t.Errorf("item %d should have solved: %s (%s)", i, out.Items[i].Error, out.Items[i].Kind)
+		}
+	}
+}
+
+// TestBatchValidation covers the request-level guards: empty batches
+// and unknown schema versions are whole-request errors.
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts, "/v1/schedule:batch", schedroute.BatchScheduleRequest{})
+	if code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d: %s", code, body)
+	}
+	code, body = postJSON(t, ts, "/v1/schedule:batch", schedroute.BatchScheduleRequest{
+		SchemaVersion: 99,
+		Items:         []schedroute.ScheduleRequest{{Problem: testProblem(150)}},
+	})
+	var er schedroute.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusBadRequest || er.Kind != "unknown_schema_version" {
+		t.Errorf("schema 99: status %d kind %q, want 400 unknown_schema_version", code, er.Kind)
+	}
+}
+
+// waitForFile polls until path exists (the warm-start persist is
+// write-behind, off the request path).
+func waitForFile(t *testing.T, path string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot file %s never appeared", path)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWarmStartDiskStore is the restart acceptance test at library
+// level: a first server persists its structure snapshot write-behind;
+// a second server sharing the directory hydrates from it and serves
+// its first solve with zero structure builds, byte-identical to the
+// first server's answer.
+func TestWarmStartDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	key := testProblem(0).StructureKey()
+	snapPath := filepath.Join(dir, snapshotID(key)+".json")
+
+	srvA, tsA := newTestServer(t, Config{WarmStartDir: dir})
+	codeA, bodyA := postJSON(t, tsA, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150), IncludeOmega: true})
+	if codeA != http.StatusOK {
+		t.Fatalf("server A: status %d: %s", codeA, bodyA)
+	}
+	if srvA.metrics.warmstartMisses.Load() != 1 || srvA.metrics.warmstartHits.Load() != 0 {
+		t.Errorf("server A warmstart hits=%d misses=%d, want 0/1",
+			srvA.metrics.warmstartHits.Load(), srvA.metrics.warmstartMisses.Load())
+	}
+	waitForFile(t, snapPath)
+
+	srvB, tsB := newTestServer(t, Config{WarmStartDir: dir})
+	codeB, bodyB := postJSON(t, tsB, "/v1/schedule", schedroute.ScheduleRequest{Problem: testProblem(150), IncludeOmega: true})
+	if codeB != http.StatusOK {
+		t.Fatalf("server B: status %d: %s", codeB, bodyB)
+	}
+	if string(bodyA) != string(bodyB) {
+		t.Error("hydrated replica's response differs from the cold one")
+	}
+	if srvB.metrics.warmstartHits.Load() != 1 {
+		t.Errorf("server B warmstart hits = %d, want 1", srvB.metrics.warmstartHits.Load())
+	}
+	tot := srvB.cache.solverBuildTotals()
+	if tot.BaselineBuilds != 0 || tot.CandidateBuilds != 0 {
+		t.Errorf("hydrated replica derived structure: %+v", tot)
+	}
+}
+
+// TestSnapshotEndpoint covers the HTTP hydration path: a solved
+// structure is fetchable by its snapshot id and decodes into a working
+// solver; an unknown id is 404 not_found.
+func TestSnapshotEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	p := testProblem(150)
+	if code, body := postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{Problem: p}); code != http.StatusOK {
+		t.Fatalf("seed: status %d: %s", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/snapshot/" + snapshotID(p.StructureKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot fetch: status %d", resp.StatusCode)
+	}
+	built, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := schedule.DecodeSolverSnapshot(resp.Body, built.ScheduleProblem(), p.StructureKey())
+	if err != nil {
+		t.Fatalf("fetched snapshot does not decode: %v", err)
+	}
+	res, err := sol.Solve(t.Context(), 150, schedule.Options{})
+	if err != nil || !res.Feasible {
+		t.Fatalf("hydrated solver solve: feasible=%v err=%v", res != nil && res.Feasible, err)
+	}
+	if st := sol.CacheStats(); st.BaselineBuilds != 0 || st.CandidateBuilds != 0 {
+		t.Errorf("HTTP-hydrated solver derived structure: %+v", st)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/snapshot/v1-00000000000000000000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var er schedroute.ErrorResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusNotFound || er.Kind != "not_found" {
+		t.Errorf("unknown id: status %d kind %q, want 404 not_found", resp2.StatusCode, er.Kind)
+	}
+}
+
+// fleetPair starts two servers that know each other as peers, with A's
+// URL fixed before construction (the ring needs final URLs in Config).
+func fleetPair(t *testing.T, policy string) (srvA, srvB *Server, urlA, urlB string) {
+	t.Helper()
+	la, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA = "http://" + la.Addr().String()
+	urlB = "http://" + lb.Addr().String()
+	peers := []string{urlA, urlB}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srvA = New(Config{Peers: peers, SelfURL: urlA, ShardPolicy: policy, Logger: quiet})
+	srvB = New(Config{Peers: peers, SelfURL: urlB, ShardPolicy: policy, Logger: quiet})
+	tsA := &httptest.Server{Listener: la, Config: &http.Server{Handler: srvA.Handler()}}
+	tsB := &httptest.Server{Listener: lb, Config: &http.Server{Handler: srvB.Handler()}}
+	tsA.Start()
+	tsB.Start()
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	return srvA, srvB, urlA, urlB
+}
+
+// problemOwnedBy scans periods until it finds a problem whose
+// StructureKey the ring assigns to wantOwner. τin does not vary the
+// StructureKey, so the scan varies the allocator seed instead.
+func problemOwnedBy(t *testing.T, ring *shardRing, wantOwner string) schedroute.Problem {
+	t.Helper()
+	for seed := int64(0); seed < 64; seed++ {
+		p := testProblem(150)
+		p.Allocator = "random"
+		p.AllocSeed = seed
+		if ring.owner(p.StructureKey()) == wantOwner {
+			return p
+		}
+	}
+	t.Fatal("no structure key hashed to the wanted owner in 64 tries")
+	return schedroute.Problem{}
+}
+
+// TestShardProxy pins the proxy policy: a request for a structure the
+// other replica owns is forwarded there and answered through the
+// proxying replica byte-for-byte, leaving the proxier's cache cold.
+func TestShardProxy(t *testing.T) {
+	srvA, srvB, _, urlB := fleetPair(t, shardPolicyProxy)
+	p := problemOwnedBy(t, srvA.ring, urlB)
+
+	b, _ := json.Marshal(schedroute.ScheduleRequest{Problem: p})
+	resp, err := http.Post(srvA.ring.self+"/v1/schedule", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied request: status %d: %s", resp.StatusCode, body)
+	}
+	var out schedroute.ScheduleResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible {
+		t.Errorf("proxied solve infeasible at %s", out.FailStage)
+	}
+	if got := srvA.metrics.shardProxied.Load(); got != 1 {
+		t.Errorf("A proxied %d requests, want 1", got)
+	}
+	if _, _, _, size := srvA.cache.stats(); size != 0 {
+		t.Errorf("proxying replica cached %d structures, want 0", size)
+	}
+	if _, misses, _, _ := srvB.cache.stats(); misses != 1 {
+		t.Errorf("owner built %d structures, want 1", misses)
+	}
+}
+
+// TestShardServeLocal pins the serve policy: the misrouted request is
+// handled locally and recorded as a shard-local miss, and the owner is
+// consulted for a snapshot (a miss too — it never solved).
+func TestShardServeLocal(t *testing.T) {
+	srvA, srvB, _, urlB := fleetPair(t, shardPolicyServe)
+	p := problemOwnedBy(t, srvA.ring, urlB)
+
+	b, _ := json.Marshal(schedroute.ScheduleRequest{Problem: p})
+	resp, err := http.Post(srvA.ring.self+"/v1/schedule", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serve-local request: status %d: %s", resp.StatusCode, body)
+	}
+	if got := srvA.metrics.shardLocalMisses.Load(); got != 1 {
+		t.Errorf("A recorded %d local misses, want 1", got)
+	}
+	if got := srvA.metrics.shardProxied.Load(); got != 0 {
+		t.Errorf("A proxied %d requests under serve policy, want 0", got)
+	}
+	if _, misses, _, _ := srvA.cache.stats(); misses != 1 {
+		t.Errorf("A built %d structures, want 1", misses)
+	}
+	if _, misses, _, _ := srvB.cache.stats(); misses != 0 {
+		t.Errorf("owner built %d structures without receiving a request, want 0", misses)
+	}
+}
+
+// TestShardPeerHydration pins the peer fetch path: once the owner has
+// solved a structure, a serve-policy peer hydrates it over
+// /v1/snapshot/{id} instead of deriving cold.
+func TestShardPeerHydration(t *testing.T) {
+	srvA, _, _, urlB := fleetPair(t, shardPolicyServe)
+	p := problemOwnedBy(t, srvA.ring, urlB)
+	b, _ := json.Marshal(schedroute.ScheduleRequest{Problem: p})
+
+	// The owner solves first, so its snapshot exists.
+	resp, err := http.Post(urlB+"/v1/schedule", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner solve: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srvA.ring.self+"/v1/schedule", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-hydrated solve: status %d", resp.StatusCode)
+	}
+	if got := srvA.metrics.warmstartHits.Load(); got != 1 {
+		t.Errorf("A warmstart hits = %d, want 1 (peer snapshot)", got)
+	}
+	tot := srvA.cache.solverBuildTotals()
+	if tot.BaselineBuilds != 0 || tot.CandidateBuilds != 0 {
+		t.Errorf("peer-hydrated replica derived structure: %+v", tot)
+	}
+}
+
+// TestWarmStoreEviction bounds the disk store: beyond max files the
+// oldest-by-mtime snapshots are removed.
+func TestWarmStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	ws := newWarmStore(dir, 2)
+	built, err := testProblem(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := schedule.NewSolver(built.ScheduleProblem())
+	old := time.Now().Add(-time.Hour)
+	for i, key := range []string{"key-a", "key-b", "key-c"} {
+		if err := ws.save(key, sol); err != nil {
+			t.Fatal(err)
+		}
+		// Age the files artificially: mtime is the eviction clock.
+		os.Chtimes(ws.path(snapshotID(key)), old, old.Add(time.Duration(i)*time.Minute))
+	}
+	if err := ws.save("key-d", sol); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("store holds %d files after eviction, want 2: %v", len(names), names)
+	}
+	for _, gone := range []string{"key-a", "key-b"} {
+		if _, err := os.Stat(ws.path(snapshotID(gone))); err == nil {
+			t.Errorf("oldest snapshot %s survived eviction", gone)
+		}
+	}
+}

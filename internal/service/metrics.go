@@ -32,6 +32,14 @@ type Metrics struct {
 	coalesced int64 // requests served by joining an in-flight solve
 	queued    atomic.Int64
 
+	// Fleet counters: snapshot hydration outcomes, batch volume, and
+	// shard routing decisions.
+	warmstartHits    atomic.Int64 // solver builds hydrated from a snapshot (disk or peer)
+	warmstartMisses  atomic.Int64 // solver builds that derived cold with hydration enabled
+	batchItems       atomic.Int64 // sub-requests processed through /v1/schedule:batch
+	shardProxied     atomic.Int64 // requests forwarded to their owning shard
+	shardLocalMisses atomic.Int64 // requests served locally though another shard owns them
+
 	// Watch subscription counters. watchEventHist is the end-to-end
 	// event→frame latency distribution (dequeue to frame appended).
 	watchSubs      atomic.Int64 // live subscriptions (gauge)
@@ -185,7 +193,7 @@ func (m *Metrics) WriteText(w io.Writer, cache *solverCache) {
 		fmt.Fprintf(w, "srschedd_request_seconds_count{endpoint=%q} %d\n", ep, m.latCount[ep])
 	}
 
-	hits, misses, size := cache.stats()
+	hits, misses, evictions, size := cache.stats()
 	fmt.Fprintln(w, "# HELP srschedd_solver_cache_hits_total Requests that found their problem structure cached.")
 	fmt.Fprintln(w, "# TYPE srschedd_solver_cache_hits_total counter")
 	fmt.Fprintf(w, "srschedd_solver_cache_hits_total %d\n", hits)
@@ -195,6 +203,39 @@ func (m *Metrics) WriteText(w io.Writer, cache *solverCache) {
 	fmt.Fprintln(w, "# HELP srschedd_solver_cache_size Cached problem structures.")
 	fmt.Fprintln(w, "# TYPE srschedd_solver_cache_size gauge")
 	fmt.Fprintf(w, "srschedd_solver_cache_size %d\n", size)
+
+	fmt.Fprintln(w, "# HELP srschedd_cache_entries Live solver-cache entries.")
+	fmt.Fprintln(w, "# TYPE srschedd_cache_entries gauge")
+	fmt.Fprintf(w, "srschedd_cache_entries %d\n", size)
+	fmt.Fprintln(w, "# HELP srschedd_cache_evictions_total Solver-cache entries evicted at capacity.")
+	fmt.Fprintln(w, "# TYPE srschedd_cache_evictions_total counter")
+	fmt.Fprintf(w, "srschedd_cache_evictions_total %d\n", evictions)
+
+	fmt.Fprintln(w, "# HELP srschedd_warmstart_hits_total Solver builds hydrated from a snapshot (disk or peer).")
+	fmt.Fprintln(w, "# TYPE srschedd_warmstart_hits_total counter")
+	fmt.Fprintf(w, "srschedd_warmstart_hits_total %d\n", m.warmstartHits.Load())
+	fmt.Fprintln(w, "# HELP srschedd_warmstart_misses_total Solver builds that derived structure cold with hydration enabled.")
+	fmt.Fprintln(w, "# TYPE srschedd_warmstart_misses_total counter")
+	fmt.Fprintf(w, "srschedd_warmstart_misses_total %d\n", m.warmstartMisses.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_batch_items Sub-requests processed through /v1/schedule:batch.")
+	fmt.Fprintln(w, "# TYPE srschedd_batch_items counter")
+	fmt.Fprintf(w, "srschedd_batch_items %d\n", m.batchItems.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_shard_proxied_total Requests forwarded to their owning shard.")
+	fmt.Fprintln(w, "# TYPE srschedd_shard_proxied_total counter")
+	fmt.Fprintf(w, "srschedd_shard_proxied_total %d\n", m.shardProxied.Load())
+	fmt.Fprintln(w, "# HELP srschedd_shard_local_misses_total Requests served locally although another shard owns their structure.")
+	fmt.Fprintln(w, "# TYPE srschedd_shard_local_misses_total counter")
+	fmt.Fprintf(w, "srschedd_shard_local_misses_total %d\n", m.shardLocalMisses.Load())
+
+	tot := cache.solverBuildTotals()
+	fmt.Fprintln(w, "# HELP srschedd_solver_baseline_builds_total LSD baseline derivations across live cache entries (zero on a fully warm-started replica).")
+	fmt.Fprintln(w, "# TYPE srschedd_solver_baseline_builds_total counter")
+	fmt.Fprintf(w, "srschedd_solver_baseline_builds_total %d\n", tot.BaselineBuilds)
+	fmt.Fprintln(w, "# HELP srschedd_solver_candidate_builds_total Path-candidate derivations across live cache entries (zero on a fully warm-started replica).")
+	fmt.Fprintln(w, "# TYPE srschedd_solver_candidate_builds_total counter")
+	fmt.Fprintf(w, "srschedd_solver_candidate_builds_total %d\n", tot.CandidateBuilds)
 
 	fmt.Fprintln(w, "# HELP srschedd_coalesced_requests_total Requests served by joining an identical in-flight solve.")
 	fmt.Fprintln(w, "# TYPE srschedd_coalesced_requests_total counter")

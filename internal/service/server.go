@@ -8,9 +8,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedule  schedroute.ScheduleRequest → schedroute.ScheduleResult
-//	POST /v1/repair    schedroute.RepairRequest   → schedroute.RepairResult (422 on infeasible repair)
-//	POST /v1/sweep     schedroute.SweepRequest    → schedroute.SweepResult
+//	POST /v1/schedule        schedroute.ScheduleRequest      → schedroute.ScheduleResult
+//	POST /v1/schedule:batch  schedroute.BatchScheduleRequest → schedroute.BatchScheduleResult (per-item errors)
+//	POST /v1/repair          schedroute.RepairRequest        → schedroute.RepairResult (422 on infeasible repair)
+//	POST /v1/sweep           schedroute.SweepRequest         → schedroute.SweepResult
+//	GET  /v1/snapshot/{id}   solver-structure snapshot of a cached entry (404 not_found when absent)
 //	POST /v1/watch     schedroute.WatchRequest    → SSE stream of schedroute.WatchFrame
 //	GET  /v1/watch/{id}            resume a watch stream (Last-Event-ID)
 //	POST /v1/watch/{id}/events     schedroute.WatchEvent → schedroute.WatchEventAck
@@ -73,6 +75,26 @@ type Config struct {
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
 
+	// WarmStartDir, when non-empty, enables the disk-backed warm-start
+	// store: solver-structure snapshots are written behind the first
+	// build of each structure and read before any cold derivation, so a
+	// restarting replica (or one sharing the directory) skips the
+	// expensive τin-independent derivations entirely.
+	WarmStartDir string
+	// WarmStartMax bounds the snapshot files kept in WarmStartDir;
+	// beyond it the least recently used are removed (default 256).
+	WarmStartMax int
+	// Peers is the full fleet membership as base URLs, including this
+	// replica's own SelfURL. Non-empty enables shard routing: every
+	// StructureKey gets one owning replica by rendezvous hashing.
+	Peers []string
+	// SelfURL is this replica's own entry in Peers.
+	SelfURL string
+	// ShardPolicy says what to do with a request whose structure another
+	// replica owns: "proxy" (default) forwards it to the owner; "serve"
+	// handles it locally and records a shard-local miss.
+	ShardPolicy string
+
 	// MaxWatchSubs caps concurrent /v1/watch subscriptions (default 64).
 	MaxWatchSubs int
 	// WatchEventQueue bounds pending events per subscription; a full
@@ -109,6 +131,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.WarmStartMax == 0 {
+		c.WarmStartMax = 256
+	}
+	if c.ShardPolicy == "" {
+		c.ShardPolicy = shardPolicyProxy
+	}
 	if c.MaxWatchSubs == 0 {
 		c.MaxWatchSubs = 64
 	}
@@ -136,6 +164,9 @@ type Server struct {
 	flights *flightGroup
 	metrics *Metrics
 	watches *watchRegistry
+	warm    *warmStore   // nil unless WarmStartDir set
+	ring    *shardRing   // nil unless Peers set
+	httpc   *http.Client // peer proxying and snapshot fetches
 
 	sem      chan struct{} // worker slots
 	stop     chan struct{} // closed when draining begins
@@ -154,17 +185,28 @@ type Server struct {
 // New builds a Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		log:      cfg.Logger,
 		cache:    newSolverCache(cfg.MaxSolvers),
 		flights:  newFlightGroup(),
 		metrics:  newMetrics(),
 		watches:  newWatchRegistry(),
+		httpc:    &http.Client{},
 		sem:      make(chan struct{}, cfg.Workers),
 		stop:     make(chan struct{}),
 		inflight: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 	}
+	if cfg.WarmStartDir != "" {
+		s.warm = newWarmStore(cfg.WarmStartDir, cfg.WarmStartMax)
+	}
+	if len(cfg.Peers) > 0 {
+		s.ring = newShardRing(cfg.Peers, cfg.SelfURL)
+	}
+	if s.warm != nil || s.ring != nil {
+		s.cache.hydrate = s.hydrateSolver
+	}
+	return s
 }
 
 // Metrics exposes the server's counters (used by tests and /metrics).
@@ -267,8 +309,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/schedule", s.instrument("schedule", s.handleSchedule))
+	mux.Handle("POST /v1/schedule:batch", s.instrument("schedule_batch", s.handleBatch))
 	mux.Handle("/v1/repair", s.instrument("repair", s.handleRepair))
 	mux.Handle("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.Handle("GET /v1/snapshot/{id}", s.instrumentGet("snapshot", s.handleSnapshotGet))
 	mux.Handle("POST /v1/watch", s.instrumentWatch("watch", s.handleWatchCreate))
 	mux.Handle("GET /v1/watch/{id}", s.instrumentWatch("watch_attach", s.handleWatchAttach))
 	mux.Handle("POST /v1/watch/{id}/events", s.instrumentWatch("watch_event", s.handleWatchEvent))
@@ -322,6 +366,120 @@ func (s *Server) instrument(name string, fn func(http.ResponseWriter, *http.Requ
 			"dur_ms", float64(dur.Microseconds())/1000,
 			"remote", r.RemoteAddr,
 		)
+	})
+}
+
+// instrumentGet is instrument for GET endpoints: the same logging and
+// latency/status metrics, but no body cap or solve deadline (the
+// method filter lives in the mux pattern, and snapshot streaming is
+// bounded by the encoder, not a solver).
+func (s *Server) instrumentGet(name string, fn func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		dur := time.Since(start)
+		s.metrics.observeRequest(name, sw.code, dur)
+		s.log.Info("request",
+			"endpoint", name,
+			"method", r.Method,
+			"status", sw.code,
+			"dur_ms", float64(dur.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// handleSnapshotGet serves a live cache entry's solver-structure
+// snapshot, so a peer replica (or anything else that can name the id)
+// hydrates over HTTP instead of re-deriving. The {id} is
+// snapshotID(StructureKey) — the raw key never travels in a URL. A
+// replica holding no finished entry for the id answers 404 not_found;
+// the caller falls back to cold derivation.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ent := s.cache.lookupBySnapshotID(id)
+	if ent == nil {
+		s.writeError(w, errkind.Mark(fmt.Errorf("snapshot: no cached structure for id %q", id), errkind.ErrNotFound), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := schedule.EncodeSolverSnapshot(w, ent.solver, ent.key); err != nil {
+		// Headers are already written; the truncated body fails the
+		// peer's decode, which treats it as a miss.
+		s.log.Warn("snapshot: encode failed mid-stream", "id", id, "err", err)
+	}
+}
+
+// hydrateSolver is the solver cache's hydration hook: before a cold
+// structure derivation, try the warm-start directory, then the owning
+// shard peer. Any snapshot that fails to decode — corrupt file, schema
+// drift, a peer that solved a different problem under the same key —
+// logs and falls through to cold derivation: hydration is an
+// optimization, never a correctness gate.
+func (s *Server) hydrateSolver(key string, b *schedroute.Built) (*schedule.Solver, bool) {
+	p := b.ScheduleProblem()
+	if s.warm != nil {
+		sol, err := s.warm.load(key, p)
+		if err != nil {
+			s.log.Warn("warmstart: disk snapshot unusable", "key", key, "err", err)
+		} else if sol != nil {
+			s.metrics.warmstartHits.Add(1)
+			return sol, true
+		}
+	}
+	if s.ring != nil {
+		if owner := s.ring.owner(key); owner != "" && owner != s.ring.self {
+			if sol := s.fetchPeerSnapshot(owner, key, p); sol != nil {
+				s.metrics.warmstartHits.Add(1)
+				return sol, true
+			}
+		}
+	}
+	s.metrics.warmstartMisses.Add(1)
+	return nil, false
+}
+
+// fetchPeerSnapshot pulls the owner's snapshot for key over HTTP. Any
+// failure — peer down, 404, undecodable body — is a miss, never an
+// error: the local replica just derives cold.
+func (s *Server) fetchPeerSnapshot(owner, key string, p schedule.Problem) *schedule.Solver {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/snapshot/"+snapshotID(key), nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := s.httpc.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	sol, err := schedule.DecodeSolverSnapshot(resp.Body, p, key)
+	if err != nil {
+		s.log.Warn("warmstart: peer snapshot unusable", "peer", owner, "err", err)
+		return nil
+	}
+	return sol
+}
+
+// persistSnapshot write-behinds the entry's solver state to the
+// warm-start store, once per entry, off the request path. Hydrated
+// entries are skipped — their state came from a snapshot already — as
+// are failed builds.
+func (s *Server) persistSnapshot(ent *solverEntry) {
+	if s.warm == nil || ent.solver == nil || ent.hydrated {
+		return
+	}
+	ent.snapOnce.Do(func() {
+		go func() {
+			if err := s.warm.save(ent.key, ent.solver); err != nil {
+				s.log.Warn("warmstart: persist failed", "key", ent.key, "err", err)
+			}
+		}()
 	})
 }
 
@@ -483,6 +641,7 @@ func (s *Server) solve(ctx context.Context, p schedroute.Problem, o schedroute.O
 		return nil, err
 	}
 	sv := v.(*solved)
+	s.persistSnapshot(ent)
 	if traced {
 		reqSpan.SetAttrs(trace.Bool("coalesced", shared))
 		reqSpan.Adopt(sv.res.Trace)
@@ -504,6 +663,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req schedroute.ScheduleRequest
 	if err := decode(r, &req); err != nil {
 		s.writeError(w, err, nil)
+		return
+	}
+	if owner := s.shardOwner(r, req.Problem.StructureKey()); owner != "" {
+		s.proxy(w, r, owner, req)
 		return
 	}
 	root := requestSpan(r, "schedule")
@@ -537,6 +700,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Fault.Empty() {
 		s.writeError(w, errkind.Mark(errors.New("repair: fault must name at least one failed link or node"), errkind.ErrBadInput), nil)
+		return
+	}
+	if owner := s.shardOwner(r, req.Problem.StructureKey()); owner != "" {
+		s.proxy(w, r, owner, req)
 		return
 	}
 	root := requestSpan(r, "repair")
@@ -601,6 +768,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req schedroute.SweepRequest
 	if err := decode(r, &req); err != nil {
 		s.writeError(w, err, nil)
+		return
+	}
+	if owner := s.shardOwner(r, req.Problem.StructureKey()); owner != "" {
+		s.proxy(w, r, owner, req)
 		return
 	}
 	if err := s.admit(r.Context()); err != nil {
@@ -705,6 +876,7 @@ func (s *Server) sweep(ctx context.Context, req schedroute.SweepRequest) (*sched
 	if err != nil {
 		return nil, err
 	}
+	s.persistSnapshot(ent)
 	return &schedroute.SweepResult{
 		SchemaVersion: schedroute.SchemaVersion,
 		TauC:          tauC,

@@ -6,8 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
-	"math"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -122,7 +122,7 @@ func TestSolverCacheWarmRepeat(t *testing.T) {
 		}
 	}
 
-	hits, misses, size := srv.cache.stats()
+	hits, misses, _, size := srv.cache.stats()
 	if misses != 1 || hits < 1 || size != 1 {
 		t.Errorf("cache hits=%d misses=%d size=%d, want 1 miss, ≥1 hit, 1 entry", hits, misses, size)
 	}
@@ -294,7 +294,7 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 
 	// All twelve points share one cached solver: structure built once.
-	if _, misses, _ := func() (int64, int64, int) { return srv.cache.stats() }(); misses != 1 {
+	if _, misses, _, _ := srv.cache.stats(); misses != 1 {
 		t.Errorf("sweep built %d structures, want 1", misses)
 	}
 
@@ -436,6 +436,15 @@ func TestMetricsExposition(t *testing.T) {
 		"srschedd_solver_cache_size 1",
 		"srschedd_solve_runs_total 3",
 		"srschedd_queue_depth 0",
+		"srschedd_cache_entries 1",
+		"srschedd_cache_evictions_total 0",
+		"srschedd_warmstart_hits_total 0",
+		"srschedd_warmstart_misses_total 0",
+		"srschedd_batch_items 0",
+		"srschedd_shard_proxied_total 0",
+		"srschedd_shard_local_misses_total 0",
+		"srschedd_solver_baseline_builds_total 1",
+		"srschedd_solver_candidate_builds_total 1",
 		`srschedd_solve_stage_seconds_total{stage="assign"}`,
 		"srschedd_request_seconds_count{endpoint=\"schedule\"} 3",
 	} {
@@ -493,7 +502,7 @@ func TestCachedStructureUsesRequestTauIn(t *testing.T) {
 		t.Errorf("repair ran at the cached period: τout=%g, want ≥ the request's 250", rep.TauOut)
 	}
 
-	if _, misses, _ := srv.cache.stats(); misses != 1 {
+	if _, misses, _, _ := srv.cache.stats(); misses != 1 {
 		t.Errorf("structure rebuilt: %d misses, want 1", misses)
 	}
 }
@@ -523,7 +532,7 @@ func TestCacheHitWaitsForBuild(t *testing.T) {
 	// Every caller has registered (hit or miss) and is parked on the
 	// in-progress build before it is released.
 	waitFor(t, "all callers to reach the entry", func() bool {
-		h, m, _ := c.stats()
+		h, m, _, _ := c.stats()
 		return h+m == n
 	})
 	close(release)

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+
+	"schedroute/internal/errkind"
+)
+
+// Shard policies for requests whose StructureKey hashes to another
+// replica: proxy forwards them to the owner so its LRU stays warm for
+// its slice of the keyspace; serve handles them locally and records a
+// miss, for fleets that prefer an extra cold build over a hop.
+const (
+	shardPolicyProxy = "proxy"
+	shardPolicyServe = "serve"
+)
+
+// forwardedHeader marks a request already routed once, so a fleet with
+// a stale or disagreeing peer list degrades to serving locally instead
+// of proxying in a loop.
+const forwardedHeader = "X-Srschedd-Forwarded"
+
+// shardRing assigns every StructureKey an owning replica by rendezvous
+// (highest-random-weight) hashing: each replica scores the key against
+// every peer and the highest score owns it. All replicas agree on
+// ownership without coordination, and removing a peer remaps only the
+// keys that peer owned.
+type shardRing struct {
+	peers []string
+	self  string
+}
+
+func newShardRing(peers []string, self string) *shardRing {
+	return &shardRing{peers: peers, self: self}
+}
+
+// mix64 is a murmur-style 64-bit finalizer. FNV alone is a poor
+// rendezvous score: its last bytes (where keys that share a long
+// prefix differ) get only one multiply, so the high bits that decide
+// the peer comparison barely move and one peer can win nearly every
+// key. The finalizer avalanches the sum so scores behave like
+// independent draws per (peer, key) pair.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// owner returns the peer whose (peer, key) hash scores highest.
+func (r *shardRing) owner(structureKey string) string {
+	var best string
+	var bestScore uint64
+	for _, p := range r.peers {
+		h := fnv.New64a()
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+		io.WriteString(h, structureKey)
+		if s := mix64(h.Sum64()); best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// shardOwner decides routing for a request keyed by key: a non-empty
+// return is the peer base URL the caller must proxy to. Serving
+// locally — because sharding is off, the key is ours, the request was
+// already forwarded once, or the policy is serve — returns "", with a
+// local miss recorded when the ring says someone else owns the key.
+func (s *Server) shardOwner(r *http.Request, key string) string {
+	if s.ring == nil || r.Header.Get(forwardedHeader) != "" {
+		return ""
+	}
+	owner := s.ring.owner(key)
+	if owner == "" || owner == s.ring.self {
+		return ""
+	}
+	if s.cfg.ShardPolicy == shardPolicyServe {
+		s.metrics.shardLocalMisses.Add(1)
+		return ""
+	}
+	return owner
+}
+
+// proxy re-sends the decoded request to the owning peer and relays the
+// response verbatim — status, content type, and body — so the client
+// cannot tell which replica solved. The decoded req is re-marshaled
+// rather than replaying raw bytes: the body reader is already spent,
+// and our own wire types round-trip exactly.
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner string, req any) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	url := owner + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardedHeader, "1")
+	resp, err := s.httpc.Do(preq)
+	if err != nil {
+		s.writeError(w, errkind.Mark(fmt.Errorf("shard: proxy to %s: %w", owner, err), errkind.ErrUnavailable), nil)
+		return
+	}
+	defer resp.Body.Close()
+	s.metrics.shardProxied.Add(1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

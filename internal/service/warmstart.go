@@ -1,0 +1,132 @@
+package service
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"schedroute/internal/schedule"
+)
+
+// snapshotID is the URL- and filename-safe identity of a solver
+// snapshot: the snapshot schema version plus the first 16 bytes of the
+// StructureKey's SHA-256, hex-encoded. The raw StructureKey contains
+// '|', '=', and possibly filesystem paths, so it never appears in a
+// URL path or on disk directly; versioning the id means a schema bump
+// can never hydrate from a stale-format file.
+func snapshotID(structureKey string) string {
+	sum := sha256.Sum256([]byte(structureKey))
+	return fmt.Sprintf("v%d-%x", schedule.SolverSnapshotSchemaVersion, sum[:16])
+}
+
+// warmStore is the disk-backed warm-start store: one snapshot file per
+// structure, named by snapshotID, written behind the first build and
+// read before any cold derivation. Multiple replicas may share the
+// directory — writes go through temp-file + rename, so a reader never
+// observes a half-written snapshot.
+type warmStore struct {
+	dir string
+	max int
+	mu  sync.Mutex // serializes save/evict directory scans
+}
+
+func newWarmStore(dir string, max int) *warmStore {
+	if max < 1 {
+		max = 256
+	}
+	return &warmStore{dir: dir, max: max}
+}
+
+func (ws *warmStore) path(id string) string {
+	return filepath.Join(ws.dir, id+".json")
+}
+
+// load hydrates a solver for p from the on-disk snapshot keyed by
+// structureKey. A missing file is a plain miss (nil, nil); a file that
+// fails to decode is returned as an error so the caller can log it and
+// fall back to cold derivation. A loaded file gets its mtime bumped so
+// eviction treats it as recently used.
+func (ws *warmStore) load(structureKey string, p schedule.Problem) (*schedule.Solver, error) {
+	fp := ws.path(snapshotID(structureKey))
+	f, err := os.Open(fp)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := schedule.DecodeSolverSnapshot(f, p, structureKey)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	os.Chtimes(fp, now, now)
+	return s, nil
+}
+
+// save persists the solver's structure state: encode into a temp file
+// in the same directory, rename into place, then drop the
+// oldest-by-mtime files beyond max.
+func (ws *warmStore) save(structureKey string, s *schedule.Solver) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := os.MkdirAll(ws.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(ws.dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	if err := schedule.EncodeSolverSnapshot(tmp, s, structureKey); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), ws.path(snapshotID(structureKey))); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	ws.evictLocked()
+	return nil
+}
+
+// evictLocked bounds the store at max snapshot files, removing the
+// least recently used (oldest mtime — load refreshes it) first.
+func (ws *warmStore) evictLocked() {
+	ents, err := os.ReadDir(ws.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		name string
+		mod  time.Time
+	}
+	var files []aged
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{e.Name(), info.ModTime()})
+	}
+	if len(files) <= ws.max {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for _, f := range files[:len(files)-ws.max] {
+		os.Remove(filepath.Join(ws.dir, f.name))
+	}
+}

@@ -1,0 +1,31 @@
+package schedroute
+
+// BatchScheduleRequest asks for many schedule computations in one
+// round trip. The service groups items by problem structure, so a
+// batch of same-structure sub-requests (a capacity-planning sweep over
+// many periods, say) costs one structure build however many items it
+// carries; fully identical sub-requests additionally share a single
+// solve and a single encoded result.
+type BatchScheduleRequest struct {
+	SchemaVersion int               `json:"schema_version,omitempty"`
+	Items         []ScheduleRequest `json:"items"`
+}
+
+// BatchItemResult is one item's outcome, errors isolated per item:
+// exactly one of Result and Error is meaningful. A failed item carries
+// its message plus the errkind label its standalone request would have
+// mapped to an HTTP status, so one infeasible or malformed item never
+// fails its siblings.
+type BatchItemResult struct {
+	Index  int             `json:"index"`
+	Result *ScheduleResult `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Kind   string          `json:"kind,omitempty"`
+}
+
+// BatchScheduleResult answers a batch; Items is ordered by Index and
+// has exactly one entry per request item.
+type BatchScheduleResult struct {
+	SchemaVersion int               `json:"schema_version"`
+	Items         []BatchItemResult `json:"items"`
+}

@@ -1,0 +1,97 @@
+#!/bin/sh
+# fleet_smoke.sh — end-to-end smoke of the fleet features: two srschedd
+# replicas sharing a -warmstart-dir, snapshot write-behind and the
+# /v1/snapshot fetch path, warm-start hydration on a sibling replica,
+# and a kill/restart proving the restarted replica's first solve derives
+# zero structure (BaselineBuilds/CandidateBuilds stay 0). Run via
+# `make fleet-smoke`.
+set -eu
+
+PORT_A="${FLEET_SMOKE_PORT_A:-18081}"
+PORT_B="${FLEET_SMOKE_PORT_B:-18082}"
+BASE_A="http://127.0.0.1:$PORT_A"
+BASE_B="http://127.0.0.1:$PORT_B"
+DIR="$(mktemp -d)"
+BIN="$DIR/srschedd"
+WARM="$DIR/warm"
+trap 'kill "$PID_A" "$PID_B" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$BIN" ./cmd/srschedd
+
+# -shard-policy serve keeps the smoke deterministic: every replica
+# solves what it is asked, records shard misses for foreign keys, and
+# the shared directory — not proxying — carries the warm state.
+start_replica() { # $1 = port
+    "$BIN" -listen "127.0.0.1:$1" -drain 10s \
+        -warmstart-dir "$WARM" \
+        -peers "$BASE_A,$BASE_B" -self "http://127.0.0.1:$1" \
+        -shard-policy serve 2>/dev/null &
+}
+wait_healthy() { # $1 = base URL
+    for i in $(seq 1 50); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "replica $1 never became healthy"; exit 1
+}
+
+start_replica "$PORT_A"; PID_A=$!
+start_replica "$PORT_B"; PID_B=$!
+wait_healthy "$BASE_A"
+wait_healthy "$BASE_B"
+
+PROBLEM='{"problem": {"tfg": "dvb:4", "topology": "cube:6", "bandwidth": 64, "tau_in": %s}}'
+
+# First solve on A: cold structure build, snapshot written behind.
+printf "$PROBLEM" 150 | curl -fsS -X POST "$BASE_A/v1/schedule" -d @- \
+    | grep -q '"feasible": *true' || { echo "solve on A not feasible"; exit 1; }
+
+# The on-disk snapshot name is the schema-versioned hash of the
+# structure key — computable from the shell, same as snapshotID().
+KEY='v1|tfg=dvb:4|topo=cube:6|bw=64|speed=0|alloc=rr|seed=0'
+ID="v1-$(printf '%s' "$KEY" | sha256sum | cut -c1-32)"
+for i in $(seq 1 50); do
+    if [ -f "$WARM/$ID.json" ]; then break; fi
+    sleep 0.1
+done
+[ -f "$WARM/$ID.json" ] || { echo "write-behind snapshot $ID.json never appeared"; exit 1; }
+
+# The snapshot endpoint serves the cached structure; an unknown id is a
+# clean 404, not a 500.
+curl -fsS "$BASE_A/v1/snapshot/$ID" | grep '"schema_version":1' >/dev/null \
+    || { echo "snapshot fetch missing schema_version"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE_A/v1/snapshot/v1-00000000000000000000000000000000")
+[ "$CODE" = "404" ] || { echo "bogus snapshot id returned $CODE, want 404"; exit 1; }
+
+# Replica B has never built this structure: its first solve must
+# hydrate from the shared directory and derive nothing.
+printf "$PROBLEM" 160 | curl -fsS -X POST "$BASE_B/v1/schedule" -d @- \
+    | grep -q '"feasible": *true' || { echo "solve on B not feasible"; exit 1; }
+curl -fsS "$BASE_B/metrics" | grep '^srschedd_warmstart_hits_total 1$' >/dev/null \
+    || { echo "B did not hydrate from the shared warm-start dir"; exit 1; }
+curl -fsS "$BASE_B/metrics" | grep '^srschedd_solver_baseline_builds_total 0$' >/dev/null \
+    || { echo "B derived the LSD baseline despite hydration"; exit 1; }
+
+# Kill A, restart it on the same flags: the restarted replica's first
+# solve must warm-start too — zero BaselineBuilds, zero CandidateBuilds.
+kill -TERM "$PID_A"
+wait "$PID_A" || { echo "replica A did not exit cleanly"; exit 1; }
+start_replica "$PORT_A"; PID_A=$!
+wait_healthy "$BASE_A"
+
+printf "$PROBLEM" 175 | curl -fsS -X POST "$BASE_A/v1/schedule" -d @- \
+    | grep -q '"feasible": *true' || { echo "solve on restarted A not feasible"; exit 1; }
+METRICS="$(curl -fsS "$BASE_A/metrics")"
+echo "$METRICS" | grep '^srschedd_warmstart_hits_total 1$' >/dev/null \
+    || { echo "restarted A did not hydrate"; exit 1; }
+echo "$METRICS" | grep '^srschedd_solver_baseline_builds_total 0$' >/dev/null \
+    || { echo "restarted A rebuilt the LSD baseline"; exit 1; }
+echo "$METRICS" | grep '^srschedd_solver_candidate_builds_total 0$' >/dev/null \
+    || { echo "restarted A rebuilt path candidates"; exit 1; }
+
+# Graceful shutdown of the whole fleet.
+kill -TERM "$PID_A" "$PID_B"
+wait "$PID_A" || { echo "replica A did not drain cleanly"; exit 1; }
+wait "$PID_B" || { echo "replica B did not drain cleanly"; exit 1; }
+PID_A=""; PID_B=""
+echo "fleet smoke OK"
