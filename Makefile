@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke fleet-smoke trace-smoke watch-smoke clean
+.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke fleet-smoke trace-smoke watch-smoke tenant-smoke clean
 
 all: check
 
@@ -54,6 +54,12 @@ fleet-smoke:
 watch-smoke:
 	sh scripts/watch_smoke.sh
 
+# End-to-end smoke of multi-tenant admission: two tenants admitted via
+# srsched -admit, a third rejected with exit 4 and a 422 report, and
+# the per-tenant metrics asserted (scripts/tenant_smoke.sh).
+tenant-smoke:
+	sh scripts/tenant_smoke.sh
+
 # Full figure-regeneration benchmark suite (see bench_test.go).
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
@@ -63,7 +69,7 @@ bench:
 # Fig. 5/7 panels, the serial sweep, and the CP-simulator replay,
 # rendered to JSON (ns/op, B/op, allocs/op, shape metrics) by
 # cmd/benchjson.
-BENCH_JSON_SUITE = ScheduleComputeSixCube$$|ScheduleTenCube$$|ScheduleTorus32$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64|ColdVsWarmStartTenCube|ScheduleBatch64
+BENCH_JSON_SUITE = ScheduleComputeSixCube$$|ScheduleTenCube$$|ScheduleTorus32$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64|ColdVsWarmStartTenCube|ScheduleBatch64|TenantAdmitSixCube$$
 
 # The baseline records three runs per benchmark so the compare gate's
 # min-of-3 meets a min-of-3 baseline: a single lucky baseline run would

@@ -694,6 +694,52 @@ func BenchmarkScheduleBatch64(b *testing.B) {
 	})
 }
 
+// BenchmarkTenantAdmitSixCube is the multi-tenant admission acceptance
+// benchmark: each iteration builds a fresh 6-cube fabric, admits a
+// bystander tenant round-robin at the grid's lightest load, then a
+// second tenant running the same DVB application placed half a machine
+// away (identical placements can never co-schedule — a tenant's direct
+// links are reserved at full share, and the N/2 shift is a hypercube
+// automorphism). Both admissions must succeed: the second solves
+// against the residual shares the first reserved, which is the whole
+// cost the ladder adds over a solo Compute.
+func BenchmarkTenantAdmitSixCube(b *testing.B) {
+	vic := dvbSixCubeProblem(b, 150)
+	bys := vic
+	bys.TauIn = vic.Timing.TauC() * 5
+	n := vic.Topology.Nodes()
+	shifted := &alloc.Assignment{NodeOf: make([]topology.NodeID, len(vic.Assignment.NodeOf))}
+	for t, nd := range vic.Assignment.NodeOf {
+		shifted.NodeOf[t] = topology.NodeID((int(nd) + n/2) % n)
+	}
+	vic.Assignment = shifted
+	opts := schedule.Options{Seed: 1}
+	var tauOut float64
+	for i := 0; i < b.N; i++ {
+		set := schedule.NewTenantSet(vic.Topology)
+		rep, err := set.Admit(context.Background(), schedule.Tenant{
+			ID: "bystander", Priority: 1, Problem: bys, Options: opts,
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Admitted {
+			b.Fatalf("bystander rejected on an empty fabric: %s", rep.Reason)
+		}
+		rep, err = set.Admit(context.Background(), schedule.Tenant{
+			ID: "victim", Priority: 1, Problem: vic, Options: opts,
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Admitted {
+			b.Fatalf("second tenant rejected: %s", rep.Reason)
+		}
+		tauOut = rep.TauOut
+	}
+	b.ReportMetric(tauOut/vic.TauIn, "tauout/tauin")
+}
+
 func BenchmarkShortestPathEnumeration(b *testing.B) {
 	top, err := topology.NewHypercube(6)
 	if err != nil {

@@ -5,6 +5,7 @@
 //	experiments -fig 7            # one figure (5..10)
 //	experiments -all              # all six figures
 //	experiments -fig faults       # survivability under single-link faults
+//	experiments -fig tenant       # two-tenant isolation under victim-only faults
 //	experiments -list             # show the figure → configuration map
 //
 // Figures 5 and 6 print peak-utilization tables (AssignPaths vs
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (5..10), or 'faults' for the survivability sweep")
+	fig := flag.String("fig", "", "figure to regenerate (5..10), 'faults' for the survivability sweep, or 'tenant' for the two-tenant isolation sweep")
 	all := flag.Bool("all", false, "regenerate every figure")
 	configFilter := flag.String("config", "", "faults sweep: only configurations whose key contains this substring")
 	verify := flag.Bool("verify", true, "faults sweep: re-verify every repaired Ω by packet-level fault injection")
@@ -69,6 +70,10 @@ func main() {
 		runFaults(cfgs, *configFilter, *seed, *procs, *maxFaults, *verify, *strict, *format)
 		return
 	}
+	if *fig == "tenant" {
+		runTenantFaults(cfgs, *configFilter, *seed, *procs, *maxFaults, *strict, *format)
+		return
+	}
 
 	var figs []int
 	figNum, figErr := strconv.Atoi(*fig)
@@ -78,7 +83,7 @@ func main() {
 	case figErr == nil && figNum >= 5 && figNum <= 10:
 		figs = []int{figNum}
 	default:
-		fmt.Fprintln(os.Stderr, "experiments: pass -fig 5..10, -fig faults, -all or -list")
+		fmt.Fprintln(os.Stderr, "experiments: pass -fig 5..10, -fig faults, -fig tenant, -all or -list")
 		os.Exit(2)
 	}
 	for _, id := range figs {
@@ -153,6 +158,46 @@ func runFaults(cfgs map[string]experiments.Config, filter string, seed int64, pr
 		write := experiments.WriteSurvivability
 		if format == "csv" {
 			write = experiments.WriteSurvivabilityCSV
+		}
+		if err := write(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// runTenantFaults executes the two-tenant isolation sweep: faults
+// strike only links the victim tenant's paths use exclusively, and the
+// table reports the victim's repair-ladder outcomes next to whether the
+// bystander tenant's Ω stayed byte-identical.
+func runTenantFaults(cfgs map[string]experiments.Config, filter string, seed int64, procs, maxFaults int, strict bool, format string) {
+	var keys []string
+	for key := range cfgs {
+		if strings.Contains(key, filter) {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no configuration matches -config %q\n", filter)
+		os.Exit(2)
+	}
+	sort.Strings(keys)
+	if format == "table" {
+		fmt.Println("==== Tenant isolation under victim-only link faults ====")
+	}
+	for _, key := range keys {
+		cfg := cfgs[key]
+		cfg.Seed = seed
+		cfg.Procs = procs
+		cfg.MaxFaults = maxFaults
+		cfg.StrictRepair = strict
+		s, err := experiments.TenantSurvivabilitySweep(context.Background(), cfg)
+		if err != nil {
+			cliutil.Fatal("experiments", err)
+		}
+		write := experiments.WriteTenantSurvivability
+		if format == "csv" {
+			write = experiments.WriteTenantSurvivabilityCSV
 		}
 		if err := write(os.Stdout, s); err != nil {
 			fatal(err)

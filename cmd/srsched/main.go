@@ -12,6 +12,7 @@
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 141 -save-snapshot warm.json
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 150 -load-snapshot warm.json
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 150 -fail-link 0-1 -watch http://localhost:8080
+//	srsched -tfg dvb:4 -topo cube:6 -tauin 50 -admit http://localhost:8080 -tenant video -priority 5 -rate 0.5
 //
 // With -fail-link u-v the computed schedule is repaired for the named
 // link fault through the degradation ladder (incremental reroute, full
@@ -24,15 +25,28 @@
 // as a /v1/watch subscription on a running srschedd, the fault (or a
 // -watch-events random scenario) is replayed as watch events, and each
 // incrementally repaired frame is printed as it streams back.
+//
+// With -admit URL the problem is submitted as a tenant admission
+// (POST /v1/admit) against the shared fabric of a running srschedd:
+// -tenant names the tenant, -priority ranks it for eviction, and -rate
+// sets the minimum acceptable τin/τout fraction. An admission the
+// degradation ladder cannot satisfy exits with status 4 and prints the
+// rejection report. The same -tenant flag scopes a -watch subscription
+// to an admitted tenant's standing schedule.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"schedroute/internal/cliutil"
+	"schedroute/internal/errkind"
 	"schedroute/internal/cpsim"
 	"schedroute/internal/faults"
 	"schedroute/internal/gantt"
@@ -63,10 +77,19 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the recorded trace as Chrome trace_event JSON to this file (implies tracing)")
 	watch := flag.String("watch", "", "stream repairs from a running srschedd at this base URL instead of solving locally: the -fail-link/-fail-node fault is replayed as fault then fault-repaired events over /v1/watch")
 	watchEvents := flag.Int("watch-events", 0, "with -watch: replay a -seed random link-fault scenario of this many faults instead of the -fail-link/-fail-node pair")
+	admitURL := flag.String("admit", "", "run the multi-tenant admission check for this problem on a running srschedd at this base URL (POST /v1/admit) instead of solving locally; a rejection exits with status 4")
+	tenantID := flag.String("tenant", "", "tenant id for -admit or -watch requests (empty = the default tenant)")
+	priority := flag.Int("priority", 0, "tenant priority for -admit: higher may evict strictly lower on a full fabric")
+	rate := flag.Float64("rate", 0, "tenant rate guarantee for -admit: minimum acceptable τin/τout fraction in (0,1]; 0 accepts any degraded rate")
 	flag.Parse()
 
+	tenant := wireTenant(*tenantID, *priority, *rate)
+	if *admitURL != "" {
+		runAdmit(*admitURL, pf, tenant)
+		return
+	}
 	if *watch != "" {
-		runWatch(*watch, pf, *watchEvents)
+		runWatch(*watch, pf, *watchEvents, tenant)
 		return
 	}
 
@@ -260,7 +283,77 @@ func main() {
 // backoff and Last-Event-ID resume, so a daemon restart mid-scenario
 // only delays the stream. An infeasible repair exits with status 3,
 // like the local -fail-link path.
-func runWatch(baseURL string, pf *cliutil.ProblemFlags, nEvents int) {
+// wireTenant builds the optional wire tenant from the three flags; all
+// zero means no tenant field (a v1-shaped request).
+func wireTenant(id string, priority int, rate float64) *schedroute.Tenant {
+	if id == "" && priority == 0 && rate == 0 {
+		return nil
+	}
+	return &schedroute.Tenant{ID: id, Priority: priority, RateGuarantee: rate}
+}
+
+// runAdmit asks a running srschedd to admit this problem as a tenant
+// and prints the admission report. The exit status follows the errkind
+// table: 0 admitted, 4 rejected (the service's 422), the error's own
+// class otherwise.
+func runAdmit(baseURL string, pf *cliutil.ProblemFlags, tenant *schedroute.Tenant) {
+	body, err := json.Marshal(schedroute.AdmitRequest{Problem: pf.Spec(), Tenant: tenant})
+	if err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	resp, err := http.Post(baseURL+"/v1/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+
+	var adm *schedroute.AdmitResult
+	if resp.StatusCode == http.StatusOK {
+		adm = &schedroute.AdmitResult{}
+		if err := json.Unmarshal(raw, adm); err != nil {
+			cliutil.Fatal("srsched", err)
+		}
+	} else {
+		var er schedroute.ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+			cliutil.Fatal("srsched", fmt.Errorf("admit: status %d: %s", resp.StatusCode, raw))
+		}
+		adm = er.Admit
+		if adm == nil {
+			// Not an admission verdict (bad flags, unreachable fabric...):
+			// rebuild the error's class from the envelope and exit with it.
+			err := fmt.Errorf("admit: %s", er.Error)
+			if kind := errkind.ByName(er.Kind); kind != nil {
+				err = errkind.Mark(err, kind)
+			}
+			cliutil.Fatal("srsched", err)
+		}
+	}
+
+	fmt.Printf("tenant %q: %s", adm.TenantID, adm.Outcome)
+	if adm.Admitted {
+		fmt.Printf(", τout %g µs", adm.TauOut)
+		if adm.WindowScale != 1 {
+			fmt.Printf(", window ×%.2f", adm.WindowScale)
+		}
+		fmt.Printf(", peak %.4f", adm.Peak)
+	}
+	fmt.Println()
+	if len(adm.Evicted) > 0 {
+		fmt.Printf("evicted: %v\n", adm.Evicted)
+	}
+	if !adm.Admitted {
+		fmt.Printf("reason: %s (bottleneck link %d, residual share %.3g)\n",
+			adm.Reason, adm.BottleneckLink, adm.BottleneckShare)
+		os.Exit(cliutil.ExitStatus(errkind.Mark(fmt.Errorf("admission rejected"), errkind.ErrAdmissionRejected)))
+	}
+}
+
+func runWatch(baseURL string, pf *cliutil.ProblemFlags, nEvents int, tenant *schedroute.Tenant) {
 	b, _, err := pf.ParseProblem()
 	if err != nil {
 		cliutil.Fatal("srsched", err)
@@ -294,7 +387,7 @@ func runWatch(baseURL string, pf *cliutil.ProblemFlags, nEvents int) {
 
 	ctx := context.Background()
 	wc := &schedroute.WatchClient{BaseURL: baseURL}
-	st, err := wc.Subscribe(ctx, schedroute.WatchRequest{Problem: pf.Spec(), Execute: true})
+	st, err := wc.Subscribe(ctx, schedroute.WatchRequest{Problem: pf.Spec(), Tenant: tenant, Execute: true})
 	if err != nil {
 		cliutil.Fatal("srsched", err)
 	}

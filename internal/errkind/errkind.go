@@ -36,6 +36,11 @@ var (
 	// hold — e.g. a warm-start snapshot for a structure key this
 	// replica has never built and never stored.
 	ErrNotFound = errors.New("not found")
+	// ErrAdmissionRejected marks a tenant admission the co-scheduler
+	// declined: no rung of the degradation ladder fit the candidate into
+	// the residual fabric without perturbing already-admitted tenants.
+	// Like ErrInfeasibleRepair it is an expected operational outcome.
+	ErrAdmissionRejected = errors.New("admission rejected")
 )
 
 // Class is one row of the classification table: the sentinel, a stable
@@ -48,6 +53,10 @@ type Class struct {
 	Exit int
 	// HTTP is the service response status.
 	HTTP int
+	// Detail is a stable one-line description of the family, carried in
+	// the service error envelope's "detail" field so clients can show a
+	// human-readable classification without hardcoding the table.
+	Detail string
 }
 
 // Table maps every error family to its externally visible statuses.
@@ -55,16 +64,25 @@ type Class struct {
 // specific families come first. Exit statuses 0 and 2 are reserved
 // (success and flag misuse); generic failures exit 1 / HTTP 500.
 var Table = []Class{
-	{Kind: ErrInfeasibleRepair, Name: "infeasible_repair", Exit: 3, HTTP: 422},
-	{Kind: ErrUnknownVersion, Name: "unknown_schema_version", Exit: 1, HTTP: 400},
-	{Kind: ErrBadInput, Name: "bad_input", Exit: 1, HTTP: 400},
-	{Kind: ErrBadSchedule, Name: "bad_schedule", Exit: 1, HTTP: 500},
-	{Kind: ErrUnavailable, Name: "unavailable", Exit: 1, HTTP: 503},
-	{Kind: ErrNotFound, Name: "not_found", Exit: 1, HTTP: 404},
+	{Kind: ErrInfeasibleRepair, Name: "infeasible_repair", Exit: 3, HTTP: 422,
+		Detail: "every rung of the repair degradation ladder was rejected"},
+	{Kind: ErrAdmissionRejected, Name: "admission_rejected", Exit: 4, HTTP: 422,
+		Detail: "the tenant does not fit the residual fabric at any degradation rung"},
+	{Kind: ErrUnknownVersion, Name: "unknown_schema_version", Exit: 1, HTTP: 400,
+		Detail: "this build does not understand the request's schema_version"},
+	{Kind: ErrBadInput, Name: "bad_input", Exit: 1, HTTP: 400,
+		Detail: "the request failed validation"},
+	{Kind: ErrBadSchedule, Name: "bad_schedule", Exit: 1, HTTP: 500,
+		Detail: "an internally inconsistent schedule was detected during execution"},
+	{Kind: ErrUnavailable, Name: "unavailable", Exit: 1, HTTP: 503,
+		Detail: "the service is draining or its solve queue is full; retry elsewhere"},
+	{Kind: ErrNotFound, Name: "not_found", Exit: 1, HTTP: 404,
+		Detail: "the requested artifact is not held by this replica"},
 }
 
 // Generic is the fallback classification for errors matching no family.
-var Generic = Class{Name: "internal", Exit: 1, HTTP: 500}
+var Generic = Class{Name: "internal", Exit: 1, HTTP: 500,
+	Detail: "unclassified internal error"}
 
 // Classify returns the first table row whose sentinel err matches, or
 // (Generic, false) when none does.

@@ -37,14 +37,25 @@ func (e *ErrAllocationInfeasible) Error() string {
 // LP relaxation of the paper's integer program is exact here).
 func AllocateIntervals(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity) (*Allocation, error) {
 	var a solveArena
-	return allocateIntervals(&a, subsets, pa, ws, act)
+	return allocateIntervals(&a, subsets, pa, ws, act, nil)
 }
 
-func allocateIntervals(a *solveArena, subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity) (*Allocation, error) {
+// AllocateIntervalsCap is AllocateIntervals against a per-link capacity
+// vector (see Options.LinkCap): every constraint-(4) right-hand side
+// becomes linkCap[j]·|A_k|, so the subset's traffic fits inside the
+// link's reserved share. Links with a share below 1 are constrained
+// even when only a single message crosses them (the cell cap alone
+// would over-admit). nil is the whole machine.
+func AllocateIntervalsCap(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, linkCap []float64) (*Allocation, error) {
+	var a solveArena
+	return allocateIntervals(&a, subsets, pa, ws, act, linkCap)
+}
+
+func allocateIntervals(a *solveArena, subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, linkCap []float64) (*Allocation, error) {
 	K := act.Intervals.K()
 	out := &Allocation{P: make([][]float64, len(ws))}
 	for _, subset := range subsets {
-		if err := allocateSubset(a, subset, pa, ws, act, K, out); err != nil {
+		if err := allocateSubset(a, subset, pa, ws, act, K, out, linkCap); err != nil {
 			return nil, err
 		}
 	}
@@ -59,6 +70,15 @@ func allocateIntervals(a *solveArena, subsets [][]tfg.MessageID, pa *PathAssignm
 // message may be reallocated; every other non-local message must have a
 // row in base.
 func AllocateIntervalsPinned(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, base *Allocation, free func(tfg.MessageID) bool) (*Allocation, error) {
+	return AllocateIntervalsPinnedCap(subsets, pa, ws, act, base, free, nil)
+}
+
+// AllocateIntervalsPinnedCap is AllocateIntervalsPinned against a
+// per-link capacity vector (see Options.LinkCap): the residual each
+// free message sees is linkCap[j]·|A_k| minus the pinned usage, so an
+// incremental repair cannot grow a tenant's traffic beyond its
+// reserved share. nil is the whole machine.
+func AllocateIntervalsPinnedCap(subsets [][]tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, base *Allocation, free func(tfg.MessageID) bool, linkCap []float64) (*Allocation, error) {
 	var a solveArena
 	K := act.Intervals.K()
 	out := &Allocation{P: make([][]float64, len(ws))}
@@ -78,7 +98,7 @@ func AllocateIntervalsPinned(subsets [][]tfg.MessageID, pa *PathAssignment, ws [
 		if len(freeMsgs) == 0 {
 			continue
 		}
-		if err := allocateSubsetPinned(&a, subset, freeMsgs, pa, ws, act, K, out); err != nil {
+		if err := allocateSubsetPinned(&a, subset, freeMsgs, pa, ws, act, K, out, linkCap); err != nil {
 			return nil, err
 		}
 	}
@@ -168,7 +188,7 @@ func (sc *allocScratch) extract(sol lp.Solution, nrows, K int, out *Allocation) 
 	}
 }
 
-func allocateSubset(a *solveArena, subset []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
+func allocateSubset(a *solveArena, subset []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation, linkCap []float64) error {
 	sc := &a.alloc
 	maxLink := maxLinkOf(subset, pa)
 	sc.ensure(len(ws), K, int(maxLink))
@@ -205,8 +225,16 @@ func allocateSubset(a *solveArena, subset []tfg.MessageID, pa *PathAssignment, w
 		if sc.linkEpoch[l] != sc.epoch {
 			continue
 		}
+		// A reserved share below 1 binds even a lone message (the cell
+		// cap alone would let it fill the whole physical interval).
+		share := 1.0
+		if linkCap != nil {
+			if share = linkCap[l]; share < 0 {
+				share = 0
+			}
+		}
 		msgs := sc.linkFree[l]
-		if len(msgs) < 2 {
+		if len(msgs) < 2 && share >= 1 {
 			continue // a single message is covered by the cell cap
 		}
 		for k := 0; k < K; k++ {
@@ -218,10 +246,10 @@ func allocateSubset(a *solveArena, subset []tfg.MessageID, pa *PathAssignment, w
 					sc.rowVal = append(sc.rowVal, 1)
 				}
 			}
-			if len(sc.rowIdx) < 2 {
+			if len(sc.rowIdx) == 0 || (len(sc.rowIdx) < 2 && share >= 1) {
 				continue // a lone message is covered by the cell cap
 			}
-			if err := prob.AddRow(sc.rowIdx, sc.rowVal, lp.LE, act.Intervals.Length(k)); err != nil {
+			if err := prob.AddRow(sc.rowIdx, sc.rowVal, lp.LE, share*act.Intervals.Length(k)); err != nil {
 				return err
 			}
 		}
@@ -238,7 +266,7 @@ func allocateSubset(a *solveArena, subset []tfg.MessageID, pa *PathAssignment, w
 // allocateSubsetPinned solves the allocation LP for the free members of
 // one maximal subset; the pinned members' rows are already in out and
 // consume capacity on every (link, interval) they occupy.
-func allocateSubsetPinned(a *solveArena, subset, freeMsgs []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation) error {
+func allocateSubsetPinned(a *solveArena, subset, freeMsgs []tfg.MessageID, pa *PathAssignment, ws []Window, act *Activity, K int, out *Allocation, linkCap []float64) error {
 	sc := &a.alloc
 	maxLink := maxLinkOf(subset, pa)
 	sc.ensure(len(ws), K, int(maxLink))
@@ -285,6 +313,12 @@ func allocateSubsetPinned(a *solveArena, subset, freeMsgs []tfg.MessageID, pa *P
 		if sc.linkEpoch[l] != sc.epoch || len(sc.linkFree[l]) == 0 {
 			continue
 		}
+		share := 1.0
+		if linkCap != nil {
+			if share = linkCap[l]; share < 0 {
+				share = 0
+			}
+		}
 		for k := 0; k < K; k++ {
 			sc.rowIdx = sc.rowIdx[:0]
 			sc.rowVal = sc.rowVal[:0]
@@ -297,7 +331,7 @@ func allocateSubsetPinned(a *solveArena, subset, freeMsgs []tfg.MessageID, pa *P
 			if len(sc.rowIdx) == 0 {
 				continue
 			}
-			residual := act.Intervals.Length(k)
+			residual := share * act.Intervals.Length(k)
 			for _, mi := range sc.linkPinned[l] {
 				if out.P[mi] != nil {
 					residual -= out.P[mi][k]

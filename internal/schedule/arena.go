@@ -26,13 +26,13 @@ type solveArena struct {
 // loadState returns the arena's pooled LoadState rebuilt for the given
 // assignment, reusing every backing array when the dimensions match the
 // previous use.
-func (a *solveArena) loadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *LoadState {
+func (a *solveArena) loadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity, linkCap []float64) *LoadState {
 	ls := a.load
 	if ls == nil || ls.nl != top.Links() || ls.K != act.Intervals.K() || len(ls.ws) != len(ws) {
-		a.load = NewLoadState(top, pa, ws, act)
+		a.load = NewLoadStateCap(top, pa, ws, act, linkCap)
 		return a.load
 	}
-	ls.ws, ls.act = ws, act
+	ls.ws, ls.act, ls.linkCap = ws, act, linkCap
 	for k := 0; k < ls.K; k++ {
 		ls.lenK[k] = act.Intervals.Length(k)
 	}

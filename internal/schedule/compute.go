@@ -73,6 +73,20 @@ type Options struct {
 	// Off by default so Results stay value-comparable across runs (the
 	// deterministic counters are filled either way).
 	CollectStats bool
+	// LinkCap, when non-nil, caps the bandwidth fraction this solve may
+	// use on each link: LinkCap[j] ∈ [0, 1] is the share of link j left
+	// to this problem, and the utilization scores seen by AssignPaths
+	// and the allocation LP are taken relative to that share
+	// (U_j / LinkCap[j]; allocation rows get RHS LinkCap[j]·|A_k|). This
+	// is how multi-tenant co-scheduling expresses the residual fabric: a
+	// tenant solves against the capacity not reserved by earlier
+	// admissions, under the guaranteed-rate TDM link-sharing model of
+	// DESIGN §10. It must have length Topology.Links(). nil means the
+	// whole machine (all ones) and takes a bit-identical fast path; the
+	// hot-spot counts U_jk are integer message counts and are not
+	// rescaled (each tenant's virtual link preserves slack structure).
+	LinkCap []float64
+
 	// Trace, when non-nil, is the parent span the solve records itself
 	// under: one child span per pipeline stage (see PipelineStages),
 	// carrying durations and small typed attributes. The finished solve
@@ -117,6 +131,17 @@ const (
 	SpanRung          = "rung"
 	SpanAllocSearch   = "allocation_search"
 	SpanCandidate     = "candidate"
+
+	// Admission-control stages (multi-tenant co-scheduling, DESIGN §10):
+	// one admit span per TenantSet.Admit call, with a residual-capacity
+	// computation, one rung span per degradation-ladder attempt, an
+	// eviction span per preempted tenant, and a reserve span when the
+	// candidate's link shares are committed.
+	SpanAdmit         = "admit"
+	SpanAdmitResidual = "admit_residual"
+	SpanAdmitRung     = "admit_rung"
+	SpanAdmitEvict    = "admit_evict"
+	SpanAdmitReserve  = "admit_reserve"
 )
 
 // PipelineStages lists the Fig. 3 stage span names in pipeline order.

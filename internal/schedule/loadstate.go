@@ -58,6 +58,15 @@ type LoadState struct {
 	lenK    []float64 // lenK[k] = Intervals.Length(k), cached
 	noSlack []bool    // noSlack[i] = ws[i].NoSlack(), cached
 
+	// linkCap[j] is the bandwidth share available on link j (see
+	// Options.LinkCap); link-utilization scores are U_j / linkCap[j].
+	// nil means all ones and keeps the single-tenant float path
+	// untouched (no division is performed, so scores stay bit-identical
+	// to the pre-capacity implementation). A zero share with traffic on
+	// the link scores +Inf, which the hill-climb and the feasibility
+	// gate both treat as "worse than any finite peak".
+	linkCap []float64
+
 	members []msgSet  // members[j]: messages using link j
 	xmit    []float64 // xmit[j]: Σ Xmit over members[j], ascending message order
 	cnt     []int32   // cnt[j*K+k]: active messages on (j, k)
@@ -91,6 +100,12 @@ const topkSize = 80
 
 // NewLoadState builds the accumulators for pa from scratch.
 func NewLoadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *LoadState {
+	return NewLoadStateCap(top, pa, ws, act, nil)
+}
+
+// NewLoadStateCap builds the accumulators with a per-link capacity
+// vector (nil for the whole machine).
+func NewLoadStateCap(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity, linkCap []float64) *LoadState {
 	nl := top.Links()
 	K := act.Intervals.K()
 	ls := &LoadState{
@@ -110,6 +125,7 @@ func NewLoadState(top *topology.Topology, pa *PathAssignment, ws []Window, act *
 		stamp:     make([]int32, nl),
 		lenK:      make([]float64, K),
 		noSlack:   make([]bool, len(ws)),
+		linkCap:   linkCap,
 	}
 	for k := 0; k < K; k++ {
 		ls.lenK[k] = act.Intervals.Length(k)
@@ -230,6 +246,9 @@ func (ls *LoadState) recomputeLink(j int) {
 	u := 0.0
 	if al > 0 {
 		u = sum / al
+		if ls.linkCap != nil {
+			u /= ls.linkCap[j]
+		}
 	}
 	// Equivalent to scanning spots ascending with strict improvement
 	// over a running best seeded at u: the winner is the first interval
@@ -394,6 +413,9 @@ func (ls *LoadState) tentative(l, msg int, add bool) {
 	u := 0.0
 	if al > 0 {
 		u = sum / al
+		if ls.linkCap != nil {
+			u /= ls.linkCap[l]
+		}
 	}
 	// Same strict-first-maximum reduction as recomputeLink.
 	best, bestK := u, int32(-1)
@@ -497,7 +519,9 @@ func (ls *LoadState) MessagesOn(l topology.LinkID, buf []tfg.MessageID) []tfg.Me
 
 // Utilization materializes the full Section 5.1 measures of the
 // current state; the result equals ComputeUtilization on the same
-// assignment bit for bit.
+// assignment bit for bit. LinkU stays the raw fraction of the physical
+// link's bandwidth (the quantity reservations are made in); only the
+// peak score is capacity-relative when a LinkCap is in effect.
 func (ls *LoadState) Utilization() *Utilization {
 	u := &Utilization{LinkU: make([]float64, ls.nl), PeakInterval: -1}
 	for j := 0; j < ls.nl; j++ {

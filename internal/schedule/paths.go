@@ -134,7 +134,18 @@ type Utilization struct {
 // structure and message windows.
 func ComputeUtilization(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *Utilization {
 	var a solveArena
-	return computeUtilization(&a, top, pa, ws, act)
+	return computeUtilization(&a, top, pa, ws, act, nil)
+}
+
+// ComputeUtilizationCap is ComputeUtilization against a per-link
+// capacity vector (see Options.LinkCap): LinkU stays the raw fraction
+// of each physical link's bandwidth, while the peak — the feasibility
+// measure — is taken relative to the link's share, U_j / linkCap[j].
+// A nil vector is the whole machine and is bit-identical to
+// ComputeUtilization.
+func ComputeUtilizationCap(top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity, linkCap []float64) *Utilization {
+	var a solveArena
+	return computeUtilization(&a, top, pa, ws, act, linkCap)
 }
 
 // utilScratch is the pooled working storage of computeUtilization.
@@ -145,7 +156,7 @@ type utilScratch struct {
 	spot         []int32 // no-slack count on flat cell j*K+k
 }
 
-func computeUtilization(a *solveArena, top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity) *Utilization {
+func computeUtilization(a *solveArena, top *topology.Topology, pa *PathAssignment, ws []Window, act *Activity, linkCap []float64) *Utilization {
 	sc := &a.util
 	nl := top.Links()
 	K := act.Intervals.K()
@@ -199,8 +210,14 @@ func computeUtilization(a *solveArena, top *topology.Topology, pa *PathAssignmen
 		if activeLen[j] > 0 {
 			u.LinkU[j] = xmitOnLink[j] / activeLen[j]
 		}
-		if u.LinkU[j] > u.Peak {
-			u.Peak = u.LinkU[j]
+		// Score relative to the link's capacity share; the stored LinkU
+		// stays raw (reservations are fractions of the physical link).
+		score := u.LinkU[j]
+		if linkCap != nil && activeLen[j] > 0 {
+			score /= linkCap[j]
+		}
+		if score > u.Peak {
+			u.Peak = score
 			u.PeakLink = topology.LinkID(j)
 			u.PeakInterval = -1
 		}

@@ -395,7 +395,7 @@ func repairIncremental(p Problem, opt Options, base *Result, fs *topology.FaultS
 		c := cands[mi][0]
 		pa.SetPath(mi, c.path, c.links)
 	}
-	ls := NewLoadState(top, pa, ws, act)
+	ls := NewLoadStateCap(top, pa, ws, act, opt.LinkCap)
 	peak := ls.Peak()
 	const sweeps = 2
 	for s := 0; s < sweeps; s++ {
@@ -436,8 +436,8 @@ func repairIncremental(p Problem, opt Options, base *Result, fs *topology.FaultS
 		isAffected[mi] = true
 	}
 	subsets := MaximalSubsets(pa, ws, act)
-	allocation, err := AllocateIntervalsPinned(subsets, pa, ws, act, base.Allocation,
-		func(mi tfg.MessageID) bool { return isAffected[mi] })
+	allocation, err := AllocateIntervalsPinnedCap(subsets, pa, ws, act, base.Allocation,
+		func(mi tfg.MessageID) bool { return isAffected[mi] }, opt.LinkCap)
 	var allocFail *ErrAllocationInfeasible
 	if errors.As(err, &allocFail) {
 		return nil, pa, peak, nil
@@ -458,7 +458,7 @@ func repairIncremental(p Problem, opt Options, base *Result, fs *topology.FaultS
 func repairReschedule(p Problem, opt Options, base *Result, fs *topology.FaultSet, pa *PathAssignment, peak float64) (*Result, error) {
 	ws, act := base.Windows, base.Activity
 	subsets := MaximalSubsets(pa, ws, act)
-	allocation, err := AllocateIntervals(subsets, pa, ws, act)
+	allocation, err := AllocateIntervalsCap(subsets, pa, ws, act, opt.LinkCap)
 	var allocFail *ErrAllocationInfeasible
 	if errors.As(err, &allocFail) {
 		return nil, nil

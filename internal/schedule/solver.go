@@ -231,6 +231,9 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 	if p.Graph == nil || p.Timing == nil || p.Topology == nil || p.Assignment == nil {
 		return nil, fmt.Errorf("schedule: incomplete problem")
 	}
+	if opt.LinkCap != nil && len(opt.LinkCap) != p.Topology.Links() {
+		return nil, fmt.Errorf("schedule: LinkCap has %d entries for %d links", len(opt.LinkCap), p.Topology.Links())
+	}
 	s.mu.Lock()
 	s.cacheStats.Solves++
 	s.mu.Unlock()
@@ -303,7 +306,7 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 	// reroute improves on it); hand each Solve its own slice headers so
 	// callers can't alias each other through the cache.
 	lsd = lsd.Clone()
-	lsdU := computeUtilization(arena, p.Topology, lsd, ws, act)
+	lsdU := computeUtilization(arena, p.Topology, lsd, ws, act, opt.LinkCap)
 	res.PeakLSD = lsdU.Peak
 	ls.SetAttrs(trace.Bool("cached", !lsdBuilt), trace.Float64("peak", lsdU.Peak))
 	ls.End()
@@ -332,7 +335,7 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 		ap := asp.Start(SpanAssignPaths)
 		pa, peak := lsd, lsdU.Peak
 		if !opt.LSDOnly {
-			ar := assignPaths(arena, lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner)
+			ar := assignPaths(arena, lsd, cands, p.Topology, ws, act, opt.Seed+int64(attempt), opt.MaxOuter, opt.MaxInner, opt.LinkCap)
 			stats.AssignIterations += ar.Iterations
 			pa, peak = ar.Assignment, ar.Util.Peak
 			if peak > lsdU.Peak {
@@ -359,7 +362,7 @@ func (s *Solver) Solve(ctx context.Context, tauIn float64, o Options) (*Result, 
 			subsets := maximalSubsets(arena, pa, ws, act)
 			ms.End()
 			al := asp.Start(SpanAllocation)
-			allocation, err = allocateIntervals(arena, subsets, pa, ws, act)
+			allocation, err = allocateIntervals(arena, subsets, pa, ws, act, opt.LinkCap)
 			var allocFail *ErrAllocationInfeasible
 			if errors.As(err, &allocFail) {
 				stage = StageAllocation

@@ -1,0 +1,362 @@
+package schedule
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"schedroute/internal/alloc"
+	"schedroute/internal/errkind"
+	"schedroute/internal/faults"
+	"schedroute/internal/tfg"
+	"schedroute/internal/topology"
+)
+
+// pairTenant builds a single producer/consumer tenant between two
+// nodes of the topology: xmit bits at uniform timing (50, 64), period
+// tauIn. With tauIn = τc = 50 the window-widening rung is structurally
+// unavailable (any widened window would exceed the period), which lets
+// tests pin admission decisions to the utilization numbers alone.
+func pairTenant(t *testing.T, top *topology.Topology, id string, src, dst topology.NodeID, xmitBits int, tauIn float64) Tenant {
+	t.Helper()
+	g, err := tfg.Chain(2, 100, int64(xmitBits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tfg.NewUniformTiming(g, 50, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := &alloc.Assignment{NodeOf: []topology.NodeID{src, dst}}
+	return Tenant{
+		ID:      id,
+		Problem: Problem{Graph: g, Timing: tm, Topology: top, Assignment: as, TauIn: tauIn},
+		Options: Options{Seed: 1},
+	}
+}
+
+// chainTenant is the repairFixture workload as a tenant: an 8-task
+// chain placed one task per node of a 3-cube, lightly loaded.
+func chainTenant(t *testing.T, top *topology.Topology, id string) Tenant {
+	t.Helper()
+	g, err := tfg.Chain(8, 100, 640)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tfg.NewUniformTiming(g, 50, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]topology.NodeID, 8)
+	for i := range nodes {
+		nodes[i] = topology.NodeID(i)
+	}
+	return Tenant{
+		ID:      id,
+		Problem: Problem{Graph: g, Timing: tm, Topology: top, Assignment: &alloc.Assignment{NodeOf: nodes}, TauIn: 2 * tm.TauC()},
+		Options: Options{Seed: 1},
+	}
+}
+
+func omegaBytes(t *testing.T, om *Omega) []byte {
+	t.Helper()
+	if om == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := EncodeOmega(&buf, om); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func threeCube(t *testing.T) *topology.Topology {
+	t.Helper()
+	top, err := topology.NewHypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func mustAdmit(t *testing.T, ts *TenantSet, tn Tenant) *AdmitReport {
+	t.Helper()
+	rep, err := ts.Admit(context.Background(), tn, nil)
+	if err != nil {
+		t.Fatalf("admit %s: %v", tn.ID, err)
+	}
+	if !rep.Admitted {
+		t.Fatalf("admit %s: rejected: %s", tn.ID, rep.Reason)
+	}
+	return rep
+}
+
+// TestTenantFirstAdmissionSoloIdentical: an admission into an empty
+// set sees the whole machine (nil LinkCap) and must be byte-identical
+// to a plain solo solve of the same problem.
+func TestTenantFirstAdmissionSoloIdentical(t *testing.T) {
+	top := threeCube(t)
+	tn := chainTenant(t, top, "A")
+	ts := NewTenantSet(top)
+	rep := mustAdmit(t, ts, tn)
+	if rep.Outcome != AdmitReserved || rep.TauOut != tn.Problem.TauIn || rep.WindowScale != 1 {
+		t.Fatalf("first admission should reserve at the requested rate, got %+v", rep)
+	}
+
+	solo, err := Compute(tn.Problem, tn.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(omegaBytes(t, rep.Result.Omega), omegaBytes(t, solo.Omega)) {
+		t.Fatal("first admitted tenant's omega differs from its solo solve")
+	}
+	if rep.Result.Peak != solo.Peak {
+		t.Fatalf("peak drifted: admitted %g, solo %g", rep.Result.Peak, solo.Peak)
+	}
+}
+
+// TestTenantAdmissionInvariantUnderFaults is the admission invariant
+// end to end: tenant A keeps a byte-identical Ω after tenant B is
+// admitted, after tenant C is rejected, and after a single-link fault
+// on B's paths (the fault chosen via a seeded internal/faults
+// scenario), comparing against a solo-admitted A at the same
+// cumulative fault state.
+func TestTenantAdmissionInvariantUnderFaults(t *testing.T) {
+	top := threeCube(t)
+	ctx := context.Background()
+
+	// Shared set: A (8-task chain over every node), then B (light pair
+	// on the 2→3 edge), then C (a pair demanding more than link 0→1's
+	// residual, with a hard rate guarantee: must be rejected).
+	ts := NewTenantSet(top)
+	a := chainTenant(t, top, "A")
+	mustAdmit(t, ts, a)
+	soloOmega := omegaBytes(t, ts.Lookup("A").Base.Omega)
+
+	b := pairTenant(t, top, "B", 2, 3, 640, 50)
+	mustAdmit(t, ts, b)
+	if got := omegaBytes(t, ts.Lookup("A").Base.Omega); !bytes.Equal(got, soloOmega) {
+		t.Fatal("admitting B perturbed A's omega")
+	}
+
+	c := pairTenant(t, top, "C", 0, 1, 2880, 50) // xmit 45 of a 50 window
+	c.RateGuarantee = 1
+	crep, err := ts.Admit(ctx, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.Admitted {
+		t.Fatalf("C (demand %.2g against A's residual) should be rejected", 45.0/50)
+	}
+	if !errors.Is(crep.Err(), errkind.ErrAdmissionRejected) {
+		t.Fatalf("rejection error not in the admission_rejected family: %v", crep.Err())
+	}
+	if ts.Lookup("C") != nil {
+		t.Fatal("rejected tenant left in the set")
+	}
+	if got := omegaBytes(t, ts.Lookup("A").Base.Omega); !bytes.Equal(got, soloOmega) {
+		t.Fatal("rejecting C perturbed A's omega")
+	}
+	if got := len(ts.Tenants()); got != 2 {
+		t.Fatalf("set should hold A and B, has %d tenants", got)
+	}
+
+	// Seeded single-link scenario striking B's path.
+	bLinks := ts.Lookup("B").Base.Assignment.Links[0]
+	if len(bLinks) == 0 {
+		t.Fatal("B's message has no links")
+	}
+	var failed topology.LinkID = -1
+	for _, tr := range faults.SingleLink(top, 1) {
+		if ev := tr.Events[0]; !ev.IsNode && ev.Link == bLinks[0] {
+			failed = ev.Link
+			break
+		}
+	}
+	if failed < 0 {
+		t.Fatalf("no single-link scenario covers B's link %d", bLinks[0])
+	}
+	ts.FailLink(failed)
+	reports, err := ts.Repair(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*TenantRepair{}
+	for _, r := range reports {
+		byID[r.TenantID] = r
+	}
+	if byID["B"].Report.Outcome == RepairUnaffected {
+		t.Fatal("fault on B's path left B unaffected")
+	}
+
+	// Solo reference: A admitted alone, same cumulative fault state.
+	ref := NewTenantSet(top)
+	mustAdmit(t, ref, chainTenant(t, top, "A"))
+	ref.FailLink(failed)
+	refReports, err := ref.Repair(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := byID["A"].Report.Outcome, refReports[0].Report.Outcome; got != want {
+		t.Fatalf("A's repair outcome %v differs from solo %v", got, want)
+	}
+	got := omegaBytes(t, ts.Lookup("A").Current.Omega)
+	want := omegaBytes(t, ref.Lookup("A").Current.Omega)
+	if !bytes.Equal(got, want) {
+		t.Fatal("after the fault, A's omega differs from its solo-admitted omega at the same fault state")
+	}
+}
+
+// TestTenantEviction: a higher-priority candidate that cannot fit
+// evicts the lowest-priority admitted tenant and is then admitted; the
+// evicted tenant leaves the set.
+func TestTenantEviction(t *testing.T) {
+	top := threeCube(t)
+	low := pairTenant(t, top, "low", 0, 1, 2880, 50) // 0.9 of link 0→1
+	low.RateGuarantee = 1
+	high := pairTenant(t, top, "high", 0, 1, 2880, 50)
+	high.RateGuarantee = 1
+	high.Priority = 10
+
+	ts := NewTenantSet(top)
+	mustAdmit(t, ts, low)
+	rep := mustAdmit(t, ts, high)
+	if len(rep.Evicted) != 1 || rep.Evicted[0] != "low" {
+		t.Fatalf("expected eviction of \"low\", got %v", rep.Evicted)
+	}
+	if ts.Lookup("low") != nil {
+		t.Fatal("evicted tenant still in the set")
+	}
+	if ts.Lookup("high") == nil {
+		t.Fatal("evicting tenant not admitted")
+	}
+
+	// The mirror case: an equal-priority candidate may not evict.
+	ts2 := NewTenantSet(top)
+	mustAdmit(t, ts2, low)
+	peer := pairTenant(t, top, "peer", 0, 1, 2880, 50)
+	peer.RateGuarantee = 1
+	prep, err := ts2.Admit(context.Background(), peer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Admitted || len(prep.Evicted) != 0 {
+		t.Fatalf("equal-priority candidate must be rejected without evictions, got %+v", prep)
+	}
+	if prep.BottleneckShare >= 1 {
+		t.Fatalf("rejection should report the contended bottleneck, got share %g", prep.BottleneckShare)
+	}
+}
+
+// TestTenantDegradedRateRespectsGuarantee: a candidate that fits only
+// at a reduced rate is admitted on the degraded-rate rung when its
+// guarantee allows it, and rejected when the guarantee forbids it. The
+// DVB workload at load 1.0 (τin = τc = 50) on the 6-cube is
+// utilization-infeasible at factors 1, 1.1 and 1.25 and becomes
+// feasible at factor 1.5 — and with τin = τc every widened window
+// would exceed the period, so the window rung is structurally skipped.
+func TestTenantDegradedRateRespectsGuarantee(t *testing.T) {
+	top := sixCube(t)
+	elastic := Tenant{ID: "elastic", RateGuarantee: 0.5, // 1/1.5 = 0.667 >= 0.5: allowed
+		Problem: dvbProblem(t, top, 64, 50), Options: Options{Seed: 1}}
+	ts := NewTenantSet(top)
+	rep := mustAdmit(t, ts, elastic)
+	if rep.Outcome != AdmitDegradedRate {
+		t.Fatalf("expected degraded-rate admission, got %v", rep.Outcome)
+	}
+	if rep.TauOut != 75 {
+		t.Fatalf("expected the factor-1.5 period 75, got %g", rep.TauOut)
+	}
+
+	strict := Tenant{ID: "strict", RateGuarantee: 0.8, // forbids factors past 1.25
+		Problem: dvbProblem(t, top, 64, 50), Options: Options{Seed: 1}}
+	ts2 := NewTenantSet(top)
+	srep, err := ts2.Admit(context.Background(), strict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Admitted {
+		t.Fatalf("a 0.8 rate guarantee must reject the factor-1.5 rung, got %v", srep.Outcome)
+	}
+	if !errors.Is(srep.Err(), errkind.ErrAdmissionRejected) {
+		t.Fatalf("rejection error not in the admission_rejected family: %v", srep.Err())
+	}
+}
+
+// TestTenantReleaseFreesShares: releasing a tenant frees its
+// reservation, letting a previously rejected candidate in.
+func TestTenantReleaseFreesShares(t *testing.T) {
+	top := threeCube(t)
+	ts := NewTenantSet(top)
+	mustAdmit(t, ts, pairTenant(t, top, "hog", 0, 1, 2880, 50))
+
+	cand := pairTenant(t, top, "cand", 0, 1, 2880, 50)
+	cand.RateGuarantee = 1
+	rep, err := ts.Admit(context.Background(), cand, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted {
+		t.Fatal("candidate should not fit next to the hog")
+	}
+	if !ts.Release("hog") {
+		t.Fatal("release of an admitted tenant reported absent")
+	}
+	mustAdmit(t, ts, cand)
+}
+
+// TestSolveLinkCapOnesBitIdentical: a LinkCap of all ones must leave
+// every stage bit-identical to the nil (whole-machine) fast path —
+// dividing by 1.0 is exact, and the allocation rows keep their
+// right-hand sides.
+func TestSolveLinkCapOnesBitIdentical(t *testing.T) {
+	top := sixCube(t)
+	p := dvbProblem(t, top, 64, gridTauIn(5))
+	base, err := Compute(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, top.Links())
+	for j := range ones {
+		ones[j] = 1
+	}
+	capped, err := Compute(p, Options{Seed: 1, LinkCap: ones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, capped) {
+		t.Fatal("LinkCap of all ones changed the result")
+	}
+}
+
+// TestSolveLinkCapValidated: a LinkCap of the wrong length is invalid
+// input.
+func TestSolveLinkCapValidated(t *testing.T) {
+	p := dvbProblem(t, sixCube(t), 64, gridTauIn(5))
+	if _, err := Compute(p, Options{Seed: 1, LinkCap: []float64{1, 1}}); err == nil {
+		t.Fatal("expected an error for a short LinkCap")
+	}
+}
+
+// TestTenantAdmitValidation covers the bad-input admission paths.
+func TestTenantAdmitValidation(t *testing.T) {
+	top := threeCube(t)
+	ts := NewTenantSet(top)
+	tn := chainTenant(t, top, "A")
+	mustAdmit(t, ts, tn)
+
+	if _, err := ts.Admit(context.Background(), tn, nil); !errors.Is(err, errkind.ErrBadInput) {
+		t.Fatalf("duplicate ID should be bad input, got %v", err)
+	}
+	anon := chainTenant(t, top, "")
+	if _, err := ts.Admit(context.Background(), anon, nil); !errors.Is(err, errkind.ErrBadInput) {
+		t.Fatalf("empty ID should be bad input, got %v", err)
+	}
+	badRate := chainTenant(t, top, "R")
+	badRate.RateGuarantee = 1.5
+	if _, err := ts.Admit(context.Background(), badRate, nil); !errors.Is(err, errkind.ErrBadInput) {
+		t.Fatalf("rate guarantee above 1 should be bad input, got %v", err)
+	}
+}

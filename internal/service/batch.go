@@ -88,18 +88,23 @@ type batchGroup struct {
 }
 
 // batch runs the grouped fan-out. Items are grouped by their full
-// sub-request identity (StructureKey + period + options + omega flag);
-// the solver cache underneath guarantees one structure build per
-// distinct StructureKey, and the grouping guarantees one solve per
-// identical sub-request, however large the batch. Unique groups run in
-// parallel on borrowed idle worker slots, the same discipline as the
-// sweep, and the whole response is encoded in one pass at the end.
+// sub-request identity (tenant + StructureKey + period + options +
+// omega flag); the solver cache underneath guarantees one structure
+// build per distinct StructureKey, and the grouping guarantees one
+// solve per identical sub-request, however large the batch. The tenant
+// belongs in the key because an admitted tenant's item is answered
+// from its admitted standing, not a fresh solve — two tenants naming
+// the same problem must not share one result object. Unique groups run
+// in parallel on borrowed idle worker slots, the same discipline as
+// the sweep, and the whole response is encoded in one pass at the end.
 func (s *Server) batch(ctx context.Context, req schedroute.BatchScheduleRequest) *schedroute.BatchScheduleResult {
 	groups := make([]*batchGroup, 0, len(req.Items))
 	index := map[string]*batchGroup{}
 	for i, item := range req.Items {
 		ob, _ := json.Marshal(item.Options)
-		gk := fmt.Sprintf("%s|tauin=%g|omega=%t|opts=%s",
+		ten := schedroute.TenantOrDefault(item.Tenant)
+		gk := fmt.Sprintf("tenant=%s/%d/%g|%s|tauin=%g|omega=%t|opts=%s",
+			ten.ID, ten.Priority, ten.RateGuarantee,
 			item.Problem.StructureKey(), item.Problem.TauIn, item.IncludeOmega, ob)
 		g := index[gk]
 		if g == nil {
@@ -113,6 +118,16 @@ func (s *Server) batch(ctx context.Context, req schedroute.BatchScheduleRequest)
 	extra, releaseExtra := s.claimExtraWorkers(s.cfg.Workers - 1)
 	ferr := parallel.ForEach(ctx, len(groups), 1+extra, func(gi int) error {
 		g := groups[gi]
+		// Tenant-scoped items follow the same path as a standalone
+		// /v1/schedule: an admitted tenant's item is served from its
+		// admitted standing.
+		if ent, err := s.tenantFor(g.req.Tenant, g.req.Problem); err != nil {
+			g.err = err
+			return nil
+		} else if ent != nil {
+			g.out, g.err = s.tenantSchedule(ent, g.req.IncludeOmega, g.req.Options.WantStats())
+			return nil
+		}
 		sv, err := s.solve(ctx, g.req.Problem, g.req.Options, nil)
 		if err != nil {
 			g.err = err
@@ -142,10 +157,10 @@ func (s *Server) batch(ctx context.Context, req schedroute.BatchScheduleRequest)
 			err = errkind.Mark(err, errkind.ErrUnavailable)
 		}
 		for _, i := range g.items {
+			items[i] = schedroute.BatchItemResult{Index: i, Result: g.out}
 			if err != nil {
-				items[i] = schedroute.BatchItemResult{Index: i, Error: err.Error(), Kind: errkind.Name(err)}
-			} else {
-				items[i] = schedroute.BatchItemResult{Index: i, Result: g.out}
+				items[i].Result = nil
+				items[i].SetError(err)
 			}
 		}
 	}

@@ -40,6 +40,15 @@ type Metrics struct {
 	shardProxied     atomic.Int64 // requests forwarded to their owning shard
 	shardLocalMisses atomic.Int64 // requests served locally though another shard owns them
 
+	// Tenant counters: admission outcomes by ladder rung, evictions,
+	// the live-tenant gauge, and per-tenant request volume (labelled by
+	// endpoint and tenant id; the default tenant counts too, so the
+	// tenant dimension is total).
+	admissions      map[string]int64            // by outcome, guarded by mu
+	tenantRequests  map[string]map[string]int64 // endpoint → tenant → count, guarded by mu
+	tenantEvictions atomic.Int64
+	tenantsGauge    atomic.Int64
+
 	// Watch subscription counters. watchEventHist is the end-to-end
 	// event→frame latency distribution (dequeue to frame appended).
 	watchSubs      atomic.Int64 // live subscriptions (gauge)
@@ -85,12 +94,45 @@ func (m *Metrics) observeStage(stage string, d time.Duration) {
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		requests:  map[string]map[int]int64{},
-		latSum:    map[string]time.Duration{},
-		latCount:  map[string]int64{},
-		stageNS:   map[string]int64{},
-		stageHist: map[string]*histogram{},
+		requests:       map[string]map[int]int64{},
+		latSum:         map[string]time.Duration{},
+		latCount:       map[string]int64{},
+		stageNS:        map[string]int64{},
+		stageHist:      map[string]*histogram{},
+		admissions:     map[string]int64{},
+		tenantRequests: map[string]map[string]int64{},
 	}
+}
+
+// observeAdmission records one admission attempt's ladder outcome and
+// how many tenants it preempted.
+func (m *Metrics) observeAdmission(outcome string, evicted int) {
+	m.mu.Lock()
+	m.admissions[outcome]++
+	m.mu.Unlock()
+	m.tenantEvictions.Add(int64(evicted))
+}
+
+// observeTenantRequest counts one tenant-dimension request.
+func (m *Metrics) observeTenantRequest(endpoint, tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byTenant := m.tenantRequests[endpoint]
+	if byTenant == nil {
+		byTenant = map[string]int64{}
+		m.tenantRequests[endpoint] = byTenant
+	}
+	byTenant[tenant]++
+}
+
+// setTenants updates the admitted-tenants gauge.
+func (m *Metrics) setTenants(n int64) { m.tenantsGauge.Store(n) }
+
+// Admissions reports admission attempts by outcome (used by tests).
+func (m *Metrics) Admissions(outcome string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.admissions[outcome]
 }
 
 func (m *Metrics) observeRequest(endpoint string, code int, dur time.Duration) {
@@ -248,6 +290,43 @@ func (m *Metrics) WriteText(w io.Writer, cache *solverCache) {
 	fmt.Fprintln(w, "# HELP srschedd_queue_depth Requests waiting for a solve worker slot.")
 	fmt.Fprintln(w, "# TYPE srschedd_queue_depth gauge")
 	fmt.Fprintf(w, "srschedd_queue_depth %d\n", m.queued.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_tenants Admitted tenants across all fabrics.")
+	fmt.Fprintln(w, "# TYPE srschedd_tenants gauge")
+	fmt.Fprintf(w, "srschedd_tenants %d\n", m.tenantsGauge.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_admissions_total Tenant admission attempts by ladder outcome.")
+	fmt.Fprintln(w, "# TYPE srschedd_admissions_total counter")
+	outcomes := make([]string, 0, len(m.admissions))
+	for o := range m.admissions {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "srschedd_admissions_total{outcome=%q} %d\n", o, m.admissions[o])
+	}
+
+	fmt.Fprintln(w, "# HELP srschedd_tenant_evictions_total Tenants preempted by higher-priority admissions.")
+	fmt.Fprintln(w, "# TYPE srschedd_tenant_evictions_total counter")
+	fmt.Fprintf(w, "srschedd_tenant_evictions_total %d\n", m.tenantEvictions.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_tenant_requests_total Tenant-dimension requests by endpoint and tenant.")
+	fmt.Fprintln(w, "# TYPE srschedd_tenant_requests_total counter")
+	teps := make([]string, 0, len(m.tenantRequests))
+	for ep := range m.tenantRequests {
+		teps = append(teps, ep)
+	}
+	sort.Strings(teps)
+	for _, ep := range teps {
+		ids := make([]string, 0, len(m.tenantRequests[ep]))
+		for id := range m.tenantRequests[ep] {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "srschedd_tenant_requests_total{endpoint=%q,tenant=%q} %d\n", ep, id, m.tenantRequests[ep][id])
+		}
+	}
 
 	fmt.Fprintln(w, "# HELP srschedd_watch_subscriptions Live /v1/watch subscriptions.")
 	fmt.Fprintln(w, "# TYPE srschedd_watch_subscriptions gauge")

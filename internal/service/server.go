@@ -11,6 +11,7 @@
 //	POST /v1/schedule        schedroute.ScheduleRequest      → schedroute.ScheduleResult
 //	POST /v1/schedule:batch  schedroute.BatchScheduleRequest → schedroute.BatchScheduleResult (per-item errors)
 //	POST /v1/repair          schedroute.RepairRequest        → schedroute.RepairResult (422 on infeasible repair)
+//	POST /v1/admit           schedroute.AdmitRequest         → schedroute.AdmitResult (422 admission_rejected, report attached)
 //	POST /v1/sweep           schedroute.SweepRequest         → schedroute.SweepResult
 //	GET  /v1/snapshot/{id}   solver-structure snapshot of a cached entry (404 not_found when absent)
 //	POST /v1/watch     schedroute.WatchRequest    → SSE stream of schedroute.WatchFrame
@@ -164,6 +165,7 @@ type Server struct {
 	flights *flightGroup
 	metrics *Metrics
 	watches *watchRegistry
+	tenants *tenantRegistry
 	warm    *warmStore   // nil unless WarmStartDir set
 	ring    *shardRing   // nil unless Peers set
 	httpc   *http.Client // peer proxying and snapshot fetches
@@ -192,6 +194,7 @@ func New(cfg Config) *Server {
 		flights:  newFlightGroup(),
 		metrics:  newMetrics(),
 		watches:  newWatchRegistry(),
+		tenants:  newTenantRegistry(),
 		httpc:    &http.Client{},
 		sem:      make(chan struct{}, cfg.Workers),
 		stop:     make(chan struct{}),
@@ -311,6 +314,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/schedule", s.instrument("schedule", s.handleSchedule))
 	mux.Handle("POST /v1/schedule:batch", s.instrument("schedule_batch", s.handleBatch))
 	mux.Handle("/v1/repair", s.instrument("repair", s.handleRepair))
+	mux.Handle("/v1/admit", s.instrument("admit", s.handleAdmit))
 	mux.Handle("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.Handle("GET /v1/snapshot/{id}", s.instrumentGet("snapshot", s.handleSnapshotGet))
 	mux.Handle("POST /v1/watch", s.instrumentWatch("watch", s.handleWatchCreate))
@@ -540,6 +544,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 // an ErrorResponse body. A non-nil rep rides along (the repair ladder's
 // report on a 422).
 func (s *Server) writeError(w http.ResponseWriter, err error, rep *schedroute.RepairResult) {
+	s.writeErrorBody(w, err, rep, nil)
+}
+
+// writeErrorBody is the single exit for every non-2xx response: the
+// {error, kind, detail} envelope is derived from the errkind table (so
+// top-level errors, batch items and watch frames cannot drift), plus
+// whichever structured report explains a 422.
+func (s *Server) writeErrorBody(w http.ResponseWriter, err error, rep *schedroute.RepairResult, adm *schedroute.AdmitResult) {
 	// A solve cut short by the per-request deadline or a dropped client
 	// is a capacity condition, not a server bug: report 503, not 500.
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -550,9 +562,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error, rep *schedroute.Re
 	w.WriteHeader(status)
 	body := schedroute.ErrorResponse{
 		SchemaVersion: schedroute.SchemaVersion,
-		Error:         err.Error(),
-		Kind:          errkind.Name(err),
+		ErrorEnvelope: schedroute.NewErrorEnvelope(err),
 		Repair:        rep,
+		Admit:         adm,
 	}
 	json.NewEncoder(w).Encode(body)
 }
@@ -665,6 +677,22 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, nil)
 		return
 	}
+	s.metrics.observeTenantRequest("schedule", schedroute.TenantOrDefault(req.Tenant).ID)
+	// An admitted tenant is answered from its admitted standing — the
+	// schedule it was granted at admission (repaired if the fabric has
+	// degraded) — never a fresh solve.
+	if ent, err := s.tenantFor(req.Tenant, req.Problem); err != nil {
+		s.writeError(w, err, nil)
+		return
+	} else if ent != nil {
+		out, err := s.tenantSchedule(ent, req.IncludeOmega, req.Options.WantStats())
+		if err != nil {
+			s.writeError(w, err, nil)
+			return
+		}
+		writeJSON(w, out)
+		return
+	}
 	if owner := s.shardOwner(r, req.Problem.StructureKey()); owner != "" {
 		s.proxy(w, r, owner, req)
 		return
@@ -700,6 +728,17 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Fault.Empty() {
 		s.writeError(w, errkind.Mark(errors.New("repair: fault must name at least one failed link or node"), errkind.ErrBadInput), nil)
+		return
+	}
+	s.metrics.observeTenantRequest("repair", schedroute.TenantOrDefault(req.Tenant).ID)
+	// An admitted tenant repairs from its admitted base inside its
+	// admission-time link shares, through its own memoized session — a
+	// stateless query that never moves the fabric or the other tenants.
+	if ent, err := s.tenantFor(req.Tenant, req.Problem); err != nil {
+		s.writeError(w, err, nil)
+		return
+	} else if ent != nil {
+		s.tenantRepair(w, r, ent, req)
 		return
 	}
 	if owner := s.shardOwner(r, req.Problem.StructureKey()); owner != "" {

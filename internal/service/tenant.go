@@ -1,0 +1,271 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"schedroute/internal/errkind"
+	"schedroute/internal/schedule"
+	"schedroute/pkg/schedroute"
+)
+
+// Multi-tenant admission (v2): POST /v1/admit runs the co-scheduler's
+// admission check and, on success, registers the tenant so later
+// tenant-scoped /v1/schedule and /v1/repair requests are answered from
+// its admitted standing instead of a fresh solve. Tenants naming the
+// same topology spec share one fabric (one schedule.TenantSet); the
+// fabric's link-bandwidth reservations are what make an admission
+// unable to perturb the tenants already admitted.
+
+// fabric is one shared machine: every tenant admitted against the same
+// topology spec lands in the same TenantSet and competes for the same
+// link shares. Bandwidth is pinned by the first admission — a reserved
+// link share is a fraction of the physical link, which is only
+// meaningful when everyone agrees what the physical link carries.
+type fabric struct {
+	topoSpec  string
+	bandwidth float64
+	set       *schedule.TenantSet
+}
+
+// tenantEntry is the service-side record of one admitted tenant: the
+// built problem (for wire conversions), the admission outcome, and the
+// fabric it lives on.
+type tenantEntry struct {
+	built  *schedroute.Built
+	tenant schedroute.Tenant
+	report *schedule.AdmitReport
+	// structure is the admitted problem's StructureKey; tenant-scoped
+	// requests must name the same problem they were admitted with.
+	structure string
+	fab       *fabric
+}
+
+// tenantRegistry maps tenant IDs to their admitted standing. Admission
+// order within a fabric is serialized by the TenantSet itself; the
+// registry lock only guards the maps.
+type tenantRegistry struct {
+	mu      sync.Mutex
+	fabrics map[string]*fabric
+	tenants map[string]*tenantEntry
+}
+
+func newTenantRegistry() *tenantRegistry {
+	return &tenantRegistry{fabrics: map[string]*fabric{}, tenants: map[string]*tenantEntry{}}
+}
+
+func (tr *tenantRegistry) lookup(id string) *tenantEntry {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.tenants[id]
+}
+
+// fabricFor returns (creating if needed) the fabric for a built
+// problem, enforcing the equal-bandwidth contract.
+func (tr *tenantRegistry) fabricFor(b *schedroute.Built) (*fabric, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	fab := tr.fabrics[b.Spec.Topology]
+	if fab == nil {
+		fab = &fabric{
+			topoSpec:  b.Spec.Topology,
+			bandwidth: b.Spec.Bandwidth,
+			set:       schedule.NewTenantSet(b.Topology),
+		}
+		tr.fabrics[b.Spec.Topology] = fab
+		return fab, nil
+	}
+	if fab.bandwidth != b.Spec.Bandwidth {
+		return nil, errkind.Mark(
+			fmt.Errorf("admit: fabric %q runs at bandwidth %g, request says %g (link shares are fractions of the physical link; all tenants must agree)",
+				fab.topoSpec, fab.bandwidth, b.Spec.Bandwidth),
+			errkind.ErrBadInput)
+	}
+	return fab, nil
+}
+
+// commit records an admission, dropping any tenants it evicted.
+func (tr *tenantRegistry) commit(ent *tenantEntry, evicted []string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, id := range evicted {
+		delete(tr.tenants, id)
+	}
+	tr.tenants[ent.tenant.ID] = ent
+}
+
+// count reports admitted tenants (the /metrics gauge).
+func (tr *tenantRegistry) count() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.tenants)
+}
+
+// handleAdmit is POST /v1/admit: run the admission ladder for one
+// candidate tenant and reserve its link shares on success. A rejection
+// is 422 admission_rejected with the full admission report attached to
+// the error body; admitted tenants elsewhere in the fabric are
+// untouched either way.
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req schedroute.AdmitRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	ten := schedroute.TenantOrDefault(req.Tenant)
+	if err := ten.Validate(); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	s.metrics.observeTenantRequest("admit", ten.ID)
+	root := requestSpan(r, "admit")
+	qs := root.Start(SpanQueueWait)
+	if err := s.admit(r.Context()); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	qs.End()
+	defer s.release()
+
+	// The structure cache is shared with /v1/schedule: admitting a
+	// tenant for a problem someone already solved reuses its Built.
+	ent, _ := s.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
+		return schedroute.NewProblem(req.Problem)
+	})
+	if ent.err != nil {
+		s.writeError(w, ent.err, nil)
+		return
+	}
+	b := ent.built
+	tauIn := req.Problem.TauIn
+	if tauIn == 0 {
+		tauIn = b.Timing.TauC()
+	}
+	fab, err := s.tenants.fabricFor(b)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	opts, err := req.Options.ToSchedule()
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+
+	cand := schedule.Tenant{
+		ID:            ten.ID,
+		Priority:      ten.Priority,
+		RateGuarantee: ten.RateGuarantee,
+		Problem:       b.ScheduleProblemAt(tauIn),
+		Options:       opts,
+	}
+	report, err := fab.set.Admit(r.Context(), cand, root)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	s.metrics.observeAdmission(report.Outcome.String(), len(report.Evicted))
+	wire, werr := schedroute.NewAdmitResult(b, report, req.IncludeOmega)
+	if werr != nil {
+		s.writeError(w, werr, nil)
+		return
+	}
+	if !report.Admitted {
+		s.metrics.setTenants(int64(s.tenants.count()))
+		s.writeErrorBody(w, report.Err(), nil, wire)
+		return
+	}
+	s.tenants.commit(&tenantEntry{
+		built:     b,
+		tenant:    ten,
+		report:    report,
+		structure: req.Problem.StructureKey(),
+		fab:       fab,
+	}, report.Evicted)
+	s.metrics.setTenants(int64(s.tenants.count()))
+	root.End()
+	wire.Trace = schedroute.NewTraceEnvelope(root.Tree())
+	writeJSON(w, wire)
+}
+
+// tenantFor resolves a request's tenant scope: the default tenant (or
+// an ID never admitted) gets nil — the plain v1 solve path — while an
+// admitted tenant's requests are answered from its admitted standing.
+// An admitted tenant asking about a different problem than it was
+// admitted with is a bad request: its standing is per-problem.
+func (s *Server) tenantFor(t *schedroute.Tenant, p schedroute.Problem) (*tenantEntry, error) {
+	ten := schedroute.TenantOrDefault(t)
+	if err := ten.Validate(); err != nil {
+		return nil, err
+	}
+	ent := s.tenants.lookup(ten.ID)
+	if ent == nil {
+		return nil, nil
+	}
+	if key := p.StructureKey(); key != ent.structure {
+		return nil, errkind.Mark(
+			fmt.Errorf("tenant %q was admitted with a different problem (admitted %s, requested %s)",
+				ten.ID, ent.structure, key),
+			errkind.ErrBadInput)
+	}
+	return ent, nil
+}
+
+// tenantRepair answers a tenant-scoped /v1/repair: the degradation
+// ladder runs from the tenant's admitted base inside its
+// admission-time link shares (memoized per fault state by the tenant's
+// session), so the answer depends only on the tenant's own standing
+// and the queried faults.
+func (s *Server) tenantRepair(w http.ResponseWriter, r *http.Request, ent *tenantEntry, req schedroute.RepairRequest) {
+	fs, err := req.Fault.Build(ent.built.Topology)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	root := requestSpan(r, "repair")
+	qs := root.Start(SpanQueueWait)
+	if err := s.admit(r.Context()); err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	qs.End()
+	defer s.release()
+	tr, err := ent.fab.set.RepairTenant(r.Context(), ent.tenant.ID, fs, root)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	rep := tr.Report
+	if rerr := rep.Err(); rerr != nil {
+		wire, werr := schedroute.NewRepairResult(rep, false)
+		if werr != nil {
+			s.writeError(w, werr, nil)
+			return
+		}
+		s.writeError(w, rerr, wire)
+		return
+	}
+	out, err := schedroute.NewRepairResult(rep, req.IncludeOmega)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	root.End()
+	out.Trace = schedroute.NewTraceEnvelope(root.Tree())
+	writeJSON(w, out)
+}
+
+// tenantSchedule answers a tenant-scoped /v1/schedule from the
+// tenant's standing at the fabric's current state: the admitted (or
+// repaired) schedule, at the granted τout — never a fresh solve, which
+// is exactly why serving it cannot disturb anyone.
+func (s *Server) tenantSchedule(ent *tenantEntry, includeOmega, wantStats bool) (*schedroute.ScheduleResult, error) {
+	st := ent.fab.set.Lookup(ent.tenant.ID)
+	if st == nil || st.Current == nil {
+		return nil, errkind.Mark(
+			fmt.Errorf("tenant %q has no schedule in force at the current fault state", ent.tenant.ID),
+			errkind.ErrInfeasibleRepair)
+	}
+	return schedroute.NewScheduleResult(ent.built, st.Current, ent.report.TauOut, includeOmega, wantStats)
+}

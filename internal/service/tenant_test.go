@@ -1,0 +1,378 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"schedroute/internal/errkind"
+	"schedroute/pkg/schedroute"
+)
+
+func tenantOf(id string, prio int, rate float64) *schedroute.Tenant {
+	return &schedroute.Tenant{ID: id, Priority: prio, RateGuarantee: rate}
+}
+
+// TestAdmitEndpoint drives the full admission surface over HTTP: a
+// fitting tenant is admitted reserved, its tenant-scoped /v1/schedule
+// serves the admitted schedule byte-for-byte, a duplicate admission is
+// rejected as bad input, and the per-tenant metrics appear on /metrics.
+func TestAdmitEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	code, body := postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem:      testProblem(150),
+		Tenant:       tenantOf("video", 5, 1),
+		IncludeOmega: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("admit: status %d: %s", code, body)
+	}
+	var adm schedroute.AdmitResult
+	if err := json.Unmarshal(body, &adm); err != nil {
+		t.Fatal(err)
+	}
+	if !adm.Admitted || adm.Outcome != "reserved" || adm.TenantID != "video" {
+		t.Fatalf("admit outcome: %+v", adm)
+	}
+	if adm.TauOut != 150 || adm.WindowScale != 1 {
+		t.Fatalf("granted τout=%g scale=%g, want the requested 150 at scale 1", adm.TauOut, adm.WindowScale)
+	}
+	if adm.Schedule == nil || len(adm.Schedule.Omega) == 0 {
+		t.Fatal("IncludeOmega did not embed the admitted schedule")
+	}
+
+	// The tenant-scoped schedule is the admitted standing, not a fresh
+	// solve: the Ω bytes must match the admission response exactly.
+	code, body = postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{
+		Problem:      testProblem(150),
+		Tenant:       tenantOf("video", 5, 1),
+		IncludeOmega: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("tenant schedule: status %d: %s", code, body)
+	}
+	var sched schedroute.ScheduleResult
+	if err := json.Unmarshal(body, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sched.Omega, adm.Schedule.Omega) {
+		t.Fatal("tenant-scoped schedule Ω differs from the admitted Ω")
+	}
+
+	// An admitted tenant asking about a different problem is a bad
+	// request: its standing is per-problem.
+	code, body = postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{
+		Problem: schedroute.Problem{TFG: "chain:8", Topology: "cube:6", TauIn: 150},
+		Tenant:  tenantOf("video", 5, 1),
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("mismatched tenant problem: status %d: %s", code, body)
+	}
+
+	// Duplicate admission of a live tenant id.
+	code, body = postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem: testProblem(150),
+		Tenant:  tenantOf("video", 5, 1),
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("duplicate admit: status %d: %s", code, body)
+	}
+
+	// A tenant never admitted falls through to the plain solve path.
+	code, _ = postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{
+		Problem: testProblem(150),
+		Tenant:  tenantOf("ghost", 0, 0),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("unadmitted tenant solve: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"srschedd_tenants 1",
+		`srschedd_admissions_total{outcome="reserved"} 1`,
+		`srschedd_tenant_requests_total{endpoint="admit",tenant="video"} 2`,
+		`srschedd_tenant_requests_total{endpoint="schedule",tenant="video"} 2`,
+		`srschedd_tenant_requests_total{endpoint="schedule",tenant="ghost"} 1`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if n := srv.metrics.Admissions("reserved"); n != 1 {
+		t.Errorf("reserved admissions counter = %d, want 1", n)
+	}
+}
+
+// TestAdmitDegradedRateAndRejection: the DVB workload at τin=50 is
+// infeasible at full rate but admissible at τout=75 (factor 1.5), so a
+// tenant guaranteeing 0.5 of its rate is admitted degraded-rate while
+// one guaranteeing 0.8 is a 422 admission_rejected whose error body
+// carries the shared envelope and the full admission report.
+func TestAdmitDegradedRateAndRejection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, body := postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem: testProblem(50),
+		Tenant:  tenantOf("elastic", 0, 0.5),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("elastic admit: status %d: %s", code, body)
+	}
+	var adm schedroute.AdmitResult
+	if err := json.Unmarshal(body, &adm); err != nil {
+		t.Fatal(err)
+	}
+	if adm.Outcome != "degraded-rate" || adm.TauOut != 75 {
+		t.Fatalf("elastic outcome %q τout=%g, want degraded-rate at 75", adm.Outcome, adm.TauOut)
+	}
+
+	// The strict tenant demands 0.8 of its rate; 1/1.5 < 0.8, so the
+	// rate rung cannot go far enough and the set has no one to evict.
+	code, body = postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem: testProblem(50),
+		Tenant:  tenantOf("strict", 0, 0.8),
+	})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("strict admit: status %d: %s", code, body)
+	}
+	var er schedroute.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "admission_rejected" {
+		t.Fatalf("rejection kind %q, want admission_rejected", er.Kind)
+	}
+	c, _ := errkind.Classify(errkind.ErrAdmissionRejected)
+	if er.Detail != c.Detail {
+		t.Fatalf("rejection detail %q drifted from table %q", er.Detail, c.Detail)
+	}
+	if er.Admit == nil || er.Admit.Admitted || er.Admit.Outcome != "rejected" || er.Admit.Reason == "" {
+		t.Fatalf("rejection report: %+v", er.Admit)
+	}
+}
+
+// TestAdmissionLeavesAdmittedOmegaUntouched is the service-level
+// invariant check: whatever a later admission attempt does — admitted
+// or rejected — an already-admitted tenant's Ω bytes never move.
+func TestAdmissionLeavesAdmittedOmegaUntouched(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, body := postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem:      testProblem(150),
+		Tenant:       tenantOf("anchor", 5, 1),
+		IncludeOmega: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("anchor admit: status %d: %s", code, body)
+	}
+	var adm schedroute.AdmitResult
+	if err := json.Unmarshal(body, &adm); err != nil {
+		t.Fatal(err)
+	}
+	before := adm.Schedule.Omega
+
+	// A second tenant tries the same fabric at equal priority: whether
+	// it fits the residual or not, it may not perturb the anchor.
+	code, body = postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem: testProblem(250),
+		Tenant:  tenantOf("later", 5, 0),
+	})
+	if code != http.StatusOK && code != http.StatusUnprocessableEntity {
+		t.Fatalf("later admit: status %d: %s", code, body)
+	}
+
+	code, body = postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{
+		Problem:      testProblem(150),
+		Tenant:       tenantOf("anchor", 5, 1),
+		IncludeOmega: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("anchor schedule: status %d: %s", code, body)
+	}
+	var sched schedroute.ScheduleResult
+	if err := json.Unmarshal(body, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sched.Omega, before) {
+		t.Fatal("anchor's Ω moved after a later admission attempt")
+	}
+}
+
+// TestBatchGroupsByTenant: two batch items naming the identical
+// problem but different tenants must not share one result — the
+// admitted tenant's item is its admitted standing (granted τout 75),
+// the default item is a plain solve (infeasible at τin=50).
+func TestBatchGroupsByTenant(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, body := postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem: testProblem(50),
+		Tenant:  tenantOf("elastic", 0, 0.5),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("admit: status %d: %s", code, body)
+	}
+
+	code, body = postJSON(t, ts, "/v1/schedule:batch", schedroute.BatchScheduleRequest{
+		Items: []schedroute.ScheduleRequest{
+			{Problem: testProblem(50), Tenant: tenantOf("elastic", 0, 0.5)},
+			{Problem: testProblem(50)},
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	var out schedroute.BatchScheduleResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 2 {
+		t.Fatalf("batch returned %d items", len(out.Items))
+	}
+	tenantItem, plain := out.Items[0].Result, out.Items[1].Result
+	if tenantItem == nil || plain == nil {
+		t.Fatalf("batch items errored: %+v", out.Items)
+	}
+	if !tenantItem.Feasible || tenantItem.TauIn != 75 {
+		t.Fatalf("tenant item: feasible=%t τ=%g, want the admitted standing at 75", tenantItem.Feasible, tenantItem.TauIn)
+	}
+	if plain.Feasible {
+		t.Fatal("default-tenant item should be the plain (infeasible) solve at τin=50")
+	}
+}
+
+// TestBatchItemErrorEnvelope: a failed batch item carries the same
+// {error, kind, detail} triple its standalone error body would.
+func TestBatchItemErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts, "/v1/schedule:batch", schedroute.BatchScheduleRequest{
+		Items: []schedroute.ScheduleRequest{
+			{Problem: schedroute.Problem{TFG: "dvb:4", Topology: "not-a-topology"}},
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	var out schedroute.BatchScheduleResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	it := out.Items[0]
+	c, _ := errkind.Classify(errkind.ErrBadInput)
+	if it.Kind != c.Name || it.Detail != c.Detail || it.Error == "" {
+		t.Fatalf("batch item envelope drifted from table: %+v vs %+v", it, c)
+	}
+}
+
+// TestTenantRepairScoped: a tenant-scoped /v1/repair runs the ladder
+// from the tenant's admitted base and answers without disturbing the
+// tenant's admitted schedule.
+func TestTenantRepairScoped(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, body := postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem:      testProblem(150),
+		Tenant:       tenantOf("video", 5, 0),
+		IncludeOmega: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("admit: status %d: %s", code, body)
+	}
+	var adm schedroute.AdmitResult
+	if err := json.Unmarshal(body, &adm); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = postJSON(t, ts, "/v1/repair", schedroute.RepairRequest{
+		Problem: testProblem(150),
+		Tenant:  tenantOf("video", 5, 0),
+		Fault:   schedroute.FaultSpec{Links: []string{"0-1"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("tenant repair: status %d: %s", code, body)
+	}
+	var rep schedroute.RepairResult
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome == "" || rep.Outcome == "infeasible" {
+		t.Fatalf("tenant repair outcome %q", rep.Outcome)
+	}
+
+	// The repair query is stateless: the tenant's schedule is untouched.
+	code, body = postJSON(t, ts, "/v1/schedule", schedroute.ScheduleRequest{
+		Problem:      testProblem(150),
+		Tenant:       tenantOf("video", 5, 0),
+		IncludeOmega: true,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("schedule after repair: status %d: %s", code, body)
+	}
+	var sched schedroute.ScheduleResult
+	if err := json.Unmarshal(body, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sched.Omega, adm.Schedule.Omega) {
+		t.Fatal("a stateless repair query moved the tenant's Ω")
+	}
+}
+
+// TestAdmitFabricBandwidthPinned: the first admission fixes the
+// fabric's bandwidth; a tenant naming a different bandwidth for the
+// same topology is a bad request, not a silently different machine.
+func TestAdmitFabricBandwidthPinned(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem: testProblem(150),
+		Tenant:  tenantOf("a", 0, 0),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("first admit: status %d: %s", code, body)
+	}
+	p := testProblem(150)
+	p.Bandwidth = 128
+	code, body = postJSON(t, ts, "/v1/admit", schedroute.AdmitRequest{
+		Problem: p,
+		Tenant:  tenantOf("b", 0, 0),
+	})
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "bandwidth") {
+		t.Fatalf("mismatched bandwidth: status %d: %s", code, body)
+	}
+}
+
+// TestWatchErrorFrameEnvelope: a rejected watch event's error frame
+// carries the shared envelope with the bad_input classification.
+func TestWatchErrorFrameEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	c, hello := openWatch(t, ts, schedroute.WatchRequest{Problem: testProblem(150)})
+	defer c.Close()
+
+	// Repairing a link that never failed is a rejected event.
+	code, body := sendEvent(t, ts, hello.SubID, schedroute.WatchEvent{
+		Type: schedroute.WatchEventRepaired, Links: []string{"0-1"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("event: status %d: %s", code, body)
+	}
+	frame, _ := c.nextPayload(t)
+	if frame.Type != schedroute.WatchFrameError {
+		t.Fatalf("frame type %q, want error", frame.Type)
+	}
+	if frame.Err == nil || frame.Err.Kind != "bad_input" {
+		t.Fatalf("error frame envelope: %+v", frame.Err)
+	}
+	cls, _ := errkind.Classify(errkind.ErrBadInput)
+	if frame.Err.Detail != cls.Detail {
+		t.Fatalf("error frame detail %q drifted from table %q", frame.Err.Detail, cls.Detail)
+	}
+}

@@ -209,6 +209,7 @@ func (s *Server) handleWatchCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	traced := r.URL.Query().Get("debug") == "trace"
+	s.metrics.observeTenantRequest("watch", schedroute.TenantOrDefault(req.Tenant).ID)
 
 	// The base solve borrows an admission slot like any other request;
 	// only the long-lived stream afterwards lives outside the pool.
@@ -392,16 +393,19 @@ func (s *Server) handleWatchDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "closing"})
 }
 
-// writeWatchNotFound reports an unknown subscription id. 404 has no
-// errkind family (it is not an input error — the id format is fine,
-// the resource is gone), so the body is built directly.
+// writeWatchNotFound reports an unknown subscription id through the
+// shared envelope: the id format is fine, the resource is gone, so the
+// error is marked not_found and classified by the table like every
+// other failure body.
 func writeWatchNotFound(w http.ResponseWriter, id string) {
+	err := errkind.Mark(
+		fmt.Errorf("watch: no subscription %q (expired or never created)", id),
+		errkind.ErrNotFound)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusNotFound)
 	json.NewEncoder(w).Encode(schedroute.ErrorResponse{
 		SchemaVersion: schedroute.SchemaVersion,
-		Error:         fmt.Sprintf("watch: no subscription %q (expired or never created)", id),
-		Kind:          "not_found",
+		ErrorEnvelope: schedroute.NewErrorEnvelope(err),
 	})
 }
 
@@ -508,15 +512,25 @@ func (sub *watchSub) handleEvent(qe queuedEvent) {
 	sub.s.metrics.observeWatchEvent(time.Since(start))
 }
 
-// errorFrame builds a non-terminal error frame for a rejected event.
-func (sub *watchSub) errorFrame(qe queuedEvent, reason string) *schedroute.WatchFrame {
+// errorFrame builds a non-terminal error frame for a rejected event,
+// carrying the same {error, kind, detail} envelope a standalone
+// request's error body would (derived from the same errkind table).
+func (sub *watchSub) errorFrame(qe queuedEvent, err error) *schedroute.WatchFrame {
+	env := schedroute.NewErrorEnvelope(err)
 	return &schedroute.WatchFrame{
 		Type:     schedroute.WatchFrameError,
 		EventSeq: qe.seq,
 		State:    sub.fs.String(),
 		TauIn:    sub.tauIn,
-		Reason:   reason,
+		Reason:   err.Error(),
+		Err:      &env,
 	}
+}
+
+// rejectEvent is errorFrame for event-validation failures: the event
+// named something the fault model cannot apply, a bad_input family.
+func (sub *watchSub) rejectEvent(qe queuedEvent, format string, args ...any) *schedroute.WatchFrame {
+	return sub.errorFrame(qe, errkind.Mark(fmt.Errorf(format, args...), errkind.ErrBadInput))
 }
 
 // applyEvent mutates the subscription state for one event and builds
@@ -530,19 +544,19 @@ func (sub *watchSub) applyEvent(qe queuedEvent, root *trace.Span) *schedroute.Wa
 	case schedroute.WatchEventFault, schedroute.WatchEventRepaired:
 		delta, err := (schedroute.FaultSpec{Links: ev.Links, Nodes: ev.Nodes}).Build(sub.built.Topology)
 		if err != nil {
-			return sub.errorFrame(qe, err.Error())
+			return sub.errorFrame(qe, err)
 		}
 		if ev.Type == schedroute.WatchEventRepaired {
 			// Validate before mutating: a partial application would
 			// desynchronize client and server fault models.
 			for _, l := range delta.FailedLinks() {
 				if !sub.fs.LinkFailed(l) {
-					return sub.errorFrame(qe, fmt.Sprintf("event %d: link %d is not failed", qe.seq, l))
+					return sub.rejectEvent(qe, "event %d: link %d is not failed", qe.seq, l)
 				}
 			}
 			for _, n := range delta.FailedNodes() {
 				if !sub.fs.NodeFailed(n) {
-					return sub.errorFrame(qe, fmt.Sprintf("event %d: node %d is not failed", qe.seq, n))
+					return sub.rejectEvent(qe, "event %d: node %d is not failed", qe.seq, n)
 				}
 			}
 			for _, l := range delta.FailedLinks() {
@@ -554,12 +568,12 @@ func (sub *watchSub) applyEvent(qe queuedEvent, root *trace.Span) *schedroute.Wa
 		} else {
 			for _, l := range delta.FailedLinks() {
 				if sub.fs.LinkFailed(l) {
-					return sub.errorFrame(qe, fmt.Sprintf("event %d: link %d is already failed", qe.seq, l))
+					return sub.rejectEvent(qe, "event %d: link %d is already failed", qe.seq, l)
 				}
 			}
 			for _, n := range delta.FailedNodes() {
 				if sub.fs.NodeFailed(n) {
-					return sub.errorFrame(qe, fmt.Sprintf("event %d: node %d is already failed", qe.seq, n))
+					return sub.rejectEvent(qe, "event %d: node %d is already failed", qe.seq, n)
 				}
 			}
 			for _, l := range delta.FailedLinks() {
@@ -571,7 +585,7 @@ func (sub *watchSub) applyEvent(qe queuedEvent, root *trace.Span) *schedroute.Wa
 		}
 		return sub.repairFrame(qe, root)
 	default:
-		return sub.errorFrame(qe, fmt.Sprintf("event %d: unknown type %q", qe.seq, ev.Type))
+		return sub.rejectEvent(qe, "event %d: unknown type %q", qe.seq, ev.Type)
 	}
 }
 
@@ -593,10 +607,10 @@ func (sub *watchSub) repairFrame(qe queuedEvent, root *trace.Span) *schedroute.W
 		if errors.Is(err, context.Canceled) {
 			return nil
 		}
-		return sub.errorFrame(qe, fmt.Sprintf("event %d: repair failed: %v", qe.seq, err))
+		return sub.errorFrame(qe, fmt.Errorf("event %d: repair failed: %w", qe.seq, err))
 	}
 	if rerr := rep.Err(); rerr != nil {
-		frame := sub.errorFrame(qe, rerr.Error())
+		frame := sub.errorFrame(qe, rerr)
 		if wire, werr := schedroute.NewRepairResult(rep, false); werr == nil {
 			frame.Repair = wire
 		}
@@ -604,7 +618,7 @@ func (sub *watchSub) repairFrame(qe queuedEvent, root *trace.Span) *schedroute.W
 	}
 	wire, err := schedroute.NewRepairResult(rep, sub.req.IncludeOmega)
 	if err != nil {
-		return sub.errorFrame(qe, fmt.Sprintf("event %d: %v", qe.seq, err))
+		return sub.errorFrame(qe, fmt.Errorf("event %d: %w", qe.seq, err))
 	}
 	frame := &schedroute.WatchFrame{
 		Type:     schedroute.WatchFrameSchedule,
@@ -638,23 +652,23 @@ func (sub *watchSub) rebase(qe queuedEvent, root *trace.Span) *schedroute.WatchF
 		if errors.Is(err, context.Canceled) {
 			return nil
 		}
-		return sub.errorFrame(qe, fmt.Sprintf("event %d: rebase solve failed: %v", qe.seq, err))
+		return sub.errorFrame(qe, fmt.Errorf("event %d: rebase solve failed: %w", qe.seq, err))
 	}
 	sub.s.metrics.observeSolve(res.Stats)
 	if !res.Feasible {
-		return sub.errorFrame(qe, fmt.Sprintf("event %d: tau_in %g infeasible at stage %s; keeping period %g",
-			qe.seq, qe.ev.TauIn, res.FailStage, sub.tauIn))
+		return sub.rejectEvent(qe, "event %d: tau_in %g infeasible at stage %s; keeping period %g",
+			qe.seq, qe.ev.TauIn, res.FailStage, sub.tauIn)
 	}
 	session, err := schedule.NewRepairSession(sub.built.ScheduleProblemAt(qe.ev.TauIn), sub.sopts, res)
 	if err != nil {
-		return sub.errorFrame(qe, fmt.Sprintf("event %d: %v", qe.seq, err))
+		return sub.errorFrame(qe, fmt.Errorf("event %d: %w", qe.seq, err))
 	}
 	sub.tauIn = qe.ev.TauIn
 	sub.session = session
 
 	wire, err := schedroute.NewScheduleResult(sub.built, res, sub.tauIn, sub.req.IncludeOmega, sub.req.Options.WantStats())
 	if err != nil {
-		return sub.errorFrame(qe, fmt.Sprintf("event %d: %v", qe.seq, err))
+		return sub.errorFrame(qe, fmt.Errorf("event %d: %w", qe.seq, err))
 	}
 	frame := &schedroute.WatchFrame{
 		Type:     schedroute.WatchFrameSchedule,

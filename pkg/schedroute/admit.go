@@ -1,0 +1,104 @@
+package schedroute
+
+import (
+	"math"
+
+	"schedroute/internal/schedule"
+)
+
+// Admission wire vocabulary (v2): POST /v1/admit runs the multi-tenant
+// admission check — solve the candidate against the bandwidth left by
+// the already-admitted tenants, descending the degradation ladder
+// (reserved → degraded-window → degraded-rate → eviction of strictly
+// lower-priority tenants) — and reserves the candidate's link shares on
+// success. Admitted tenants are never re-solved, so an admission can
+// never change another tenant's Ω.
+
+// AdmitRequest asks to admit one tenant into the shared fabric. The
+// Problem names the fabric: every tenant admitted to one service
+// instance must name the same topology (the fabric is shared; the
+// applications differ).
+type AdmitRequest struct {
+	Problem Problem `json:"problem"`
+	Options Options `json:"options,omitempty"`
+	// Tenant identifies the candidate and its QoS contract. Absent
+	// means the default tenant (priority 0, no rate guarantee).
+	Tenant *Tenant `json:"tenant,omitempty"`
+	// IncludeOmega embeds the admitted schedule's Ω in the response.
+	IncludeOmega bool `json:"include_omega,omitempty"`
+}
+
+// AdmitResult is the wire form of schedule.AdmitReport. A rejection is
+// delivered as the Admit field of a 422 ErrorResponse, carrying this
+// same shape with Admitted false.
+type AdmitResult struct {
+	SchemaVersion int    `json:"schema_version"`
+	TenantID      string `json:"tenant_id"`
+	Admitted      bool   `json:"admitted"`
+	// Outcome is the admission rung: "reserved", "degraded-window",
+	// "degraded-rate", or "rejected".
+	Outcome string `json:"outcome"`
+	// TauOut is the granted output period (> the requested τin exactly
+	// when Outcome is "degraded-rate"; 0 when rejected).
+	TauOut float64 `json:"tau_out"`
+	// WindowScale is the message-window widening factor applied (1
+	// unless Outcome is "degraded-window").
+	WindowScale float64 `json:"window_scale"`
+	// Peak is the admitted schedule's peak utilization relative to the
+	// residual shares it solved against; for a rejection, the best peak
+	// any rung reached. A candidate probing a fully-reserved link has an
+	// unbounded relative peak; JSON cannot carry ±Inf, so it is reported
+	// as 0 (Reason explains the rejection).
+	Peak float64 `json:"peak"`
+	// Evicted lists tenants preempted to make room, in eviction order.
+	Evicted []string `json:"evicted,omitempty"`
+	// BottleneckLink and BottleneckShare describe the tightest link of
+	// the residual the candidate solved against.
+	BottleneckLink  int     `json:"bottleneck_link"`
+	BottleneckShare float64 `json:"bottleneck_share"`
+	// Reason carries a one-line diagnosis for rejections.
+	Reason string `json:"reason,omitempty"`
+	// Schedule is the admitted schedule (with Ω embedded when the
+	// request set IncludeOmega); nil when rejected.
+	Schedule *ScheduleResult `json:"schedule,omitempty"`
+	// Trace is the admission's span tree, attached only under
+	// ?debug=trace; last field for the same strip-and-compare reason as
+	// ScheduleResult.Trace.
+	Trace *TraceEnvelope `json:"trace,omitempty"`
+}
+
+// NewAdmitResult converts an AdmitReport into the wire form. b is the
+// candidate's built problem (for the τ summary of the embedded
+// schedule); the admitted Ω is embedded only when includeOmega is set.
+func NewAdmitResult(b *Built, rep *schedule.AdmitReport, includeOmega bool) (*AdmitResult, error) {
+	out := &AdmitResult{
+		SchemaVersion:   SchemaVersion,
+		TenantID:        rep.TenantID,
+		Admitted:        rep.Admitted,
+		Outcome:         rep.Outcome.String(),
+		TauOut:          rep.TauOut,
+		WindowScale:     rep.WindowScale,
+		Peak:            finiteOrZero(rep.Peak),
+		Evicted:         rep.Evicted,
+		BottleneckLink:  int(rep.BottleneckLink),
+		BottleneckShare: finiteOrZero(rep.BottleneckShare),
+		Reason:          rep.Reason,
+	}
+	if rep.Result != nil {
+		sr, err := NewScheduleResult(b, rep.Result, rep.TauOut, includeOmega, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Schedule = sr
+	}
+	return out, nil
+}
+
+// finiteOrZero guards wire floats against ±Inf/NaN, which the JSON
+// encoder rejects outright (failing the whole response body).
+func finiteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

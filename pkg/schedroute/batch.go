@@ -13,14 +13,22 @@ type BatchScheduleRequest struct {
 
 // BatchItemResult is one item's outcome, errors isolated per item:
 // exactly one of Result and Error is meaningful. A failed item carries
-// its message plus the errkind label its standalone request would have
-// mapped to an HTTP status, so one infeasible or malformed item never
-// fails its siblings.
+// the same {error, kind, detail} envelope its standalone request's
+// error body would — derived from the same errkind table — so one
+// infeasible or malformed item never fails its siblings and clients
+// parse one error shape everywhere.
 type BatchItemResult struct {
 	Index  int             `json:"index"`
 	Result *ScheduleResult `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Kind   string          `json:"kind,omitempty"`
+	Detail string          `json:"detail,omitempty"`
+}
+
+// SetError fills the item's error fields from the shared envelope.
+func (it *BatchItemResult) SetError(err error) {
+	env := NewErrorEnvelope(err)
+	it.Error, it.Kind, it.Detail = env.Error, env.Kind, env.Detail
 }
 
 // BatchScheduleResult answers a batch; Items is ordered by Index and

@@ -33,9 +33,12 @@ func NewScheduleResult(b *Built, res *schedule.Result, tauIn float64, includeOme
 		TauM:          b.Timing.TauM(),
 		TauIn:         tauIn,
 		Load:          b.Timing.TauC() / tauIn,
-		PeakLSD:       res.PeakLSD,
-		Peak:          res.Peak,
-		Latency:       res.Latency,
+		// A tenant solve runs against residual link shares; the LSD
+		// baseline ignores reservations and can land on a fully-reserved
+		// link, making its relative peak +Inf — unencodable in JSON.
+		PeakLSD: finiteOrZero(res.PeakLSD),
+		Peak:    finiteOrZero(res.Peak),
+		Latency: finiteOrZero(res.Latency),
 	}
 	if !res.Feasible {
 		out.FailStage = res.FailStage.String()
@@ -69,7 +72,7 @@ func NewRepairResult(rep *schedule.RepairReport, includeOmega bool) (*RepairResu
 		Faults:        rep.Faults,
 		Affected:      len(rep.Affected),
 		Rerouted:      rep.Rerouted,
-		NewPeak:       rep.NewPeak,
+		NewPeak:       finiteOrZero(rep.NewPeak),
 		TauOut:        rep.TauOut,
 		WindowScale:   rep.WindowScale,
 		LostTasks:     rep.LostTasks,

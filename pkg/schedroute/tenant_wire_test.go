@@ -1,0 +1,143 @@
+package schedroute
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedroute/internal/errkind"
+)
+
+// TestCheckSchemaVersionMatrix: v2 builds accept 0 ("current"), the v1
+// schema, and the v2 schema; everything else — including the
+// next-version 3 a future build might speak — is an unknown-version
+// rejection, never a silent acceptance.
+func TestCheckSchemaVersionMatrix(t *testing.T) {
+	for _, v := range []int{0, SchemaVersionV1, SchemaVersion} {
+		if err := CheckSchemaVersion(v); err != nil {
+			t.Errorf("schema_version %d rejected: %v", v, err)
+		}
+	}
+	for _, v := range []int{3, -1, 99} {
+		err := CheckSchemaVersion(v)
+		if !errors.Is(err, errkind.ErrUnknownVersion) {
+			t.Errorf("schema_version %d: got %v, want ErrUnknownVersion", v, err)
+		}
+	}
+}
+
+// decodeStrict mirrors the service's request decoding (unknown fields
+// rejected), so the goldens prove real wire payloads parse.
+func decodeStrict(t *testing.T, path string, into any) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}
+
+// TestScheduleRequestGoldenBothVersions pins the request wire format
+// for both schema versions: the frozen v1 payload (no tenant block)
+// must keep decoding exactly as before the tenant dimension existed —
+// it resolves to the default tenant — and the v2 payload's tenant block
+// must land in the typed fields. Both validate, and both resolve to the
+// same structure key, so v1 and v2 requests for one problem share one
+// cached Solver.
+func TestScheduleRequestGoldenBothVersions(t *testing.T) {
+	var v1, v2 ScheduleRequest
+	decodeStrict(t, "schedule_request.v1.golden.json", &v1)
+	decodeStrict(t, "schedule_request.v2.golden.json", &v2)
+
+	if err := v1.Problem.Validate(); err != nil {
+		t.Fatalf("v1 golden rejected: %v", err)
+	}
+	if err := v2.Problem.Validate(); err != nil {
+		t.Fatalf("v2 golden rejected: %v", err)
+	}
+
+	if v1.Tenant != nil {
+		t.Fatalf("v1 golden grew a tenant: %+v", v1.Tenant)
+	}
+	ten := TenantOrDefault(v1.Tenant)
+	if ten.ID != DefaultTenantID || ten.Priority != 0 || ten.RateGuarantee != 0 {
+		t.Fatalf("v1 tenant resolution: %+v", ten)
+	}
+
+	want := Tenant{ID: "video", Priority: 10, RateGuarantee: 0.8}
+	if v2.Tenant == nil || *v2.Tenant != want {
+		t.Fatalf("v2 tenant: got %+v, want %+v", v2.Tenant, want)
+	}
+	if err := TenantOrDefault(v2.Tenant).Validate(); err != nil {
+		t.Fatalf("v2 tenant invalid: %v", err)
+	}
+
+	if k1, k2 := v1.Problem.StructureKey(), v2.Problem.StructureKey(); k1 != k2 {
+		t.Fatalf("v1 and v2 requests for one problem split the solver cache: %q vs %q", k1, k2)
+	}
+}
+
+// TestV1RoundTripUnchanged: a request built the v1 way (no tenant)
+// must serialize without any v2 vocabulary, so v1 clients echoing
+// requests through logs, queues, or proxies never see fields they do
+// not know.
+func TestV1RoundTripUnchanged(t *testing.T) {
+	req := ScheduleRequest{
+		Problem: Problem{SchemaVersion: SchemaVersionV1, TFG: "dvb:4", Topology: "cube:6"},
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"tenant", "rate_guarantee", "priority"} {
+		if strings.Contains(string(raw), banned) {
+			t.Errorf("tenant-less request leaked %q on the wire: %s", banned, raw)
+		}
+	}
+	var back ScheduleRequest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tenant != nil {
+		t.Fatalf("round trip invented a tenant: %+v", back.Tenant)
+	}
+}
+
+func TestTenantValidate(t *testing.T) {
+	good := []Tenant{{}, {ID: "a"}, {ID: "a", RateGuarantee: 1}, {RateGuarantee: 0.5}}
+	for _, tn := range good {
+		if err := tn.Validate(); err != nil {
+			t.Errorf("tenant %+v rejected: %v", tn, err)
+		}
+	}
+	for _, tn := range []Tenant{{RateGuarantee: -0.1}, {RateGuarantee: 1.5}} {
+		if err := tn.Validate(); !errors.Is(err, errkind.ErrBadInput) {
+			t.Errorf("tenant %+v: got %v, want ErrBadInput", tn, err)
+		}
+	}
+}
+
+// TestErrorEnvelopeTableDrift: the envelope constructor must agree with
+// the errkind table row by row — same kind label, same detail line —
+// for every family, plus the generic fallback. This is the guard that
+// keeps the three error surfaces (top-level responses, batch items,
+// watch frames) from drifting: they all call NewErrorEnvelope.
+func TestErrorEnvelopeTableDrift(t *testing.T) {
+	for _, c := range errkind.Table {
+		env := NewErrorEnvelope(errkind.Mark(errors.New("boom"), c.Kind))
+		if env.Kind != c.Name || env.Detail != c.Detail || env.Error != "boom" {
+			t.Errorf("family %s: envelope %+v drifted from table row %+v", c.Name, env, c)
+		}
+	}
+	env := NewErrorEnvelope(errors.New("boom"))
+	if env.Kind != errkind.Generic.Name || env.Detail != errkind.Generic.Detail {
+		t.Errorf("generic envelope %+v drifted from %+v", env, errkind.Generic)
+	}
+}

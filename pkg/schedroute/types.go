@@ -21,17 +21,73 @@ import (
 )
 
 // SchemaVersion is the wire schema this build speaks. Requests may
-// carry 0 (meaning "current") or this exact value; responses always
-// carry it. Unknown versions are rejected with an
+// carry 0 (meaning "current"), SchemaVersionV1, or this exact value;
+// responses always carry it. Unknown versions are rejected with an
 // errkind.ErrUnknownVersion error.
-const SchemaVersion = 1
+//
+// v2 added the tenant dimension: a Tenant block on schedule, repair,
+// sweep, watch and batch requests, the /v1/admit vocabulary, and the
+// Detail/Admit fields of ErrorResponse. Every v1 payload is a valid v2
+// payload — an absent Tenant means the default tenant — so v1 clients
+// round-trip unchanged.
+const SchemaVersion = 2
+
+// SchemaVersionV1 is the tenant-less wire schema. Requests carrying it
+// are accepted and read as the default tenant's.
+const SchemaVersionV1 = 1
 
 // CheckSchemaVersion validates a request's schema_version field.
 func CheckSchemaVersion(v int) error {
-	if v != 0 && v != SchemaVersion {
+	if v != 0 && v != SchemaVersion && v != SchemaVersionV1 {
 		return errkind.Mark(
-			fmt.Errorf("schedroute: schema_version %d not supported (this build speaks %d)", v, SchemaVersion),
+			fmt.Errorf("schedroute: schema_version %d not supported (this build speaks %d and accepts %d)",
+				v, SchemaVersion, SchemaVersionV1),
 			errkind.ErrUnknownVersion)
+	}
+	return nil
+}
+
+// DefaultTenantID is the tenant every v1 (or tenant-less v2) request
+// belongs to. It exists so the tenant dimension is total: metrics
+// labels, batch group keys and admission registries never need a
+// "no tenant" case.
+const DefaultTenantID = "default"
+
+// Tenant identifies the owner of a request in the multi-tenant
+// co-scheduler and carries its QoS contract. Absent (nil) on a request
+// it means the default tenant with no guarantee — exactly the v1
+// semantics.
+type Tenant struct {
+	// ID names the tenant. Empty is normalized to DefaultTenantID.
+	ID string `json:"id,omitempty"`
+	// Priority orders the admission eviction ladder: a candidate may
+	// evict only tenants with strictly lower priority. Default 0.
+	Priority int `json:"priority,omitempty"`
+	// RateGuarantee is the minimum acceptable output rate as a fraction
+	// of the requested rate, in (0, 1]: admission may degrade the
+	// tenant's rate to no less than RateGuarantee·(1/τin). 0 means no
+	// guarantee (any degradation rung is acceptable).
+	RateGuarantee float64 `json:"rate_guarantee,omitempty"`
+}
+
+// TenantOrDefault resolves an optional wire tenant to its effective
+// value: nil or an empty ID becomes the default tenant.
+func TenantOrDefault(t *Tenant) Tenant {
+	if t == nil {
+		return Tenant{ID: DefaultTenantID}
+	}
+	out := *t
+	if out.ID == "" {
+		out.ID = DefaultTenantID
+	}
+	return out
+}
+
+// Validate checks a wire tenant's QoS fields.
+func (t Tenant) Validate() error {
+	if t.RateGuarantee < 0 || t.RateGuarantee > 1 {
+		return badInput("tenant %q: rate_guarantee must be in [0, 1], got %g",
+			t.ID, t.RateGuarantee)
 	}
 	return nil
 }
@@ -129,6 +185,9 @@ func (f FaultSpec) Empty() bool { return len(f.Links) == 0 && len(f.Nodes) == 0 
 type ScheduleRequest struct {
 	Problem Problem `json:"problem"`
 	Options Options `json:"options,omitempty"`
+	// Tenant scopes the request in the multi-tenant co-scheduler (v2);
+	// absent means the default tenant.
+	Tenant *Tenant `json:"tenant,omitempty"`
 	// IncludeOmega embeds the full Ω artifact (the versioned JSON the
 	// -save flag writes) in the response.
 	IncludeOmega bool `json:"include_omega,omitempty"`
@@ -216,6 +275,9 @@ type RepairRequest struct {
 	Problem Problem   `json:"problem"`
 	Options Options   `json:"options,omitempty"`
 	Fault   FaultSpec `json:"fault"`
+	// Tenant scopes the repair in the multi-tenant co-scheduler (v2);
+	// absent means the default tenant.
+	Tenant *Tenant `json:"tenant,omitempty"`
 	// IncludeOmega embeds the repaired Ω in the response.
 	IncludeOmega bool `json:"include_omega,omitempty"`
 }
@@ -252,6 +314,8 @@ type RepairResult struct {
 type SweepRequest struct {
 	Problem Problem `json:"problem"`
 	Options Options `json:"options,omitempty"`
+	// Tenant scopes the sweep (v2); absent means the default tenant.
+	Tenant *Tenant `json:"tenant,omitempty"`
 	// Points is the number of load points (0 = 12, the paper's grid).
 	Points int `json:"points,omitempty"`
 	// MinTauIn and MaxTauIn bound the sweep (0 = τc and 5τc).
@@ -288,14 +352,38 @@ type SweepResult struct {
 	Points        []SweepPoint `json:"points"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx service response.
-type ErrorResponse struct {
-	SchemaVersion int    `json:"schema_version"`
-	Error         string `json:"error"`
+// ErrorEnvelope is the shared {error, kind, detail} triple every
+// failure surface emits: top-level error responses, per-item batch
+// errors, and watch error frames all derive it from the same errkind
+// table, so a client parses one shape everywhere.
+type ErrorEnvelope struct {
+	// Error is the concrete error message.
+	Error string `json:"error"`
 	// Kind is the errkind table label ("bad_input",
-	// "infeasible_repair", "unknown_schema_version", "internal", ...).
+	// "infeasible_repair", "admission_rejected", "internal", ...).
 	Kind string `json:"kind"`
+	// Detail is the table's stable one-line description of the kind.
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewErrorEnvelope classifies err through the errkind table. It is the
+// only constructor: every error body in the service funnels through
+// here so the three surfaces cannot drift.
+func NewErrorEnvelope(err error) ErrorEnvelope {
+	c, _ := errkind.Classify(err)
+	return ErrorEnvelope{Error: err.Error(), Kind: c.Name, Detail: c.Detail}
+}
+
+// ErrorResponse is the JSON body of every non-2xx service response:
+// the shared envelope plus the schema header and any structured report
+// explaining the rejection.
+type ErrorResponse struct {
+	SchemaVersion int `json:"schema_version"`
+	ErrorEnvelope
 	// Repair carries the full degradation-ladder report when an
 	// infeasible repair is the reason for the failure status.
 	Repair *RepairResult `json:"repair,omitempty"`
+	// Admit carries the full admission report when a rejected tenant
+	// admission is the reason for the failure status (HTTP 422).
+	Admit *AdmitResult `json:"admit,omitempty"`
 }

@@ -60,6 +60,9 @@ const (
 type WatchRequest struct {
 	Problem Problem `json:"problem"`
 	Options Options `json:"options,omitempty"`
+	// Tenant scopes the subscription (v2); absent means the default
+	// tenant.
+	Tenant *Tenant `json:"tenant,omitempty"`
 	// IncludeOmega embeds the repaired Ω artifact in every schedule
 	// frame (and the base Ω in the hello frame).
 	IncludeOmega bool `json:"include_omega,omitempty"`
@@ -169,6 +172,10 @@ type WatchFrame struct {
 	Terminal bool `json:"terminal,omitempty"`
 	// Reason explains error and closing frames.
 	Reason string `json:"reason,omitempty"`
+	// Err carries the shared {error, kind, detail} envelope on error
+	// frames — the same classification a standalone request's error
+	// body would have, derived from the same errkind table.
+	Err *ErrorEnvelope `json:"err,omitempty"`
 	// Trace is the event's span tree (watch.event / watch.repair /
 	// watch.deliver), attached only when the subscription was created
 	// with ?debug=trace. Last field, like every other trace envelope.

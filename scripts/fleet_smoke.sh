@@ -48,7 +48,7 @@ printf "$PROBLEM" 150 | curl -fsS -X POST "$BASE_A/v1/schedule" -d @- \
 
 # The on-disk snapshot name is the schema-versioned hash of the
 # structure key — computable from the shell, same as snapshotID().
-KEY='v1|tfg=dvb:4|topo=cube:6|bw=64|speed=0|alloc=rr|seed=0'
+KEY='v2|tfg=dvb:4|topo=cube:6|bw=64|speed=0|alloc=rr|seed=0'
 ID="v1-$(printf '%s' "$KEY" | sha256sum | cut -c1-32)"
 for i in $(seq 1 50); do
     if [ -f "$WARM/$ID.json" ]; then break; fi
