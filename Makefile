@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke fleet-smoke trace-smoke watch-smoke tenant-smoke clean
+.PHONY: all build vet test check race faults bench bench-parallel bench-json bench-compare bench-smoke-large service-smoke fleet-smoke trace-smoke watch-smoke tenant-smoke explore-smoke clean
 
 all: check
 
@@ -60,6 +60,13 @@ watch-smoke:
 tenant-smoke:
 	sh scripts/tenant_smoke.sh
 
+# End-to-end smoke of the unified exploration surface: /v1/explore in
+# Pareto and grid modes, the /v1/sweep adapter's byte-identity with the
+# explore projection, srsched -explore, mode exclusivity (exit 2), and
+# the explore metrics (scripts/explore_smoke.sh).
+explore-smoke:
+	sh scripts/explore_smoke.sh
+
 # Full figure-regeneration benchmark suite (see bench_test.go).
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
@@ -69,7 +76,7 @@ bench:
 # Fig. 5/7 panels, the serial sweep, and the CP-simulator replay,
 # rendered to JSON (ns/op, B/op, allocs/op, shape metrics) by
 # cmd/benchjson.
-BENCH_JSON_SUITE = ScheduleComputeSixCube$$|ScheduleTenCube$$|ScheduleTorus32$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64|ColdVsWarmStartTenCube|ScheduleBatch64|TenantAdmitSixCube$$
+BENCH_JSON_SUITE = ScheduleComputeSixCube$$|ScheduleTenCube$$|ScheduleTorus32$$|Fig5|Fig7|CPSimPacketReplay|SerialSweepFig5SixCubeB64|ColdVsWarmStartTenCube|ScheduleBatch64|TenantAdmitSixCube$$|ExploreSixCube$$
 
 # The baseline records three runs per benchmark so the compare gate's
 # min-of-3 meets a min-of-3 baseline: a single lucky baseline run would

@@ -751,3 +751,27 @@ func BenchmarkShortestPathEnumeration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExploreSixCube is the Pareto-exploration acceptance
+// benchmark: each iteration searches the τin × latency × resources
+// front for the 6-cube DVB problem with one annealed candidate
+// placement — per placement a minimal-τin bisection plus a small
+// period ladder with window minimization, the whole cost of answering
+// the capacity-planning question instead of one solve.
+func BenchmarkExploreSixCube(b *testing.B) {
+	prob := dvbSixCubeProblem(b, 0)
+	spec := schedule.ExploreSpec{GridPoints: 2, AnnealSeeds: []int64{2}, AnnealSteps: 2000}
+	opts := schedule.Options{Seed: 1}
+	var front int
+	for i := 0; i < b.N; i++ {
+		pf, err := schedule.Explore(context.Background(), prob, opts, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pf.Points) == 0 {
+			b.Fatal("empty Pareto front")
+		}
+		front = len(pf.Points)
+	}
+	b.ReportMetric(float64(front), "front-pts")
+}

@@ -6,6 +6,7 @@
 //	experiments -all              # all six figures
 //	experiments -fig faults       # survivability under single-link faults
 //	experiments -fig tenant       # two-tenant isolation under victim-only faults
+//	experiments -fig pareto       # Pareto fronts: τin × latency × resources
 //	experiments -list             # show the figure → configuration map
 //
 // Figures 5 and 6 print peak-utilization tables (AssignPaths vs
@@ -14,7 +15,9 @@
 // faults pseudo-figure runs the repair ladder against every
 // single-link fault at each load point, optionally re-verifying each
 // repaired Ω by packet-level simulation with the fault injected
-// mid-run (-verify), and can be narrowed with -config.
+// mid-run (-verify), and can be narrowed with -config. The pareto
+// pseudo-figure explores the period × latency × resource trade-off
+// per configuration, co-optimizing placement through the annealer.
 package main
 
 import (
@@ -28,15 +31,19 @@ import (
 
 	"schedroute/internal/cliutil"
 	"schedroute/internal/experiments"
+	"schedroute/internal/schedule"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (5..10), 'faults' for the survivability sweep, or 'tenant' for the two-tenant isolation sweep")
+	fig := flag.String("fig", "", "figure to regenerate (5..10), 'faults' for the survivability sweep, 'tenant' for the two-tenant isolation sweep, or 'pareto' for the multi-criteria fronts")
 	all := flag.Bool("all", false, "regenerate every figure")
 	configFilter := flag.String("config", "", "faults sweep: only configurations whose key contains this substring")
 	verify := flag.Bool("verify", true, "faults sweep: re-verify every repaired Ω by packet-level fault injection")
 	strict := flag.Bool("strict", false, "faults sweep: abort on the first infeasible repair")
 	maxFaults := flag.Int("max-faults", 0, "faults sweep: cap single-link scenarios per load point (0 = every link)")
+	gridPoints := flag.Int("grid-points", 0, "pareto sweep: candidate periods per placement (0 = 4)")
+	annealSeeds := flag.String("anneal-seeds", "", "pareto sweep: comma-separated annealer seeds for candidate placements (default seed+1,seed+2)")
+	objectives := flag.String("objectives", "", "pareto sweep: comma-separated objectives among tau_in,latency,links,buffers (default all)")
 	list := flag.Bool("list", false, "list figures and their configurations")
 	invocations := flag.Int("invocations", 40, "wormhole invocations to simulate per load point")
 	warmup := flag.Int("warmup", 20, "wormhole invocations to discard before measuring")
@@ -74,6 +81,10 @@ func main() {
 		runTenantFaults(cfgs, *configFilter, *seed, *procs, *maxFaults, *strict, *format)
 		return
 	}
+	if *fig == "pareto" {
+		runPareto(cfgs, *configFilter, *seed, *procs, *gridPoints, *annealSeeds, *objectives, *format)
+		return
+	}
 
 	var figs []int
 	figNum, figErr := strconv.Atoi(*fig)
@@ -83,7 +94,7 @@ func main() {
 	case figErr == nil && figNum >= 5 && figNum <= 10:
 		figs = []int{figNum}
 	default:
-		fmt.Fprintln(os.Stderr, "experiments: pass -fig 5..10, -fig faults, -fig tenant, -all or -list")
+		fmt.Fprintln(os.Stderr, "experiments: pass -fig 5..10, -fig faults, -fig tenant, -fig pareto, -all or -list")
 		os.Exit(2)
 	}
 	for _, id := range figs {
@@ -198,6 +209,62 @@ func runTenantFaults(cfgs map[string]experiments.Config, filter string, seed int
 		write := experiments.WriteTenantSurvivability
 		if format == "csv" {
 			write = experiments.WriteTenantSurvivabilityCSV
+		}
+		if err := write(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// runPareto executes the multi-criteria pseudo-figure: one Pareto
+// front per standard configuration whose key contains filter, in key
+// order.
+func runPareto(cfgs map[string]experiments.Config, filter string, seed int64, procs, gridPoints int, annealSeeds, objectives, format string) {
+	var keys []string
+	for key := range cfgs {
+		if strings.Contains(key, filter) {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no configuration matches -config %q\n", filter)
+		os.Exit(2)
+	}
+	sort.Strings(keys)
+	spec := schedule.ExploreSpec{GridPoints: gridPoints}
+	if annealSeeds != "" {
+		for _, f := range strings.Split(annealSeeds, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad -anneal-seeds entry %q\n", f)
+				os.Exit(2)
+			}
+			spec.AnnealSeeds = append(spec.AnnealSeeds, s)
+		}
+	}
+	if objectives != "" {
+		obs, err := schedule.ParseObjectives(strings.Split(objectives, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		spec.Objectives = obs
+	}
+	if format == "table" {
+		fmt.Println("==== Pareto fronts: τin × latency × resources ====")
+	}
+	for _, key := range keys {
+		cfg := cfgs[key]
+		cfg.Seed = seed
+		cfg.Procs = procs
+		s, err := experiments.ParetoSweep(context.Background(), cfg, spec)
+		if err != nil {
+			cliutil.Fatal("experiments", err)
+		}
+		write := experiments.WritePareto
+		if format == "csv" {
+			write = experiments.WriteParetoCSV
 		}
 		if err := write(os.Stdout, s); err != nil {
 			fatal(err)

@@ -13,6 +13,7 @@
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 150 -load-snapshot warm.json
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 150 -fail-link 0-1 -watch http://localhost:8080
 //	srsched -tfg dvb:4 -topo cube:6 -tauin 50 -admit http://localhost:8080 -tenant video -priority 5 -rate 0.5
+//	srsched -tfg dvb:4 -topo cube:6 -bw 64 -explore -anneal-seeds 2,3
 //
 // With -fail-link u-v the computed schedule is repaired for the named
 // link fault through the degradation ladder (incremental reroute, full
@@ -33,6 +34,15 @@
 // degradation ladder cannot satisfy exits with status 4 and prints the
 // rejection report. The same -tenant flag scopes a -watch subscription
 // to an admitted tenant's standing schedule.
+//
+// With -explore the tool searches the Pareto front over τin × latency ×
+// resources instead of solving one period: the -alloc placement and one
+// annealed placement per -anneal-seeds entry are each bisected to their
+// minimal feasible τin, a ladder of candidate periods above each
+// minimum is solved for latency- and footprint-minimal schedules, and
+// the non-dominated points are printed. -best, -admit, -watch and
+// -explore are mutually exclusive modes; combining them exits with
+// status 2.
 package main
 
 import (
@@ -44,10 +54,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"schedroute/internal/cliutil"
-	"schedroute/internal/errkind"
 	"schedroute/internal/cpsim"
+	"schedroute/internal/errkind"
+	"schedroute/internal/experiments"
 	"schedroute/internal/faults"
 	"schedroute/internal/gantt"
 	"schedroute/internal/schedule"
@@ -81,7 +94,18 @@ func main() {
 	tenantID := flag.String("tenant", "", "tenant id for -admit or -watch requests (empty = the default tenant)")
 	priority := flag.Int("priority", 0, "tenant priority for -admit: higher may evict strictly lower on a full fabric")
 	rate := flag.Float64("rate", 0, "tenant rate guarantee for -admit: minimum acceptable τin/τout fraction in (0,1]; 0 accepts any degraded rate")
+	explore := flag.Bool("explore", false, "explore the Pareto front over τin × latency × resources instead of solving one period: minimal feasible τin per placement by bisection, then latency- and footprint-minimal schedules, dominated points dropped")
+	objectives := flag.String("objectives", "", "with -explore: comma-separated minimized objectives among tau_in, latency, links, buffers (empty = all four)")
+	annealSeeds := flag.String("anneal-seeds", "", "with -explore: comma-separated annealer seeds, one candidate placement each (empty = seed+1, seed+2)")
+	gridPoints := flag.Int("grid-points", 0, "with -explore: candidate periods per placement above its bisected minimum (0 = 5)")
 	flag.Parse()
+
+	cliutil.RequireExclusiveModes("srsched",
+		cliutil.Mode{Flag: "best", Set: *best > 0},
+		cliutil.Mode{Flag: "admit", Set: *admitURL != ""},
+		cliutil.Mode{Flag: "watch", Set: *watch != ""},
+		cliutil.Mode{Flag: "explore", Set: *explore},
+	)
 
 	tenant := wireTenant(*tenantID, *priority, *rate)
 	if *admitURL != "" {
@@ -112,6 +136,10 @@ func main() {
 	if *showTrace || *traceOut != "" {
 		root = trace.Start("srsched")
 		opts.Trace = root
+	}
+	if *explore {
+		runExplore(ctx, b, opts, *gridPoints, *annealSeeds, *objectives, root, *showTrace, *traceOut)
+		return
 	}
 	var res *schedule.Result
 	if (*saveSnap != "" || *loadSnap != "") && *best > 0 {
@@ -283,6 +311,51 @@ func main() {
 // backoff and Last-Event-ID resume, so a daemon restart mid-scenario
 // only delays the stream. An infeasible repair exits with status 3,
 // like the local -fail-link path.
+// runExplore runs the local Pareto-front exploration: every candidate
+// placement (the -alloc placement plus one annealed placement per
+// -anneal-seeds entry) is bisected to its minimal feasible τin, a small
+// period ladder above each minimum is solved for latency- and
+// footprint-minimal schedules, and the non-dominated front is printed.
+// No feasible schedule anywhere in range exits with status 1, like an
+// infeasible single solve.
+func runExplore(ctx context.Context, b *schedroute.Built, opts schedule.Options, gridPoints int, annealSeeds, objectives string, root *trace.Span, showTrace bool, traceOut string) {
+	spec := schedule.ExploreSpec{GridPoints: gridPoints, Trace: root}
+	if annealSeeds != "" {
+		for _, tok := range strings.Split(annealSeeds, ",") {
+			seed, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+			if err != nil {
+				cliutil.Fatal("srsched", errkind.Mark(fmt.Errorf("bad -anneal-seeds entry %q: %v", tok, err), errkind.ErrBadInput))
+			}
+			spec.AnnealSeeds = append(spec.AnnealSeeds, seed)
+		}
+	} else {
+		spec.AnnealSeeds = []int64{opts.Seed + 1, opts.Seed + 2}
+	}
+	if objectives != "" {
+		obs, err := schedule.ParseObjectives(strings.Split(objectives, ","))
+		if err != nil {
+			cliutil.Fatal("srsched", errkind.Mark(err, errkind.ErrBadInput))
+		}
+		spec.Objectives = obs
+	}
+	opts.Trace = nil // Explore records its own span family under spec.Trace
+	front, err := schedule.Explore(ctx, b.ScheduleProblem(), opts, spec)
+	if err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	series := &experiments.ParetoSeries{
+		Config: fmt.Sprintf("%s on %s", b.Graph.Name(), b.Topology),
+		Front:  front,
+	}
+	if err := experiments.WritePareto(os.Stdout, series); err != nil {
+		cliutil.Fatal("srsched", err)
+	}
+	emitTrace(root, showTrace, traceOut)
+	if len(front.Points) == 0 {
+		os.Exit(1)
+	}
+}
+
 // wireTenant builds the optional wire tenant from the three flags; all
 // zero means no tenant field (a v1-shaped request).
 func wireTenant(id string, priority int, rate float64) *schedroute.Tenant {

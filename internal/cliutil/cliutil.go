@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"schedroute/internal/alloc"
 	"schedroute/internal/errkind"
@@ -52,6 +53,48 @@ func WriteError(w io.Writer, tool string, err error) {
 func Fatal(tool string, err error) {
 	WriteError(os.Stderr, tool, err)
 	os.Exit(ExitStatus(err))
+}
+
+// Mode names one of a tool's mutually exclusive operating modes: a
+// flag name (without the leading dash) and whether this invocation
+// selected it.
+type Mode struct {
+	Flag string
+	Set  bool
+}
+
+// ExclusiveModes checks that at most one of the given modes is
+// selected. It returns nil when the invocation is consistent and a
+// usage error naming the conflicting flags otherwise, so each tool
+// states its mode vocabulary once instead of growing pairwise checks.
+func ExclusiveModes(modes ...Mode) error {
+	var set []string
+	all := make([]string, len(modes))
+	for i, m := range modes {
+		all[i] = "-" + m.Flag
+		if m.Set {
+			set = append(set, "-"+m.Flag)
+		}
+	}
+	if len(set) <= 1 {
+		return nil
+	}
+	return fmt.Errorf("%s select conflicting modes; pick at most one of %s",
+		strings.Join(set, " and "), strings.Join(all, ", "))
+}
+
+// RequireExclusiveModes enforces ExclusiveModes for the named tool:
+// a conflict is reported on stderr with a remediation hint and the
+// process exits with ExitUsage (2), the flag package's own misuse
+// status.
+func RequireExclusiveModes(tool string, modes ...Mode) {
+	err := ExclusiveModes(modes...)
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	fmt.Fprintf(os.Stderr, "%s: hint: each mode is a complete run; invoke the tool once per mode instead of combining them\n", tool)
+	os.Exit(ExitUsage)
 }
 
 // ParseTopology builds a topology from a spec string like "cube:6",

@@ -208,3 +208,30 @@ func TestWriteErrorRemediationHint(t *testing.T) {
 		t.Errorf("generic errors must not get the repair hint: %q", b.String())
 	}
 }
+
+func TestExclusiveModes(t *testing.T) {
+	modes := func(set ...bool) []Mode {
+		names := []string{"best", "admit", "watch", "explore"}
+		ms := make([]Mode, len(set))
+		for i, s := range set {
+			ms[i] = Mode{Flag: names[i], Set: s}
+		}
+		return ms
+	}
+	if err := ExclusiveModes(modes(false, false, false, false)...); err != nil {
+		t.Errorf("no mode selected: %v", err)
+	}
+	if err := ExclusiveModes(modes(false, false, true, false)...); err != nil {
+		t.Errorf("one mode selected: %v", err)
+	}
+	err := ExclusiveModes(modes(true, false, true, true)...)
+	if err == nil {
+		t.Fatal("three modes selected, no error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"-best", "-watch", "-explore", "conflicting modes", "-admit"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package schedule
+
+import (
+	"sort"
+
+	"schedroute/internal/trace"
+)
+
+// This file is the documented construction surface for Options. The
+// struct literal grew one field per PR — LinkCap, Trace, CollectStats,
+// Procs — and callers ended up passing half-zeroed structs with no
+// record of which knobs they meant to set. The functional-options
+// layer fixes that without breaking anyone: Options stays a plain
+// struct (the compatibility shim — every existing literal keeps
+// compiling and behaving identically), while new call sites compose
+// named options:
+//
+//	opts := schedule.NewOptions(
+//		schedule.WithSeed(7),
+//		schedule.WithWindow(120),
+//		schedule.WithStats(true),
+//	)
+//
+// Every option is registered under a stable name, one name per
+// Options field, and the registry is introspectable via OptionNames
+// and OptionForField. That registry is what keeps the wire schema
+// honest: pkg/schedroute's drift test walks the wire Options fields
+// and asserts each maps to exactly one registered solver option, so a
+// field added to either side without the other fails the build's test
+// run instead of silently desynchronizing the API surfaces.
+
+// Opt is one named solver option: a documented setter for exactly one
+// field of Options. Construct with the With* functions; apply with
+// NewOptions or Options.With.
+type Opt struct {
+	name  string
+	apply func(*Options)
+}
+
+// Name reports the option's stable registry name (e.g. "seed",
+// "window", "link_cap").
+func (o Opt) Name() string { return o.name }
+
+// NewOptions builds an Options value from named options. The zero
+// Options selects the pipeline defaults, exactly as the struct literal
+// always has; later options override earlier ones.
+func NewOptions(opts ...Opt) Options {
+	var out Options
+	return out.With(opts...)
+}
+
+// With returns a copy of o with the given options applied — the
+// migration path for callers holding a legacy struct literal who want
+// to layer named options on top.
+func (o Options) With(opts ...Opt) Options {
+	for _, op := range opts {
+		if op.apply != nil {
+			op.apply(&o)
+		}
+	}
+	return o
+}
+
+// optionForField maps each Options struct field to its registered
+// option name. The options_test drift check walks Options by
+// reflection and fails when a field is missing here, so the table
+// cannot rot as the struct grows.
+var optionForField = map[string]string{
+	"Seed":             "seed",
+	"MaxPaths":         "max_paths",
+	"MaxOuter":         "max_outer",
+	"MaxInner":         "max_inner",
+	"Engine":           "engine",
+	"Window":           "window",
+	"LSDOnly":          "lsd_only",
+	"SyncMargin":       "sync_margin",
+	"Retries":          "retries",
+	"AllowSharedNodes": "allow_shared_nodes",
+	"Procs":            "procs",
+	"CollectStats":     "stats",
+	"LinkCap":          "link_cap",
+	"Trace":            "trace",
+}
+
+// OptionNames returns the sorted registry of option names, one per
+// Options field.
+func OptionNames() []string {
+	names := make([]string, 0, len(optionForField))
+	for _, n := range optionForField {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OptionForField reports the registered option name for an Options
+// struct field, for the cross-package drift tests.
+func OptionForField(field string) (string, bool) {
+	n, ok := optionForField[field]
+	return n, ok
+}
+
+// WithSeed sets the AssignPaths random-restart seed.
+func WithSeed(seed int64) Opt {
+	return Opt{name: "seed", apply: func(o *Options) { o.Seed = seed }}
+}
+
+// WithMaxPaths caps the equivalent shortest paths enumerated per
+// message (0 = the default 24).
+func WithMaxPaths(n int) Opt {
+	return Opt{name: "max_paths", apply: func(o *Options) { o.MaxPaths = n }}
+}
+
+// WithMaxOuter sets the number of AssignPaths random restarts (0 = 6).
+func WithMaxOuter(n int) Opt {
+	return Opt{name: "max_outer", apply: func(o *Options) { o.MaxOuter = n }}
+}
+
+// WithMaxInner caps iterative-improvement steps per restart (0 = 60).
+func WithMaxInner(n int) Opt {
+	return Opt{name: "max_inner", apply: func(o *Options) { o.MaxInner = n }}
+}
+
+// WithEngine selects the interval-scheduling algorithm.
+func WithEngine(e Engine) Opt {
+	return Opt{name: "engine", apply: func(o *Options) { o.Engine = e }}
+}
+
+// WithWindow overrides the message window length (0 = τc, the paper's
+// choice). Shorter windows lower the pipeline latency Λw at the cost
+// of tighter scheduling; the explore API's latency objective is driven
+// through this knob.
+func WithWindow(w float64) Opt {
+	return Opt{name: "window", apply: func(o *Options) { o.Window = w }}
+}
+
+// WithLSDOnly keeps the deterministic LSD-to-MSD paths, skipping
+// AssignPaths (the Fig. 5/6 baseline).
+func WithLSDOnly(v bool) Opt {
+	return Opt{name: "lsd_only", apply: func(o *Options) { o.LSDOnly = v }}
+}
+
+// WithSyncMargin sets the Section 7 clock-skew guard interval.
+func WithSyncMargin(m float64) Opt {
+	return Opt{name: "sync_margin", apply: func(o *Options) { o.SyncMargin = m }}
+}
+
+// WithRetries sets the Fig. 3 feedback retries on downstream failure.
+func WithRetries(n int) Opt {
+	return Opt{name: "retries", apply: func(o *Options) { o.Retries = n }}
+}
+
+// WithSharedNodes admits placements with several tasks per node
+// (AP-sharing node schedules).
+func WithSharedNodes(v bool) Opt {
+	return Opt{name: "allow_shared_nodes", apply: func(o *Options) { o.AllowSharedNodes = v }}
+}
+
+// WithProcs bounds the worker goroutines of the concurrent search
+// entry points (0 = GOMAXPROCS, 1 = serial).
+func WithProcs(n int) Opt {
+	return Opt{name: "procs", apply: func(o *Options) { o.Procs = n }}
+}
+
+// WithStats enables wall-clock per-stage timings in Result.Stats. It
+// is the single solver option behind both wire spellings ("stats" and
+// "collect_stats" — a documented alias pair).
+func WithStats(v bool) Opt {
+	return Opt{name: "stats", apply: func(o *Options) { o.CollectStats = v }}
+}
+
+// WithLinkCap caps the per-link bandwidth share this solve may use
+// (the multi-tenant residual fabric; nil means the whole machine).
+func WithLinkCap(caps []float64) Opt {
+	return Opt{name: "link_cap", apply: func(o *Options) { o.LinkCap = caps }}
+}
+
+// WithTrace records the solve under the given parent span.
+func WithTrace(sp *trace.Span) Opt {
+	return Opt{name: "trace", apply: func(o *Options) { o.Trace = sp }}
+}

@@ -1,0 +1,130 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"schedroute/internal/trace"
+)
+
+// TestOptionRegistryCoversOptionsStruct pins the drift contract on the
+// solver side: every field of Options has exactly one registered
+// option name, and no registry entry points at a field that no longer
+// exists. Growing Options without growing the registry (or vice versa)
+// fails here.
+func TestOptionRegistryCoversOptionsStruct(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+	seen := map[string]string{} // option name -> field
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		name, ok := OptionForField(f.Name)
+		if !ok {
+			t.Errorf("Options field %s has no registered option; add it to optionForField and a With* constructor", f.Name)
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("option name %q registered for both %s and %s", name, prev, f.Name)
+		}
+		seen[name] = f.Name
+	}
+	if got, want := len(optionForField), typ.NumField(); got != want {
+		t.Errorf("registry has %d entries for %d Options fields (stale field name in optionForField?)", got, want)
+	}
+	if got, want := len(OptionNames()), typ.NumField(); got != want {
+		t.Errorf("OptionNames() has %d names for %d Options fields", got, want)
+	}
+}
+
+// TestNewOptionsMatchesStructLiteral checks the functional construction
+// against the struct literal it shims: same fields, same values, and
+// later options override earlier ones.
+func TestNewOptionsMatchesStructLiteral(t *testing.T) {
+	sp := trace.Start("test")
+	defer sp.End()
+	caps := []float64{1, 0.5}
+	got := NewOptions(
+		WithSeed(7),
+		WithMaxPaths(8),
+		WithMaxOuter(3),
+		WithMaxInner(10),
+		WithEngine(EngineExact),
+		WithWindow(120),
+		WithLSDOnly(true),
+		WithSyncMargin(0.25),
+		WithRetries(2),
+		WithSharedNodes(true),
+		WithProcs(4),
+		WithStats(true),
+		WithLinkCap(caps),
+		WithTrace(sp),
+	)
+	want := Options{
+		Seed: 7, MaxPaths: 8, MaxOuter: 3, MaxInner: 10,
+		Engine: EngineExact, Window: 120, LSDOnly: true, SyncMargin: 0.25,
+		Retries: 2, AllowSharedNodes: true, Procs: 4, CollectStats: true,
+		LinkCap: caps, Trace: sp,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NewOptions mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Override order: last option wins, matching how a caller would
+	// layer defaults then overrides.
+	if o := NewOptions(WithSeed(1), WithSeed(9)); o.Seed != 9 {
+		t.Errorf("override: Seed = %d, want 9", o.Seed)
+	}
+
+	// The shim path: layering options on a legacy literal leaves the
+	// untouched fields alone.
+	base := Options{Retries: 5, LSDOnly: true}
+	out := base.With(WithSeed(3))
+	if out.Seed != 3 || out.Retries != 5 || !out.LSDOnly {
+		t.Errorf("With on legacy literal: got %+v", out)
+	}
+	if base.Seed != 0 {
+		t.Errorf("With mutated the receiver: %+v", base)
+	}
+}
+
+// TestEachOptionSetsExactlyOneField applies every registered option
+// with a non-zero value and asserts exactly one field moved off the
+// zero Options — the "one option, one field" half of the contract.
+func TestEachOptionSetsExactlyOneField(t *testing.T) {
+	sp := trace.Start("test")
+	defer sp.End()
+	cases := map[string]Opt{
+		"seed":               WithSeed(1),
+		"max_paths":          WithMaxPaths(1),
+		"max_outer":          WithMaxOuter(1),
+		"max_inner":          WithMaxInner(1),
+		"engine":             WithEngine(EngineExact),
+		"window":             WithWindow(1),
+		"lsd_only":           WithLSDOnly(true),
+		"sync_margin":        WithSyncMargin(1),
+		"retries":            WithRetries(1),
+		"allow_shared_nodes": WithSharedNodes(true),
+		"procs":              WithProcs(1),
+		"stats":              WithStats(true),
+		"link_cap":           WithLinkCap([]float64{1}),
+		"trace":              WithTrace(sp),
+	}
+	if got, want := len(cases), reflect.TypeOf(Options{}).NumField(); got != want {
+		t.Fatalf("test covers %d options for %d Options fields", got, want)
+	}
+	for name, op := range cases {
+		if op.Name() != name {
+			t.Errorf("option registered as %q, constructor table says %q", op.Name(), name)
+		}
+		o := NewOptions(op)
+		v := reflect.ValueOf(o)
+		changed := 0
+		for i := 0; i < v.NumField(); i++ {
+			if !v.Field(i).IsZero() {
+				changed++
+			}
+		}
+		if changed != 1 {
+			t.Errorf("option %q changed %d fields, want exactly 1 (%+v)", name, changed, o)
+		}
+	}
+}

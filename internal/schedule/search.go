@@ -66,7 +66,7 @@ func ComputeBestAllocation(ctx context.Context, p Problem, opt Options, candidat
 	}
 	var best *SearchResult
 	for i, res := range results {
-		if best == nil || better(res, best.Result) {
+		if best == nil || Better(res, best.Result) {
 			best = &SearchResult{Result: res, Chosen: i}
 		}
 	}
@@ -75,9 +75,11 @@ func ComputeBestAllocation(ctx context.Context, p Problem, opt Options, candidat
 	return best, nil
 }
 
-// better orders results: feasible beats infeasible; among equals, the
-// lower peak utilization wins.
-func better(a, b *Result) bool {
+// Better orders results the way every placement search in the repo
+// does: feasible beats infeasible; among equals, the lower peak
+// utilization wins. Exported so the service's grid-mode placement
+// exploration ranks candidates identically to ComputeBestAllocation.
+func Better(a, b *Result) bool {
 	if a.Feasible != b.Feasible {
 		return a.Feasible
 	}

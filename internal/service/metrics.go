@@ -40,6 +40,13 @@ type Metrics struct {
 	shardProxied     atomic.Int64 // requests forwarded to their owning shard
 	shardLocalMisses atomic.Int64 // requests served locally though another shard owns them
 
+	// Exploration counters: runs by mode ("grid" or "pareto"), points
+	// reported (grid samples plus Pareto schedules evaluated), and
+	// non-dominated points emitted on Pareto fronts.
+	exploreRuns        map[string]int64 // by mode, guarded by mu
+	explorePoints      atomic.Int64
+	exploreFrontPoints atomic.Int64
+
 	// Tenant counters: admission outcomes by ladder rung, evictions,
 	// the live-tenant gauge, and per-tenant request volume (labelled by
 	// endpoint and tenant id; the default tenant counts too, so the
@@ -100,6 +107,7 @@ func newMetrics() *Metrics {
 		stageNS:        map[string]int64{},
 		stageHist:      map[string]*histogram{},
 		admissions:     map[string]int64{},
+		exploreRuns:    map[string]int64{},
 		tenantRequests: map[string]map[string]int64{},
 	}
 }
@@ -111,6 +119,23 @@ func (m *Metrics) observeAdmission(outcome string, evicted int) {
 	m.admissions[outcome]++
 	m.mu.Unlock()
 	m.tenantEvictions.Add(int64(evicted))
+}
+
+// observeExplore records one completed exploration.
+func (m *Metrics) observeExplore(mode string, points, front int) {
+	m.mu.Lock()
+	m.exploreRuns[mode]++
+	m.mu.Unlock()
+	m.explorePoints.Add(int64(points))
+	m.exploreFrontPoints.Add(int64(front))
+}
+
+// ExploreRuns reports completed explorations in the given mode (used by
+// tests).
+func (m *Metrics) ExploreRuns(mode string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exploreRuns[mode]
 }
 
 // observeTenantRequest counts one tenant-dimension request.
@@ -263,6 +288,23 @@ func (m *Metrics) WriteText(w io.Writer, cache *solverCache) {
 	fmt.Fprintln(w, "# HELP srschedd_batch_items Sub-requests processed through /v1/schedule:batch.")
 	fmt.Fprintln(w, "# TYPE srschedd_batch_items counter")
 	fmt.Fprintf(w, "srschedd_batch_items %d\n", m.batchItems.Load())
+
+	fmt.Fprintln(w, "# HELP srschedd_explore_runs_total Completed explorations by mode.")
+	fmt.Fprintln(w, "# TYPE srschedd_explore_runs_total counter")
+	modes := make([]string, 0, len(m.exploreRuns))
+	for mode := range m.exploreRuns {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	for _, mode := range modes {
+		fmt.Fprintf(w, "srschedd_explore_runs_total{mode=%q} %d\n", mode, m.exploreRuns[mode])
+	}
+	fmt.Fprintln(w, "# HELP srschedd_explore_points_total Exploration points reported (grid samples plus Pareto evaluations).")
+	fmt.Fprintln(w, "# TYPE srschedd_explore_points_total counter")
+	fmt.Fprintf(w, "srschedd_explore_points_total %d\n", m.explorePoints.Load())
+	fmt.Fprintln(w, "# HELP srschedd_explore_front_points_total Non-dominated points emitted on Pareto fronts.")
+	fmt.Fprintln(w, "# TYPE srschedd_explore_front_points_total counter")
+	fmt.Fprintf(w, "srschedd_explore_front_points_total %d\n", m.exploreFrontPoints.Load())
 
 	fmt.Fprintln(w, "# HELP srschedd_shard_proxied_total Requests forwarded to their owning shard.")
 	fmt.Fprintln(w, "# TYPE srschedd_shard_proxied_total counter")

@@ -12,7 +12,8 @@
 //	POST /v1/schedule:batch  schedroute.BatchScheduleRequest → schedroute.BatchScheduleResult (per-item errors)
 //	POST /v1/repair          schedroute.RepairRequest        → schedroute.RepairResult (422 on infeasible repair)
 //	POST /v1/admit           schedroute.AdmitRequest         → schedroute.AdmitResult (422 admission_rejected, report attached)
-//	POST /v1/sweep           schedroute.SweepRequest         → schedroute.SweepResult
+//	POST /v1/sweep           schedroute.SweepRequest         → schedroute.SweepResult (adapter over /v1/explore; deprecated)
+//	POST /v1/explore         schedroute.ExploreRequest       → schedroute.ExploreResult (grid or Pareto mode)
 //	GET  /v1/snapshot/{id}   solver-structure snapshot of a cached entry (404 not_found when absent)
 //	POST /v1/watch     schedroute.WatchRequest    → SSE stream of schedroute.WatchFrame
 //	GET  /v1/watch/{id}            resume a watch stream (Last-Event-ID)
@@ -22,7 +23,7 @@
 //	GET  /healthz      liveness + drain state
 //	GET  /metrics      Prometheus text metrics (incl. per-stage latency histograms)
 //
-// /v1/schedule and /v1/repair accept ?debug=trace, which attaches the
+// /v1/schedule, /v1/repair and /v1/explore accept ?debug=trace, which attaches the
 // request's span tree (queue wait, structure-cache lookup, and the full
 // solve/repair pipeline) to the response as a schema-versioned "trace"
 // field without changing any other byte of the body.
@@ -43,8 +44,6 @@ import (
 	"time"
 
 	"schedroute/internal/errkind"
-	"schedroute/internal/metrics"
-	"schedroute/internal/parallel"
 	"schedroute/internal/schedule"
 	"schedroute/internal/trace"
 	"schedroute/pkg/schedroute"
@@ -316,6 +315,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/repair", s.instrument("repair", s.handleRepair))
 	mux.Handle("/v1/admit", s.instrument("admit", s.handleAdmit))
 	mux.Handle("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.Handle("/v1/explore", s.instrument("explore", s.handleExplore))
 	mux.Handle("GET /v1/snapshot/{id}", s.instrumentGet("snapshot", s.handleSnapshotGet))
 	mux.Handle("POST /v1/watch", s.instrumentWatch("watch", s.handleWatchCreate))
 	mux.Handle("GET /v1/watch/{id}", s.instrumentWatch("watch_attach", s.handleWatchAttach))
@@ -824,102 +824,4 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, out)
-}
-
-// sweep runs the τin sweep through one cached Solver on the parallel
-// fan-out engine: load points are independent, land in ordered slots,
-// and the series is identical to a serial run.
-func (s *Server) sweep(ctx context.Context, req schedroute.SweepRequest) (*schedroute.SweepResult, error) {
-	opts, err := req.Options.ToSchedule()
-	if err != nil {
-		return nil, err
-	}
-	opts.CollectStats = true
-	n := req.Points
-	if n == 0 {
-		n = 12
-	}
-	if n < 1 || n > 100000 {
-		return nil, errkind.Mark(fmt.Errorf("sweep: points %d out of range [1,100000]", n), errkind.ErrBadInput)
-	}
-	invocations := req.Invocations
-	if invocations == 0 {
-		invocations = 8
-	}
-
-	ent, _ := s.cache.getOrCreate(req.Problem.StructureKey(), func() (*schedroute.Built, error) {
-		return schedroute.NewProblem(req.Problem)
-	})
-	if ent.err != nil {
-		return nil, ent.err
-	}
-	b := ent.built
-	tauC := b.Timing.TauC()
-	min, max := req.MinTauIn, req.MaxTauIn
-	if min == 0 {
-		min = tauC
-	}
-	if max == 0 {
-		max = 5 * tauC
-	}
-	if min <= 0 || max < min {
-		return nil, errkind.Mark(fmt.Errorf("sweep: bad period range [%g, %g]", min, max), errkind.ErrBadInput)
-	}
-
-	// The sweep's fan-out borrows idle worker slots instead of spawning
-	// GOMAXPROCS goroutines per request: concurrent sweeps share the
-	// same Workers bound as every other solve.
-	extra, releaseExtra := s.claimExtraWorkers(s.cfg.Workers - 1)
-	defer releaseExtra()
-
-	points := make([]schedroute.SweepPoint, n)
-	err = parallel.ForEach(ctx, n, 1+extra, func(i int) error {
-		tauIn := min
-		if n > 1 {
-			tauIn = min + (max-min)*float64(i)/float64(n-1)
-		}
-		res, err := ent.solver.Solve(ctx, tauIn, opts)
-		if err != nil {
-			return err
-		}
-		s.metrics.observeSolve(res.Stats)
-		pt := schedroute.SweepPoint{
-			TauIn:   tauIn,
-			Load:    tauC / tauIn,
-			PeakLSD: res.PeakLSD,
-			Peak:    res.Peak,
-		}
-		if res.Feasible {
-			pt.Feasible = true
-			pt.Latency = res.Latency
-			if req.Execute {
-				exec, err := schedule.Execute(res.Omega, b.Graph, b.Timing, tauC, invocations)
-				if err != nil {
-					return fmt.Errorf("sweep: execute at τin=%g: %w", tauIn, err)
-				}
-				ivs := metrics.Intervals(exec.OutputCompletions)
-				th, err := metrics.NormalizedThroughput(tauIn, ivs)
-				if err != nil {
-					return fmt.Errorf("sweep: throughput at τin=%g: %w", tauIn, err)
-				}
-				pt.Executed = true
-				pt.ThroughputMid = th.Mid
-				pt.OI = metrics.OutputInconsistent(tauIn, ivs, 1e-6)
-			}
-		} else {
-			pt.FailStage = res.FailStage.String()
-		}
-		points[i] = pt
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.persistSnapshot(ent)
-	return &schedroute.SweepResult{
-		SchemaVersion: schedroute.SchemaVersion,
-		TauC:          tauC,
-		TauM:          b.Timing.TauM(),
-		Points:        points,
-	}, nil
 }

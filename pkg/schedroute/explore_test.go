@@ -1,0 +1,178 @@
+package schedroute
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestExploreRequestMode(t *testing.T) {
+	if m := (ExploreRequest{}).Mode(); m != ExploreModeGrid {
+		t.Errorf("empty objectives: mode %q, want grid", m)
+	}
+	r := ExploreRequest{Objectives: []string{"tau_in", "latency"}}
+	if m := r.Mode(); m != ExploreModePareto {
+		t.Errorf("objectives named: mode %q, want pareto", m)
+	}
+}
+
+func TestExploreRequestValidate(t *testing.T) {
+	ok := ExploreRequest{
+		Axes: ExploreAxes{
+			TauIn:     &TauInAxis{Points: 4, Min: 50, Max: 250},
+			Placement: &PlacementAxis{Allocators: []string{"greedy"}, AnnealSeeds: []int64{2}},
+		},
+		Objectives: []string{"tau_in"},
+		Tolerance:  1,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	bad := []ExploreRequest{
+		{Axes: ExploreAxes{TauIn: &TauInAxis{Min: -1}}},
+		{Axes: ExploreAxes{TauIn: &TauInAxis{Min: 100, Max: 50}}},
+		{Axes: ExploreAxes{TauIn: &TauInAxis{Points: 100001}}},
+		{Tolerance: -1},
+		{Objectives: []string{"latency"}, Execute: true},
+		{Axes: ExploreAxes{Placement: &PlacementAxis{Allocators: []string{"magic"}}}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad request %d accepted: %+v", i, r)
+		}
+	}
+}
+
+// TestSweepAdapterShape pins the sweep → explore adapter field by
+// field: a legacy sweep request is exactly a grid-mode exploration over
+// the τin axis, and the result projection drops exactly the
+// explore-only fields.
+func TestSweepAdapterShape(t *testing.T) {
+	sr := SweepRequest{
+		Problem:     Problem{TFG: "chain:4", Topology: "torus:4,4", TauIn: 100},
+		Options:     Options{Seed: 3},
+		Tenant:      &Tenant{ID: "t1"},
+		Points:      7,
+		MinTauIn:    60,
+		MaxTauIn:    300,
+		Execute:     true,
+		Invocations: 4,
+	}
+	er := sr.ToExplore()
+	if er.Mode() != ExploreModeGrid {
+		t.Errorf("adapter produced mode %q, want grid", er.Mode())
+	}
+	want := ExploreRequest{
+		Problem: sr.Problem,
+		Options: sr.Options,
+		Tenant:  sr.Tenant,
+		Axes: ExploreAxes{TauIn: &TauInAxis{
+			Points: 7, Min: 60, Max: 300,
+		}},
+		Execute:     true,
+		Invocations: 4,
+	}
+	if !reflect.DeepEqual(er, want) {
+		t.Errorf("adapter mismatch:\n got %+v\nwant %+v", er, want)
+	}
+
+	res := &ExploreResult{
+		SchemaVersion: SchemaVersion,
+		Mode:          ExploreModeGrid,
+		TauC:          50,
+		TauM:          10,
+		Points: []SweepPoint{
+			{TauIn: 60, Load: 50.0 / 60, Feasible: true, Peak: 0.9},
+		},
+		Winners: []int{0},
+	}
+	sw := res.SweepResult()
+	if sw.SchemaVersion != SchemaVersion || sw.TauC != 50 || sw.TauM != 10 {
+		t.Errorf("projection header mismatch: %+v", sw)
+	}
+	if !reflect.DeepEqual(sw.Points, res.Points) {
+		t.Errorf("projection points mismatch")
+	}
+}
+
+// goldenJSON pins a wire value byte-for-byte against testdata.
+func goldenJSON(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./pkg/schedroute -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire format drifted from %s\ngot:  %.600s\nwant: %.600s", path, got, want)
+	}
+}
+
+// TestExploreWireGolden pins the new explore request/result schema, and
+// the legacy sweep shapes the adapter must keep serving, byte for byte.
+func TestExploreWireGolden(t *testing.T) {
+	req := ExploreRequest{
+		Problem:    Problem{SchemaVersion: SchemaVersion, TFG: "dvb:4", Topology: "cube:6", Bandwidth: 64},
+		Options:    Options{Seed: 1},
+		Objectives: []string{"tau_in", "latency", "links", "buffers"},
+		Axes: ExploreAxes{
+			TauIn:     &TauInAxis{Points: 3, Max: 250},
+			Placement: &PlacementAxis{Allocators: []string{"greedy"}, AnnealSeeds: []int64{2, 3}},
+		},
+		Tolerance: 0.5,
+	}
+	goldenJSON(t, "explore_request.golden.json", req)
+
+	res := ExploreResult{
+		SchemaVersion: SchemaVersion,
+		Mode:          ExploreModePareto,
+		TauC:          50,
+		TauM:          30.078125,
+		MinTauIn:      50,
+		Objectives:    []string{"tau_in", "latency", "links", "buffers"},
+		Placements: []PlacementOutcome{
+			{Source: "problem", Feasible: true, MinTauIn: 124.21875},
+			{Source: "allocator:greedy", Feasible: true, MinTauIn: 50},
+			{Source: "anneal:2", Feasible: true, MinTauIn: 50},
+		},
+		Evaluated: 9,
+		Front: []ParetoPoint{
+			{Placement: 2, TauIn: 50, Load: 1, Window: 50, Latency: 850, Links: 21, Buffers: 17, Peak: 1},
+			{Placement: 0, TauIn: 250, Load: 0.2, Window: 50, Latency: 850, Links: 20, Buffers: 17, Peak: 1},
+		},
+	}
+	goldenJSON(t, "explore_result.golden.json", res)
+
+	// The legacy sweep shapes, served through the adapter: these bytes
+	// must never change while /v1/sweep exists.
+	sreq := SweepRequest{
+		Problem:  Problem{SchemaVersion: SchemaVersion, TFG: "dvb:4", Topology: "cube:6", Bandwidth: 64},
+		Options:  Options{Seed: 1},
+		Points:   3,
+		MaxTauIn: 250,
+	}
+	goldenJSON(t, "sweep_request.golden.json", sreq)
+	sres := SweepResult{
+		SchemaVersion: SchemaVersion,
+		TauC:          50,
+		TauM:          30.078125,
+		Points: []SweepPoint{
+			{TauIn: 50, Load: 1, Feasible: false, FailStage: "allocation", PeakLSD: 1.5, Peak: 1.2},
+			{TauIn: 150, Load: 1.0 / 3, Feasible: true, PeakLSD: 0.5, Peak: 0.4, Latency: 850},
+		},
+	}
+	goldenJSON(t, "sweep_result.golden.json", sres)
+}

@@ -1,0 +1,85 @@
+package schedroute
+
+import (
+	"reflect"
+	"testing"
+
+	"schedroute/internal/schedule"
+)
+
+// TestWireOptionsMapToSolverOptions is the wire half of the
+// functional-options drift contract: every field of the wire Options
+// maps to exactly one registered solver option. The Stats/CollectStats
+// pair is the one documented alias — both spellings resolve to the
+// single "stats" option — and every other field maps one-to-one. A
+// field added to the wire struct without a solver option (or renamed on
+// either side) fails here.
+func TestWireOptionsMapToSolverOptions(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+	counts := map[string]int{}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		solverField := f.Name
+		if f.Name == "Stats" {
+			// The wire alias: `"stats": true` and `"collect_stats": true`
+			// both drive schedule.Options.CollectStats.
+			solverField = "CollectStats"
+		}
+		name, ok := schedule.OptionForField(solverField)
+		if !ok {
+			t.Errorf("wire Options field %s has no solver option (schedule.OptionForField(%q) missing)",
+				f.Name, solverField)
+			continue
+		}
+		counts[name]++
+	}
+	for name, n := range counts {
+		want := 1
+		if name == "stats" {
+			want = 2 // the documented Stats/CollectStats alias pair
+		}
+		if n != want {
+			t.Errorf("solver option %q reached by %d wire fields, want %d", name, n, want)
+		}
+	}
+	// Solver-only options (procs, link_cap, trace) deliberately have no
+	// wire spelling: the service owns worker counts, tenant shares and
+	// tracing. Everything else must be reachable from the wire.
+	wireless := map[string]bool{"procs": true, "link_cap": true, "trace": true}
+	for _, name := range schedule.OptionNames() {
+		if !wireless[name] && counts[name] == 0 {
+			t.Errorf("solver option %q has no wire Options field and is not a declared solver-only option", name)
+		}
+	}
+}
+
+// TestToScheduleMatchesFunctionalOptions pins that the wire resolver
+// and the functional-options constructor build the same solver
+// configuration, so the two construction surfaces cannot diverge.
+func TestToScheduleMatchesFunctionalOptions(t *testing.T) {
+	wire := Options{
+		Seed: 7, MaxPaths: 9, MaxOuter: 2, MaxInner: 30, Engine: "exact",
+		Window: 120, LSDOnly: true, SyncMargin: 0.5, Retries: 3,
+		AllowSharedNodes: true, Stats: true,
+	}
+	got, err := wire.ToSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := schedule.NewOptions(
+		schedule.WithSeed(7),
+		schedule.WithMaxPaths(9),
+		schedule.WithMaxOuter(2),
+		schedule.WithMaxInner(30),
+		schedule.WithEngine(schedule.EngineExact),
+		schedule.WithWindow(120),
+		schedule.WithLSDOnly(true),
+		schedule.WithSyncMargin(0.5),
+		schedule.WithRetries(3),
+		schedule.WithSharedNodes(true),
+		schedule.WithStats(true),
+	)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wire resolution diverged from functional options:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -311,6 +311,12 @@ type RepairResult struct {
 // SweepRequest asks for a τin sweep: the solver runs once per load
 // point over [MinTauIn, MaxTauIn] through one cached Solver, fanned out
 // on the parallel sweep engine.
+//
+// Deprecated: SweepRequest and /v1/sweep are the legacy shape of a
+// grid-mode ExploreRequest and are served as a thin adapter over it
+// (ToExplore / ExploreResult.SweepResult) — responses stay
+// byte-identical to the pre-explore service. New clients should POST
+// /v1/explore, which also offers placement axes and Pareto objectives.
 type SweepRequest struct {
 	Problem Problem `json:"problem"`
 	Options Options `json:"options,omitempty"`

@@ -1,0 +1,93 @@
+#!/bin/sh
+# explore_smoke.sh — end-to-end smoke of the unified exploration
+# surface: boot srschedd, run a Pareto exploration over /v1/explore
+# (placement axis + all four objectives, ?debug=trace), a grid
+# exploration with a placement axis (winners reported), assert the
+# /v1/sweep adapter returns the exact projection of its /v1/explore
+# translation, run the same search locally through `srsched -explore`,
+# check mode exclusivity exits 2, and assert the explore metrics.
+# Run via `make explore-smoke`.
+set -eu
+
+PORT="${SMOKE_PORT:-18084}"
+BASE="http://127.0.0.1:$PORT"
+DIR="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/srschedd" ./cmd/srschedd
+go build -o "$DIR/srsched" ./cmd/srsched
+"$DIR/srschedd" -listen "127.0.0.1:$PORT" -drain 10s 2>/dev/null &
+PID=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+
+# Pareto mode with a traced request: an annealed candidate placement
+# must reach full load (min τin = τc = 50 µs on the 6-cube at B=64),
+# the front must be non-empty, and the span family must ride along.
+curl -fsS -X POST "$BASE/v1/explore?debug=trace" -d '{
+  "problem": {"tfg": "dvb:4", "topology": "cube:6", "bandwidth": 64},
+  "objectives": ["tau_in", "latency", "links", "buffers"],
+  "axes": {
+    "tau_in": {"points": 2},
+    "placement": {"anneal_seeds": [2], "anneal_steps": 2000}
+  }
+}' > "$DIR/pareto.json"
+grep -q '"mode": *"pareto"\|"mode":"pareto"' "$DIR/pareto.json" || { echo "not pareto mode"; exit 1; }
+grep -q '"source": *"anneal:2"\|"source":"anneal:2"' "$DIR/pareto.json" || { echo "annealed placement missing"; exit 1; }
+grep -q '"min_tau_in": *50\|"min_tau_in":50' "$DIR/pareto.json" || { echo "annealed placement did not reach full load"; exit 1; }
+grep -q '"front"' "$DIR/pareto.json" || { echo "no front"; exit 1; }
+grep -q '"name": *"explore"\|"name":"explore"' "$DIR/pareto.json" || { echo "trace missing explore span"; exit 1; }
+
+# Grid mode with a placement axis: one winner per point.
+curl -fsS -X POST "$BASE/v1/explore" -d '{
+  "problem": {"tfg": "dvb:4", "topology": "cube:6", "bandwidth": 64},
+  "axes": {
+    "tau_in": {"points": 3},
+    "placement": {"allocators": ["greedy"]}
+  }
+}' > "$DIR/grid.json"
+grep -q '"mode": *"grid"\|"mode":"grid"' "$DIR/grid.json" || { echo "not grid mode"; exit 1; }
+grep -q '"winners"' "$DIR/grid.json" || { echo "no winners reported"; exit 1; }
+grep -q '"source": *"allocator:greedy"\|"source":"allocator:greedy"' "$DIR/grid.json" || { echo "greedy placement missing"; exit 1; }
+
+# The sweep adapter: /v1/sweep and the projection of its /v1/explore
+# translation must be byte-identical.
+SWEEP_REQ='{"problem": {"tfg": "dvb:4", "topology": "cube:6", "bandwidth": 64}, "points": 4}'
+curl -fsS -X POST "$BASE/v1/sweep" -d "$SWEEP_REQ" > "$DIR/sweep.json"
+grep -q '"schema_version"' "$DIR/sweep.json" || { echo "sweep failed"; exit 1; }
+EXPLORE_REQ='{"problem": {"tfg": "dvb:4", "topology": "cube:6", "bandwidth": 64}, "axes": {"tau_in": {"points": 4}}}'
+curl -fsS -X POST "$BASE/v1/explore" -d "$EXPLORE_REQ" > "$DIR/explore-grid.json"
+# The explore result's points array and sweep header fields must embed
+# the sweep body exactly (SweepResult is a field-for-field projection).
+for field in '"tau_c"' '"tau_m"' '"points"'; do
+    grep -o "$field.*" "$DIR/sweep.json" | head -c 200 > "$DIR/want"
+    grep -o "$field.*" "$DIR/explore-grid.json" | head -c 200 > "$DIR/got"
+    cmp -s "$DIR/want" "$DIR/got" || { echo "sweep/explore diverged on $field"; exit 1; }
+done
+
+# Local exploration: srsched -explore prints a front with the annealed
+# placement at full load.
+"$DIR/srsched" -tfg dvb:4 -topo cube:6 -bw 64 -explore -anneal-seeds 2 -grid-points 2 | tee "$DIR/local.txt"
+grep -q 'min τin 50.00' "$DIR/local.txt" || { echo "local explore: no full-load placement"; exit 1; }
+
+# Mode exclusivity is a usage error: exit 2 with the hint.
+set +e
+"$DIR/srsched" -explore -best 3 2> "$DIR/excl.txt"
+CODE=$?
+set -e
+[ "$CODE" = "2" ] || { echo "conflicting modes exited $CODE, want 2"; exit 1; }
+grep -q 'conflicting modes' "$DIR/excl.txt" || { echo "exclusivity message missing"; exit 1; }
+
+# Explore metrics: two explorations per mode family ran above.
+METRICS="$DIR/metrics.txt"
+curl -fsS "$BASE/metrics" > "$METRICS"
+grep -q '^srschedd_explore_runs_total{mode="pareto"} 1$' "$METRICS" || { echo "pareto run not counted"; exit 1; }
+grep -q '^srschedd_explore_runs_total{mode="grid"} 3$' "$METRICS" || { echo "grid runs not counted"; exit 1; }
+grep -q '^srschedd_explore_front_points_total [1-9]' "$METRICS" || { echo "front points not counted"; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID" || { echo "srschedd did not exit cleanly"; exit 1; }
+PID=""
+echo "explore smoke OK"
